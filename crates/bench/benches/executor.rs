@@ -1,0 +1,65 @@
+//! Executor benchmarks: real threaded pipeline training steps under each
+//! scheme, with the feature toggles on and off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slimpipe_exec::model::ExecConfig;
+use slimpipe_exec::schedule::PipelineKind;
+use slimpipe_exec::train::{run_pipeline, run_reference};
+use std::hint::black_box;
+
+fn cfg() -> ExecConfig {
+    ExecConfig {
+        stages: 2,
+        slices: 4,
+        microbatches: 2,
+        ..ExecConfig::small()
+    }
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(10);
+    g.bench_function("reference_step", |b| {
+        b.iter(|| black_box(run_reference(&cfg(), 1, 0.1)))
+    });
+    g.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_pipeline_step");
+    g.sample_size(10);
+    let base = cfg();
+    for (name, kind, slices) in [
+        ("gpipe", PipelineKind::GPipe, 1usize),
+        ("1f1b", PipelineKind::OneFOneB, 1),
+        ("terapipe", PipelineKind::TeraPipe, 4),
+        ("slimpipe", PipelineKind::SlimPipe, 4),
+    ] {
+        let c2 = ExecConfig { slices, ..base };
+        g.bench_with_input(BenchmarkId::new("scheme", name), &kind, |b, &k| {
+            b.iter(|| black_box(run_pipeline(&c2, k, 1, 0.1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_feature_toggles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_features");
+    g.sample_size(10);
+    let base = ExecConfig { slices: 8, ..cfg() };
+    for (name, exchange, vp) in [
+        ("plain", false, false),
+        ("exchange", true, false),
+        ("vocab_parallel", false, true),
+        ("both", true, true),
+    ] {
+        let c2 = ExecConfig { exchange, vocab_parallel: vp, ..base };
+        g.bench_with_input(BenchmarkId::new("features", name), &name, |b, _| {
+            b.iter(|| black_box(run_pipeline(&c2, PipelineKind::SlimPipe, 1, 0.1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reference, bench_pipelines, bench_feature_toggles);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! One criterion group per paper artifact: each benchmark runs a
+//! reduced-scale version of the corresponding figure/table regeneration
+//! path, so regressions in any experiment pipeline show up as timing or
+//! panics here. (The full-scale rows are printed by the `fig*`/`tab*`
+//! binaries.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slimpipe_bench::{pipeline_mfu, scheme_env, scheme_schedule};
+use slimpipe_cluster::Cluster;
+use slimpipe_core::exchange::measured_volume_per_device;
+use slimpipe_core::theory::{act_memory_rel, fig6a_curve, fig6b_curve, Scheme};
+use slimpipe_model::{Checkpoint, ModelConfig};
+use slimpipe_parallel::search::{best_config, SearchOptions};
+use slimpipe_parallel::SystemKind;
+use std::hint::black_box;
+
+fn fig01_fig06_theory(c: &mut Criterion) {
+    c.bench_function("fig01_fig06_theory_curves", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in [4usize, 8, 16] {
+                for mult in 0..=6 {
+                    acc += fig6a_curve(p, mult * p) + fig6b_curve(p, 4, mult * p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn tab02_walks(c: &mut Criterion) {
+    c.bench_function("tab02_formula_vs_walk", |b| {
+        b.iter(|| {
+            let (p, m, n, v) = (4usize, 4usize, 8usize, 2usize);
+            let mut acc = 0.0;
+            for s in Scheme::table2() {
+                let (sn, sv) = match s {
+                    Scheme::SlimPipe => (n, v),
+                    Scheme::TeraPipe => (n, 1),
+                    Scheme::Interleaved => (1, v),
+                    _ => (1, 1),
+                };
+                acc += act_memory_rel(s, p, m, sn, sv);
+                if let Ok(sched) = scheme_schedule(s, p, m, sn, sv) {
+                    acc += slimpipe_core::memory::measured_act_rel(&sched);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn eq2_volume(c: &mut Criterion) {
+    c.bench_function("eq2_planner_microbatch_volume", |b| {
+        b.iter(|| black_box(measured_volume_per_device(8, 32, 1024)))
+    });
+}
+
+fn fig11_point(c: &mut Criterion) {
+    let model = ModelConfig::llama_13b();
+    c.bench_function("fig11_one_sweep_point", |b| {
+        let env = scheme_env(&model, Scheme::SlimPipe, 131_072, 8, Checkpoint::Full);
+        let sched = slimpipe_core::interleaved::generate(4, 5, 2, 16).unwrap();
+        b.iter(|| black_box(pipeline_mfu(&model, &env, &sched, 2)))
+    });
+}
+
+fn fig13_point(c: &mut Criterion) {
+    let model = ModelConfig::llama_13b();
+    let mut g = c.benchmark_group("fig13_one_cell");
+    g.sample_size(10);
+    for s in [Scheme::OneFOneB, Scheme::ZbV, Scheme::SlimPipe] {
+        g.bench_function(s.name(), |b| {
+            let (n, v) = if s == Scheme::SlimPipe { (4, 5) } else { (1, 2) };
+            let env = scheme_env(&model, s, 65_536, 8, Checkpoint::Full);
+            let sched = scheme_schedule(s, 4, 4, n, v).unwrap();
+            b.iter(|| black_box(pipeline_mfu(&model, &env, &sched, 4)))
+        });
+    }
+    g.finish();
+}
+
+fn fig12_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_one_cell_search");
+    g.sample_size(10);
+    let cluster = Cluster::hopper_nvlink();
+    g.bench_function("slimpipe_32gpu_64k", |b| {
+        let model = ModelConfig::llama_13b();
+        let opts = SearchOptions {
+            ckpt_modes: vec![Checkpoint::Selective],
+            ..Default::default()
+        };
+        b.iter(|| {
+            black_box(best_config(
+                &model,
+                SystemKind::SlimPipe,
+                32,
+                65_536,
+                4 << 20,
+                &cluster,
+                &opts,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig01_fig06_theory,
+    tab02_walks,
+    eq2_volume,
+    fig11_point,
+    fig13_point,
+    fig12_cell
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Kernel micro-benchmarks: the tensor substrate's hot paths — GEMM
+//! orientations, chunked attention forward/backward, online-softmax
+//! merging, and the sharded cross-entropy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slimpipe_tensor::attention::{
+    backward_chunked, forward_chunked, forward_full, merge_partials, partial, HeadCfg,
+};
+use slimpipe_tensor::crossentropy::{combine_stats, forward_backward, shard_stats};
+use slimpipe_tensor::init::{seeded_tokens, seeded_uniform};
+use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use slimpipe_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = seeded_uniform(n, n, 1);
+        let b = seeded_uniform(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("nt", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_nt(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("tn", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_tn(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let cfg = HeadCfg::new(8, 2, 16);
+    let mut g = c.benchmark_group("attention");
+    for &s in &[128usize, 256] {
+        let q = seeded_uniform(s, cfg.q_width(), 3);
+        let k = seeded_uniform(s, cfg.kv_width(), 4);
+        let v = seeded_uniform(s, cfg.kv_width(), 5);
+        g.bench_with_input(BenchmarkId::new("monolithic_fwd", s), &s, |bch, _| {
+            bch.iter(|| black_box(forward_full(&q, &k, &v, cfg)))
+        });
+        // Chunked (8 chunks) — the SlimPipe access pattern.
+        let lc = s / 8;
+        let ks: Vec<Tensor> = (0..8).map(|c| k.rows_slice(c * lc, lc)).collect();
+        let vs: Vec<Tensor> = (0..8).map(|c| v.rows_slice(c * lc, lc)).collect();
+        let chunks: Vec<(&Tensor, &Tensor)> = ks.iter().zip(vs.iter()).collect();
+        let offsets: Vec<usize> = (0..8).map(|c| c * lc).collect();
+        g.bench_with_input(BenchmarkId::new("chunked_fwd_8", s), &s, |bch, _| {
+            bch.iter(|| black_box(forward_chunked(&q, &chunks, &offsets, cfg, 0)))
+        });
+        let fwd = forward_chunked(&q, &chunks, &offsets, cfg, 0);
+        let d_o = seeded_uniform(s, cfg.q_width(), 6);
+        g.bench_with_input(BenchmarkId::new("chunked_bwd_8", s), &s, |bch, _| {
+            bch.iter(|| {
+                black_box(backward_chunked(
+                    &q, &chunks, &offsets, &d_o, &fwd.o, &fwd.lse, cfg, 0,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_online_softmax_merge(c: &mut Criterion) {
+    let cfg = HeadCfg::new(8, 8, 16);
+    let s = 256;
+    let q = seeded_uniform(s, cfg.q_width(), 7);
+    let k = seeded_uniform(2 * s, cfg.q_width(), 8);
+    let v = seeded_uniform(2 * s, cfg.q_width(), 9);
+    let p0 = partial(&q, &k.rows_slice(0, s), &v.rows_slice(0, s), cfg, s, 0);
+    let p1 = partial(&q, &k.rows_slice(s, s), &v.rows_slice(s, s), cfg, s, s);
+    c.bench_function("merge_partials_256x128", |b| {
+        b.iter(|| black_box(merge_partials(&p0, &p1, cfg)))
+    });
+}
+
+fn bench_crossentropy(c: &mut Criterion) {
+    let (rows, vocab) = (256usize, 4096usize);
+    let logits = seeded_uniform(rows, vocab, 10);
+    let targets = seeded_tokens(rows, vocab, 11);
+    let mut g = c.benchmark_group("crossentropy");
+    g.bench_function("monolithic", |b| {
+        b.iter(|| black_box(forward_backward(&logits, &targets)))
+    });
+    g.bench_function("sharded_4way_stats", |b| {
+        b.iter(|| {
+            let w = vocab / 4;
+            let stats: Vec<_> = (0..4)
+                .map(|s| shard_stats(&logits.cols_slice(s * w, w), &targets, s * w))
+                .collect();
+            black_box(combine_stats(&stats))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_attention,
+    bench_online_softmax_merge,
+    bench_crossentropy
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Scheduler benchmarks: schedule generation for every scheme, validation,
+//! the exchange planner, and the discrete-event engine itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slimpipe_bench::{scheme_env, scheme_schedule};
+use slimpipe_core::exchange::{plan_round, steady_round_slices};
+use slimpipe_core::theory::Scheme;
+use slimpipe_model::{Checkpoint, ModelConfig};
+use slimpipe_sim::cost::CostModel;
+use slimpipe_sim::engine::simulate;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_generation");
+    let (p, m) = (8usize, 16usize);
+    for s in Scheme::table2() {
+        g.bench_with_input(BenchmarkId::new("generate", s.name()), &s, |b, &s| {
+            b.iter(|| black_box(scheme_schedule(s, p, m, 4 * p, 2).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let sched = slimpipe_core::interleaved::generate(8, 2, 16, 32).unwrap();
+    c.bench_function("validate_slimpipe_p8_m16_n32_v2", |b| {
+        b.iter(|| black_box(slimpipe_sched::validate(&sched).unwrap()))
+    });
+}
+
+fn bench_exchange_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange_planner");
+    for &(p, n) in &[(8usize, 32usize), (16, 64), (32, 128)] {
+        g.bench_with_input(BenchmarkId::new("plan_round", format!("p{p}_n{n}")), &p, |b, _| {
+            let slices = steady_round_slices(p, n, n - 1);
+            b.iter(|| black_box(plan_round(&slices, 4096)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let model = ModelConfig::llama_13b();
+    let mut g = c.benchmark_group("discrete_event_engine");
+    g.sample_size(20);
+    for &(p, m, n) in &[(4usize, 4usize, 16usize), (8, 8, 32)] {
+        let sched = slimpipe_core::schedule::generate(p, m, n).unwrap();
+        let env = scheme_env(&model, Scheme::SlimPipe, 131_072, 8, Checkpoint::Full);
+        g.bench_with_input(
+            BenchmarkId::new("simulate_slimpipe", format!("p{p}_m{m}_n{n}")),
+            &p,
+            |b, _| b.iter(|| black_box(simulate(&CostModel::new(&sched, &env)))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_validation,
+    bench_exchange_planner,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablations for the design choices DESIGN.md §5 calls out: each row turns
+//! one SlimPipe mechanism off (or swaps the alternative in) and reports the
+//! cost, using the simulator for scale effects and closed forms/walks for
+//! memory.
+
+use slimpipe_bench::{print_table, scheme_env};
+use slimpipe_core::memory::measured_act_rel;
+use slimpipe_core::slicing::Slicing;
+use slimpipe_core::theory::Scheme;
+use slimpipe_model::{Checkpoint, ModelConfig};
+use slimpipe_sched::zbv::{generate_vhalf, generate_vmin, generate_zbv, ZbCosts};
+use slimpipe_sim::cost::CostModel;
+use slimpipe_sim::engine::simulate;
+
+fn main() {
+    let model = ModelConfig::llama_13b();
+    let (p, m, n, seq, tp) = (4usize, 4usize, 16usize, 262_144u64, 8usize);
+    let sched = slimpipe_core::schedule::generate(p, m, n).unwrap();
+
+    println!("Ablation study — {} at {}K, p={p}, m={m}, n={n}, t={tp}\n", model.name, seq / 1024);
+
+    // --- 1. Context exchange and early KV exchange -----------------------
+    let mut rows = Vec::new();
+    let mut run = |label: &str, exchange: bool, early: bool, vp: bool| {
+        let mut env = scheme_env(&model, Scheme::SlimPipe, seq, tp, Checkpoint::Full);
+        env.exchange = exchange;
+        env.early_kv = early;
+        env.vocab_parallel = vp;
+        let r = simulate(&CostModel::new(&sched, &env));
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", r.bubble_fraction),
+            format!("{:.1}", r.makespan * 1e3),
+        ]);
+    };
+    run("full SlimPipe", true, true, true);
+    run("- context exchange", false, true, true);
+    run("- early KV exchange", true, false, true);
+    run("- vocabulary parallelism", true, true, false);
+    println!("Mechanism ablations (simulated):");
+    print_table(&["configuration", "bubble", "makespan ms"], &rows);
+
+    // --- 2. Uniform vs pair-balanced slicing ------------------------------
+    println!("\nSlicing policy (§4.1.1):");
+    let uniform = Slicing::uniform(seq, n);
+    let balanced = Slicing::pair_balanced(seq, n);
+    let longest = |s: &Slicing| (0..s.n()).map(|i| s.len(i)).max().unwrap();
+    let rows = vec![
+        vec![
+            "uniform".into(),
+            format!("{:.1}", uniform.imbalance()),
+            format!("{}", longest(&uniform)),
+            "fixed (CP-composable, stable memory)".into(),
+        ],
+        vec![
+            "pair-balanced".into(),
+            format!("{:.2}", balanced.imbalance()),
+            format!("{}", longest(&balanced)),
+            "first slice dominates accumulation".into(),
+        ],
+    ];
+    print_table(
+        &["policy", "compute imbalance", "longest slice (tokens)", "memory behaviour"],
+        &rows,
+    );
+    println!(
+        "Uniform slicing leaves a {:.0}:1 compute imbalance — which context \
+         exchange erases — in exchange for bounded accumulation; pair-balanced \
+         slicing fixes compute but its first slice is {:.1}x the uniform length.",
+        uniform.imbalance(),
+        longest(&balanced) as f64 / (seq as f64 / n as f64)
+    );
+
+    // --- 3. The ZB V-family memory ladder ---------------------------------
+    println!("\nZB V-family memory ladder (schedule-walk units of M_a, p={p}, m=8):");
+    let rows: Vec<Vec<String>> = [
+        ("ZB-V (1x of 1F1B)", generate_zbv(p, 8, ZbCosts::default())),
+        ("V-Half (1/2)", generate_vhalf(p, 8, ZbCosts::default())),
+        ("V-Min (1/3)", generate_vmin(p, 8, ZbCosts::default())),
+    ]
+    .into_iter()
+    .map(|(name, s)| {
+        let s = s.unwrap();
+        vec![name.to_string(), format!("{:.3}", measured_act_rel(&s))]
+    })
+    .collect();
+    print_table(&["scheme", "activation (M_a)"], &rows);
+    println!(
+        "\nSlimPipe at the same point: {:.3} M_a — below V-Min, with near-zero \
+         bubbles instead of growing ones.",
+        measured_act_rel(&sched)
+    );
+}

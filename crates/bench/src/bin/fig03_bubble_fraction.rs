@@ -1,0 +1,67 @@
+//! Figure 3: theoretical bubble fractions of the PP schemes (p = 8,
+//! m = 4, 256K context, Llama 13B) — computed by simulating each
+//! schedule with the shared cost model, which is exactly how the
+//! "theoretical" bars arise (pass costs from the FLOPs model, no noise).
+//!
+//! Interleaved 1F1B cannot build a schedule with m < p (its hard
+//! constraint), so its bar falls back to Table 2's closed form — the same
+//! thing the paper's "theoretical" figure does.
+
+use slimpipe_bench::{bar, print_table, scheme_env, scheme_schedule_with_costs, zb_costs};
+use slimpipe_core::theory::{bubble_fraction_ideal, Scheme};
+use slimpipe_model::{Checkpoint, ModelConfig};
+use slimpipe_sim::cost::CostModel;
+use slimpipe_sim::engine::simulate;
+
+fn main() {
+    let model = ModelConfig::llama_13b();
+    let (p, m, seq, tp) = (8usize, 4usize, 262_144u64, 8usize);
+    println!(
+        "Figure 3 — theoretical bubble fractions ({}, p={p}, m={m}, {}K context)\n",
+        model.name,
+        seq / 1024
+    );
+    let schemes = [
+        Scheme::ZbV,
+        Scheme::VHalf,
+        Scheme::OneFOneB,
+        Scheme::Interleaved,
+        Scheme::SlimPipe,
+    ];
+    let mut values: Vec<(Scheme, f64, &str)> = Vec::new();
+    for s in schemes {
+        let (n, v) = match s {
+            Scheme::SlimPipe => (4 * p, 2),
+            Scheme::Interleaved => (1, 5),
+            _ => (1, 1),
+        };
+        let env = scheme_env(&model, s, seq, tp, Checkpoint::Full);
+        match scheme_schedule_with_costs(s, p, m, n, v, zb_costs(&model, &env)) {
+            Ok(sched) => {
+                let r = simulate(&CostModel::new(&sched, &env));
+                values.push((s, r.bubble_fraction, "simulated"));
+            }
+            Err(_) => {
+                values.push((s, bubble_fraction_ideal(s, p, m, n, v), "closed form*"));
+            }
+        }
+    }
+    let max = values.iter().map(|v| v.1).fold(0.0, f64::max);
+    let rows: Vec<Vec<String>> = values
+        .iter()
+        .map(|(s, b, how)| {
+            vec![s.name().into(), format!("{b:.3}"), how.to_string(), bar(*b, max, 40)]
+        })
+        .collect();
+    print_table(&["scheme", "bubble fraction", "source", ""], &rows);
+    println!("\n* interleaved cannot schedule m=4 < p=8; Table 2 formula used.");
+    let slim = values.iter().find(|v| v.0 == Scheme::SlimPipe).unwrap();
+    let worst = values.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    println!(
+        "SlimPipe bubble {:.3} vs worst {} {:.3} ({:.0}x lower)",
+        slim.1,
+        worst.0.name(),
+        worst.1,
+        worst.1 / slim.1.max(1e-9)
+    );
+}

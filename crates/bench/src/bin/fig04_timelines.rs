@@ -1,0 +1,64 @@
+//! Figures 4/5/7/9: schedule timelines — the default 1F1B vs SlimPipe op
+//! streams (Fig. 4), the interleaved form (Fig. 5), imbalance bubbles with
+//! exchange disabled (Fig. 7), and the output-layer bubble with and
+//! without vocabulary parallelism (Fig. 9).
+
+use slimpipe_bench::{scheme_env, scheme_schedule};
+use slimpipe_core::theory::Scheme;
+use slimpipe_model::{Checkpoint, ModelConfig};
+use slimpipe_sim::cost::CostModel;
+use slimpipe_sim::engine::simulate;
+
+fn main() {
+    let model = ModelConfig::llama_13b();
+    let (p, m, n) = (4usize, 3usize, 8usize);
+
+    println!("=== Figure 4 (top): default 1F1B, p={p}, m={m} ===");
+    let ofob = slimpipe_sched::onefoneb::generate(p, m).unwrap();
+    for d in 0..p {
+        println!("dev{}: {}", d + 1, ofob.render_device(d));
+    }
+
+    println!("\n=== Figure 4 (bottom): SlimPipe, p={p}, m={m}, n={n} ===");
+    let slim = slimpipe_core::schedule::generate(p, m, n).unwrap();
+    for d in 0..p {
+        println!("dev{}: {}", d + 1, slim.render_device(d));
+    }
+
+    println!("\n=== Figure 5: SlimPipe interleaved, p=4, v=2, m=2, n=8 ===");
+    let inter = slimpipe_core::interleaved::generate(4, 2, 2, 8).unwrap();
+    for d in 0..4 {
+        println!("dev{}: {}", d + 1, inter.render_device(d));
+    }
+
+    // Figure 7: imbalance bubbles without context exchange.
+    println!("\n=== Figure 7: imbalance bubbles (context exchange off vs on) ===");
+    let seq = 262_144;
+    let mut env = scheme_env(&model, Scheme::SlimPipe, seq, 8, Checkpoint::Full);
+    let sched = scheme_schedule(Scheme::SlimPipe, p, m, n, 1).unwrap();
+    env.exchange = false;
+    let off = simulate(&CostModel::new(&sched, &env));
+    env.exchange = true;
+    let on = simulate(&CostModel::new(&sched, &env));
+    println!(
+        "bubble fraction without exchange: {:.4}; with exchange: {:.4}",
+        off.bubble_fraction, on.bubble_fraction
+    );
+
+    // Figure 9: output-layer GEMM on the last device vs distributed.
+    println!("\n=== Figure 9: output-layer placement ===");
+    let mut env = scheme_env(&model, Scheme::SlimPipe, 65_536, 8, Checkpoint::None);
+    env.vocab_parallel = false;
+    let classic = simulate(&CostModel::new(&sched, &env));
+    env.vocab_parallel = true;
+    let vp = simulate(&CostModel::new(&sched, &env));
+    println!(
+        "bubble fraction with GEMM on last device: {:.4}; distributed: {:.4}",
+        classic.bubble_fraction, vp.bubble_fraction
+    );
+    println!(
+        "makespan {:.1} ms -> {:.1} ms",
+        classic.makespan * 1e3,
+        vp.makespan * 1e3
+    );
+}

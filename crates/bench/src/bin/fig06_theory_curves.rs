@@ -1,0 +1,42 @@
+//! Figure 6: (a) activation memory vs slice count for p ∈ {4, 8, 16};
+//! (b) bubble fraction vs slice count for m ∈ {2, 4, 8} at p = 4.
+
+use slimpipe_bench::print_table;
+use slimpipe_core::theory::{fig6a_curve, fig6b_curve};
+
+fn main() {
+    println!("Figure 6a — activation memory (units of M_a) vs number of slices\n");
+    let ps = [4usize, 8, 16];
+    let mut rows = Vec::new();
+    for mult in 0..=6 {
+        let mut row = vec![if mult == 0 {
+            "1F1B".to_string()
+        } else {
+            format!("{mult}p")
+        }];
+        for &p in &ps {
+            let n = mult * p;
+            row.push(format!("{:.4}", fig6a_curve(p, n)));
+        }
+        rows.push(row);
+    }
+    print_table(&["n", "p=4", "p=8", "p=16"], &rows);
+
+    println!("\nFigure 6b — bubble fraction vs number of slices (p = 4)\n");
+    let ms = [2usize, 4, 8];
+    let p = 4;
+    let mut rows = Vec::new();
+    for mult in 0..=6 {
+        let mut row = vec![if mult == 0 {
+            "1F1B".to_string()
+        } else {
+            format!("{mult}p")
+        }];
+        for &m in &ms {
+            row.push(format!("{:.4}", fig6b_curve(p, m, mult * p)));
+        }
+        rows.push(row);
+    }
+    print_table(&["n", "m=2", "m=4", "m=8"], &rows);
+    println!("\nBoth decrease monotonically toward 1/p and 0 respectively.");
+}

@@ -1,0 +1,58 @@
+//! Figure 8: the context-exchange rebalancing plan — which device computes
+//! which (Q, KV-chunk) task before and after redistribution.
+
+use slimpipe_bench::print_table;
+use slimpipe_core::exchange::{plan_round, steady_round_slices};
+
+fn main() {
+    // Figure 8's situation: 6 devices mid-steady-state with slices 7..2
+    // in flight (1-indexed in the paper; 6..1 here 0-indexed).
+    let p = 6usize;
+    let n = 12usize;
+    let l = 1024u64;
+    let slices = steady_round_slices(p, n, 6);
+    println!("Figure 8 — attention workload rebalancing (p={p}, slice length {l})\n");
+    println!(
+        "in-flight slices per device: {:?}\n",
+        slices.iter().map(|s| s.unwrap() + 1).collect::<Vec<_>>()
+    );
+
+    let plan = plan_round(&slices, l);
+    let mut rows = Vec::new();
+    for dev in 0..p {
+        let own: Vec<String> = plan
+            .tasks
+            .iter()
+            .filter(|t| t.executor == dev && t.q_owner == dev)
+            .map(|t| format!("Q{},K{}V{}", slices[dev].unwrap() + 1, t.kv_chunk + 1, t.kv_chunk + 1))
+            .collect();
+        let remote: Vec<String> = plan
+            .tasks
+            .iter()
+            .filter(|t| t.executor == dev && t.q_owner != dev)
+            .map(|t| {
+                format!(
+                    "Q{},K{}V{} (from dev{})",
+                    slices[t.q_owner].unwrap() + 1,
+                    t.kv_chunk + 1,
+                    t.kv_chunk + 1,
+                    t.q_owner + 1
+                )
+            })
+            .collect();
+        rows.push(vec![
+            format!("Device {}", dev + 1),
+            own.join(" "),
+            remote.join(" "),
+            format!("{}", plan.load[dev]),
+        ]);
+    }
+    print_table(&["", "local tasks", "received tasks", "pairs"], &rows);
+    println!(
+        "\nbalance: max/min load = {:.3} (spread {} pairs ≤ one KV slice = {} pairs)",
+        plan.balance_ratio(),
+        plan.spread(),
+        (l as u128) * (l as u128)
+    );
+    println!("exchanged this round: {} slice-tensor units", plan.comm_slice_units());
+}

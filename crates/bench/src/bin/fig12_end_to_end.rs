@@ -1,0 +1,79 @@
+//! Figure 12: end-to-end MFU of DeepSpeed, Megatron-LM, and SlimPipe across
+//! four models, four context lengths, and three GPU counts — each system's
+//! configuration baked by grid search, with OOM (✗) and no-configuration
+//! (△) markers and SlimPipe-over-Megatron speedup annotations.
+//!
+//! This is the paper's headline experiment; expect a few minutes in
+//! release mode. Pass a model-name substring to run one panel, e.g.
+//! `-- 8x7B`.
+
+use slimpipe_bench::{ctx_label, print_table};
+use slimpipe_cluster::Cluster;
+use slimpipe_model::ModelConfig;
+use slimpipe_parallel::search::{best_config, SearchOptions, SearchOutcome};
+use slimpipe_parallel::SystemKind;
+
+fn cell(outcome: &SearchOutcome) -> String {
+    match outcome {
+        SearchOutcome::Found(e) => format!("{:.1}", e.mfu * 100.0),
+        SearchOutcome::Oom => "OOM✗".into(),
+        SearchOutcome::NoConfig => "NoCfg△".into(),
+    }
+}
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let cluster = Cluster::hopper_nvlink();
+    let tokens = 4u64 << 20; // fixed 4M tokens per iteration (§6.4)
+    let opts = SearchOptions::default();
+    let contexts: Vec<u64> = [64u64, 128, 256, 512].iter().map(|k| k * 1024).collect();
+
+    println!("Figure 12 — end-to-end MFU%, 4M tokens/iter, grid-searched configs\n");
+    for model in ModelConfig::evaluation_zoo() {
+        if !model.name.contains(&filter) {
+            continue;
+        }
+        for gpus in [128usize, 256, 512] {
+            println!("── {} on {} GPUs ──", model.name, gpus);
+            let mut rows = Vec::new();
+            let mut slim_best: Vec<Option<f64>> = Vec::new();
+            let mut mega_best: Vec<Option<f64>> = Vec::new();
+            for sys in [SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::SlimPipe] {
+                let mut row = vec![sys.name().to_string()];
+                for &seq in &contexts {
+                    let out = best_config(&model, sys, gpus, seq, tokens, &cluster, &opts);
+                    if sys == SystemKind::SlimPipe {
+                        slim_best.push(out.mfu());
+                    }
+                    if sys == SystemKind::MegatronLM {
+                        mega_best.push(out.mfu());
+                    }
+                    let mut c = cell(&out);
+                    if let SearchOutcome::Found(e) = &out {
+                        c.push_str(&format!(" [{}]", e.cfg.describe()));
+                    }
+                    row.push(c);
+                }
+                rows.push(row);
+            }
+            let headers: Vec<String> = std::iter::once("system".to_string())
+                .chain(contexts.iter().map(|&s| ctx_label(s)))
+                .collect();
+            let h: Vec<&str> = headers.iter().map(|x| x.as_str()).collect();
+            print_table(&h, &rows);
+            // Speedup annotations (the numbers above the paper's bars).
+            let speedups: Vec<String> = contexts
+                .iter()
+                .enumerate()
+                .map(|(i, &seq)| match (slim_best.get(i), mega_best.get(i)) {
+                    (Some(Some(s)), Some(Some(m))) => {
+                        format!("{}: {:.2}x", ctx_label(seq), s / m)
+                    }
+                    (Some(Some(_)), _) => format!("{}: vs OOM/NoCfg", ctx_label(seq)),
+                    _ => format!("{}: -", ctx_label(seq)),
+                })
+                .collect();
+            println!("SlimPipe / Megatron-LM: {}\n", speedups.join("  "));
+        }
+    }
+}

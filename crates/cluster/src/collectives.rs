@@ -1,0 +1,91 @@
+//! α–β cost models for the collectives the systems issue.
+//!
+//! Ring algorithms (NCCL's default at these sizes): an all-reduce moves
+//! `2(k-1)/k` of the buffer through the slowest link, reduce-scatter and
+//! all-gather move `(k-1)/k`, an all-to-all exchanges `(k-1)/k` pairwise.
+//! `bytes` is always the *full* (unsharded) buffer size at one rank.
+
+use crate::link::Link;
+
+/// Ring all-reduce over `k` ranks.
+pub fn all_reduce(bytes: f64, k: usize, link: Link) -> f64 {
+    if k <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    2.0 * (kf - 1.0) / kf * bytes / link.bandwidth + 2.0 * (kf - 1.0) * link.latency
+}
+
+/// Ring reduce-scatter over `k` ranks.
+pub fn reduce_scatter(bytes: f64, k: usize, link: Link) -> f64 {
+    if k <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    (kf - 1.0) / kf * bytes / link.bandwidth + (kf - 1.0) * link.latency
+}
+
+/// Ring all-gather over `k` ranks (same cost shape as reduce-scatter).
+pub fn all_gather(bytes: f64, k: usize, link: Link) -> f64 {
+    reduce_scatter(bytes, k, link)
+}
+
+/// Pairwise all-to-all over `k` ranks.
+pub fn all_to_all(bytes: f64, k: usize, link: Link) -> f64 {
+    if k <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    (kf - 1.0) / kf * bytes / link.bandwidth + (kf - 1.0) * link.latency
+}
+
+/// Binary-tree broadcast of `bytes` to `k` ranks.
+pub fn broadcast(bytes: f64, k: usize, link: Link) -> f64 {
+    if k <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    bytes / link.bandwidth + (k as f64).log2().ceil() * link.latency
+}
+
+/// Point-to-point send.
+pub fn p2p(bytes: f64, link: Link) -> f64 {
+    link.transfer(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_groups_cost_nothing() {
+        let l = Link::nvlink();
+        assert_eq!(all_reduce(1e9, 1, l), 0.0);
+        assert_eq!(all_gather(0.0, 8, l), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_is_twice_reduce_scatter_bandwidth() {
+        let l = Link::nvlink();
+        let ar = all_reduce(1e9, 8, l);
+        let rs = reduce_scatter(1e9, 8, l);
+        assert!((ar / rs - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bigger_groups_approach_bandwidth_bound() {
+        let l = Link::nic_400gbps();
+        let t8 = all_reduce(1e9, 8, l);
+        let t64 = all_reduce(1e9, 64, l);
+        // (k-1)/k factor grows toward 1, so time grows, but stays within
+        // ~20 % (latency terms included).
+        assert!(t64 > t8);
+        assert!(t64 / t8 < 1.20);
+    }
+
+    #[test]
+    fn nvlink_collectives_are_much_cheaper() {
+        let ar_nv = all_reduce(1e9, 8, Link::nvlink());
+        let ar_nic = all_reduce(1e9, 8, Link::nic_400gbps());
+        assert!(ar_nic / ar_nv > 7.0);
+    }
+}

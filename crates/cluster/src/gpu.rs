@@ -1,0 +1,51 @@
+//! Per-GPU hardware specification.
+
+/// One accelerator. Defaults model the paper's "NVIDIA Hopper 80GB" parts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuSpec {
+    /// Dense bf16 peak, FLOP/s.
+    pub peak_flops: f64,
+    /// Device memory, bytes.
+    pub mem_bytes: f64,
+    /// Host link (PCIe) bandwidth for activation offload, bytes/s each way.
+    pub pcie_bw: f64,
+    /// Memory the framework itself occupies (CUDA context, NCCL buffers,
+    /// fragmentation headroom) — unusable for states/activations.
+    pub reserved_bytes: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Hopper 80 GB (H100 SXM class): 989 TFLOP/s dense bf16.
+    pub fn hopper_80gb() -> Self {
+        Self {
+            peak_flops: 989e12,
+            mem_bytes: 80.0 * 1024.0 * 1024.0 * 1024.0,
+            pcie_bw: 50e9,
+            reserved_bytes: 4.0 * 1024.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// Memory actually available to model states + activations.
+    pub fn usable_bytes(&self) -> f64 {
+        self.mem_bytes - self.reserved_bytes
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::hopper_80gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hopper_defaults_match_paper() {
+        let g = GpuSpec::hopper_80gb();
+        assert_eq!(g.peak_flops, 989e12);
+        assert_eq!(g.mem_bytes, 80.0 * (1u64 << 30) as f64);
+        assert!(g.usable_bytes() < g.mem_bytes);
+    }
+}

@@ -1,0 +1,24 @@
+//! Hardware model of the paper's evaluation cluster (§6.1):
+//!
+//! * nodes with 8 NVIDIA Hopper 80 GB GPUs, NVLink-interconnected at
+//!   400 GB/s per GPU,
+//! * one 400 Gbps NIC per GPU for inter-node communication,
+//! * bf16 peak of 989 TFLOP/s per GPU.
+//!
+//! On top of the raw topology this crate provides the two ingredients the
+//! discrete-event simulator needs to turn FLOPs and bytes into seconds:
+//! kernel *efficiency curves* (arithmetic-intensity saturation, the
+//! forward/backward MFU disparity the paper calls out for ZB-V, and
+//! per-kernel launch overhead) and *collective cost models* (α–β ring
+//! estimates for the NCCL collectives Megatron/DeepSpeed issue).
+
+pub mod collectives;
+pub mod efficiency;
+pub mod gpu;
+pub mod link;
+pub mod topology;
+
+pub use efficiency::{Efficiency, OpClass, Phase};
+pub use gpu::GpuSpec;
+pub use link::Link;
+pub use topology::Cluster;

@@ -1,0 +1,48 @@
+//! Point-to-point link model: latency + bandwidth (α–β).
+
+/// A communication link between two endpoints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Sustained bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-message latency, seconds.
+    pub latency: f64,
+}
+
+impl Link {
+    /// NVLink within a node: 400 GB/s per GPU (§6.1).
+    pub fn nvlink() -> Self {
+        Self { bandwidth: 400e9, latency: 3e-6 }
+    }
+
+    /// 400 Gbps NIC between nodes (§6.1) = 50 GB/s.
+    pub fn nic_400gbps() -> Self {
+        Self { bandwidth: 50e9, latency: 10e-6 }
+    }
+
+    /// Time to move `bytes` in one message.
+    pub fn transfer(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_is_alpha_beta() {
+        let l = Link::nic_400gbps();
+        assert_eq!(l.transfer(0.0), 0.0);
+        let t = l.transfer(50e9);
+        assert!((t - (1.0 + 10e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvlink_is_8x_nic() {
+        assert_eq!(Link::nvlink().bandwidth / Link::nic_400gbps().bandwidth, 8.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Cluster topology: nodes of NVLink-connected GPUs joined by NICs.
+//!
+//! §6.1: "Unless otherwise stated, TP, CP and EP should be deployed within a
+//! node, while PP and DP could be deployed across nodes." The topology
+//! answers one question for the cost models: for a group of `k` ranks, is
+//! the group intra-node (NVLink) or does it cross nodes (NIC)?
+
+use crate::gpu::GpuSpec;
+use crate::link::Link;
+
+/// A homogeneous GPU cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct Cluster {
+    pub gpu: GpuSpec,
+    pub gpus_per_node: usize,
+    pub nvlink: Link,
+    pub nic: Link,
+}
+
+impl Cluster {
+    /// The paper's evaluation cluster.
+    pub fn hopper_nvlink() -> Self {
+        Self {
+            gpu: GpuSpec::hopper_80gb(),
+            gpus_per_node: 8,
+            nvlink: Link::nvlink(),
+            nic: Link::nic_400gbps(),
+        }
+    }
+
+    /// Link used by a collective over `group` ranks that occupy
+    /// `gpus_spanned` consecutive GPUs (group × its inner strides).
+    /// If the span fits in one node, NVLink; otherwise NIC.
+    pub fn link_for_span(&self, gpus_spanned: usize) -> Link {
+        if gpus_spanned <= self.gpus_per_node {
+            self.nvlink
+        } else {
+            self.nic
+        }
+    }
+
+    /// Link for adjacent pipeline stages. With `gpus_per_stage` GPUs per
+    /// stage (t·c·… ranks), neighbouring stages share a node only when two
+    /// stages fit in one node.
+    pub fn pipeline_link(&self, gpus_per_stage: usize) -> Link {
+        if 2 * gpus_per_stage <= self.gpus_per_node {
+            self.nvlink
+        } else {
+            self.nic
+        }
+    }
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Self::hopper_nvlink()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tp8_stays_on_nvlink() {
+        let c = Cluster::hopper_nvlink();
+        assert_eq!(c.link_for_span(8), c.nvlink);
+        assert_eq!(c.link_for_span(16), c.nic);
+    }
+
+    #[test]
+    fn pipeline_crosses_nodes_at_tp8() {
+        let c = Cluster::hopper_nvlink();
+        // 8 GPUs per stage → neighbouring stages live on different nodes.
+        assert_eq!(c.pipeline_link(8), c.nic);
+        // 4 GPUs per stage → two stages share a node.
+        assert_eq!(c.pipeline_link(4), c.nvlink);
+    }
+}

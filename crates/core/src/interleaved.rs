@@ -1,0 +1,179 @@
+//! SlimPipe in its interleaving form (§4.1.2, Figure 5).
+//!
+//! Each device hosts `v` model chunks. Forward units walk
+//! `(microbatch asc, slice-group asc, chunk asc, slice-within-group asc)`
+//! where a slice-group is `p` consecutive slices; backward units walk the
+//! exact mirror `(mb asc, group desc, chunk desc, slice desc)` — both read
+//! directly off Figure 5's device rows. Rank `r` warms up with
+//! `v·n + 2(p-1-r)` forward units, then alternates backward/forward.
+//!
+//! Accumulation on rank 0: `v·n + 2(p-1)` units of `M_a/(p·v·n)` each —
+//! Table 2's `1/p + 2(p-1)/(n·v·p)`.
+
+use slimpipe_sched::{Schedule, ScheduleError, WorkItem};
+
+/// Build the interleaved SlimPipe schedule: `p` devices, `v` chunks per
+/// device, `m` microbatches, `n` slices per microbatch (`p | n`).
+pub fn generate(p: usize, v: usize, m: usize, n: usize) -> Result<Schedule, ScheduleError> {
+    if p == 0 || v == 0 || m == 0 || n == 0 {
+        return Err(ScheduleError::Infeasible("p, v, m, n must be positive".into()));
+    }
+    if n % p != 0 {
+        return Err(ScheduleError::Infeasible(format!(
+            "SlimPipe requires the slice count ({n}) to be a multiple of the \
+             pipeline size ({p})"
+        )));
+    }
+    if v == 1 {
+        let mut s = crate::schedule::generate(p, m, n)?;
+        s.name = "SlimPipe (v=1)".into();
+        return Ok(s);
+    }
+    let groups = n / p;
+    let per_mb = n * v;
+    let total = m * per_mb;
+    // Forward unit k -> WorkItem.
+    let f_unit = |k: usize| -> WorkItem {
+        let mb = k / per_mb;
+        let rem = k % per_mb;
+        let group = rem / (p * v);
+        let within = rem % (p * v);
+        let chunk = within / p;
+        let slice = group * p + within % p;
+        WorkItem::f(mb as u32, slice as u32, chunk as u32)
+    };
+    // Backward unit k -> mirrored walk.
+    let b_unit = |k: usize| -> WorkItem {
+        let mb = k / per_mb;
+        let rem = k % per_mb;
+        let group = groups - 1 - rem / (p * v);
+        let within = rem % (p * v);
+        let chunk = v - 1 - within / p;
+        let slice = group * p + (p - 1 - within % p);
+        WorkItem::b(mb as u32, slice as u32, chunk as u32)
+    };
+    let mut ops = Vec::with_capacity(p);
+    for r in 0..p {
+        let warmup = (v * n + 2 * (p - 1 - r)).min(total);
+        let mut dev = Vec::with_capacity(2 * total);
+        let mut f = 0usize;
+        let mut b = 0usize;
+        for _ in 0..warmup {
+            dev.push(f_unit(f));
+            f += 1;
+        }
+        while f < total {
+            dev.push(b_unit(b));
+            b += 1;
+            dev.push(f_unit(f));
+            f += 1;
+        }
+        while b < total {
+            dev.push(b_unit(b));
+            b += 1;
+        }
+        ops.push(dev);
+    }
+    Ok(Schedule {
+        name: "SlimPipe interleaved".into(),
+        devices: p,
+        chunks: v,
+        microbatches: m,
+        slices: n,
+        split_backward: false,
+        stage_map: Schedule::contiguous_stage_map(p, v),
+        ops,
+    })
+}
+
+/// Peak accumulated slice-chunk units on rank `r` (Figure 5's geometry).
+pub fn warmup_units(p: usize, v: usize, m: usize, n: usize, r: usize) -> usize {
+    (v * n + 2 * (p - 1 - r)).min(m * n * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimpipe_sched::{validate, PassKind};
+
+    #[test]
+    fn validates_for_a_grid_of_sizes() {
+        for p in [2usize, 4] {
+            for v in [2usize, 3] {
+                for m in [1usize, 2, 3] {
+                    for mult in [1usize, 2] {
+                        let n = p * mult;
+                        let s = generate(p, v, m, n).unwrap();
+                        validate(&s)
+                            .unwrap_or_else(|e| panic!("p={p} v={v} m={m} n={n}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_geometry() {
+        // p=4, v=2, m=2, n=8: warmups 22 (rank 0) down to 16 (rank 3).
+        let s = generate(4, 2, 2, 8).unwrap();
+        let first_b = |d: usize| {
+            s.ops[d].iter().position(|o| o.kind == PassKind::Backward).unwrap()
+        };
+        assert_eq!(first_b(0), 22);
+        assert_eq!(first_b(3), 16);
+        // Rank 3's first backward is slice 8 (index 7) of chunk 1 — the
+        // "[8̄ 1]" cell of Figure 5's bottom row.
+        let op = s.ops[3][16];
+        assert_eq!(op, WorkItem::b(0, 7, 1));
+    }
+
+    #[test]
+    fn forward_walk_matches_figure5_row() {
+        // Device rows of Figure 5 read: slices 1-4 chunk0, 1-4 chunk1,
+        // 5-8 chunk0, 5-8 chunk1, then microbatch 2.
+        let s = generate(4, 2, 2, 8).unwrap();
+        let fwd: Vec<(u32, u32, u32)> = s.ops[0]
+            .iter()
+            .filter(|o| o.kind == PassKind::Forward)
+            .map(|o| (o.mb, o.slice, o.chunk))
+            .collect();
+        let expect_head = [
+            (0, 0, 0), (0, 1, 0), (0, 2, 0), (0, 3, 0),
+            (0, 0, 1), (0, 1, 1), (0, 2, 1), (0, 3, 1),
+            (0, 4, 0), (0, 5, 0), (0, 6, 0), (0, 7, 0),
+            (0, 4, 1), (0, 5, 1), (0, 6, 1), (0, 7, 1),
+            (1, 0, 0),
+        ];
+        assert_eq!(&fwd[..expect_head.len()], &expect_head);
+    }
+
+    #[test]
+    fn accumulation_matches_table2() {
+        for (p, v, m, n) in [(4usize, 2usize, 2usize, 8usize), (2, 3, 2, 4)] {
+            let s = generate(p, v, m, n).unwrap();
+            for r in 0..p {
+                let mut inflight = 0i64;
+                let mut peak = 0i64;
+                for op in &s.ops[r] {
+                    match op.kind {
+                        PassKind::Forward => inflight += 1,
+                        PassKind::Backward => inflight -= 1,
+                        _ => {}
+                    }
+                    peak = peak.max(inflight);
+                }
+                assert_eq!(peak as usize, warmup_units(p, v, m, n, r));
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_cuts_relative_overhead() {
+        // Table 2: relative activation = 1/p + 2(p-1)/(nvp); the overhead
+        // term shrinks by v.
+        let (p, n, m) = (4usize, 8usize, 2usize);
+        let v1 = warmup_units(p, 1, m, n, 0) as f64 / (1.0 * n as f64); // / (v·n) units per Ma/p
+        let v2 = warmup_units(p, 2, m, n, 0) as f64 / (2.0 * n as f64);
+        assert!(v2 < v1);
+    }
+}

@@ -1,0 +1,34 @@
+//! SlimPipe — the paper's contribution (§4).
+//!
+//! Fine-grained pipeline parallelism with **uniform sequence slicing**
+//! coupled to a 1F1B schedule:
+//!
+//! * [`slicing`] — uniform (and, for ablation, pair-balanced non-uniform)
+//!   sequence slicing with exact causal-pair workload accounting (§4.1.1);
+//! * [`schedule`] — the slice-wise 1F1B schedule of Figure 4: LIFO backward
+//!   within each microbatch, KV chunks released as their backward completes,
+//!   and `2(p-1-rank)` extra warm-up forwards to align forward and backward
+//!   passes (§4.1.2);
+//! * [`interleaved`] — the interleaving form of Figure 5 (`v` stages per
+//!   device), shrinking both accumulation and warm-up bubbles by `v`;
+//! * [`exchange`] — attention context exchange (§4.2): per-round workload
+//!   rebalancing that moves `(Q, KV-chunk)` attention tasks from heavy to
+//!   light devices, with Eq. 2's communication-volume accounting and the
+//!   early-KV-exchange overlap rule (§5);
+//! * [`vocab_parallel`] — vocabulary parallelism (§4.3): the output-layer
+//!   GEMM and cross-entropy distributed column-wise over pipeline devices;
+//! * [`theory`] — the closed forms of Eq. 1, Table 2, and Figure 6;
+//! * [`memory`] — schedule-walk activation accounting shared by every
+//!   scheme (the ground truth the theory is tested against).
+
+pub mod exchange;
+pub mod interleaved;
+pub mod memory;
+pub mod schedule;
+pub mod slicing;
+pub mod theory;
+pub mod vocab_parallel;
+
+pub use exchange::{plan_round, ExchangePlan};
+pub use slicing::Slicing;
+pub use theory::Scheme;

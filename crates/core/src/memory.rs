@@ -1,0 +1,167 @@
+//! Schedule-walk activation accounting — the ground truth behind Table 2.
+//!
+//! Instead of trusting closed forms, this module walks any schedule's op
+//! list and tracks in-flight work units per device (forward allocates, the
+//! *releasing* backward kind frees). A unit is one `(microbatch-slice,
+//! chunk)` pass, so converting to bytes only needs the per-unit activation
+//! size. The theory module's formulas are tested against these walks.
+
+use slimpipe_sched::{PassKind, Schedule};
+
+/// Peak in-flight work units on `device`. For split-backward schemes the
+/// stash is released by `BackwardWeight` (the weight gradient still needs
+/// the stashed inputs); otherwise by `Backward`.
+pub fn peak_units(sched: &Schedule, device: usize) -> usize {
+    let release = if sched.split_backward {
+        PassKind::BackwardWeight
+    } else {
+        PassKind::Backward
+    };
+    let mut inflight = 0i64;
+    let mut peak = 0i64;
+    for op in &sched.ops[device] {
+        if op.kind == PassKind::Forward {
+            inflight += 1;
+        } else if op.kind == release {
+            inflight -= 1;
+        }
+        peak = peak.max(inflight);
+    }
+    peak as usize
+}
+
+/// Worst peak across devices.
+pub fn worst_peak_units(sched: &Schedule) -> usize {
+    (0..sched.devices).map(|d| peak_units(sched, d)).max().unwrap_or(0)
+}
+
+/// Peak in-flight units restricted to the chunk hosting the *last* global
+/// stage on `device` (0 if the device does not host it). This is what
+/// sizes the fp32 logits stash when the output layer is not
+/// vocabulary-parallel.
+pub fn peak_last_stage_units(sched: &Schedule, device: usize) -> usize {
+    let last = sched.num_stages() - 1;
+    let Some(chunk) = (0..sched.chunks).find(|&c| sched.stage_of(device, c) == last)
+    else {
+        return 0;
+    };
+    let release = if sched.split_backward {
+        PassKind::BackwardWeight
+    } else {
+        PassKind::Backward
+    };
+    let mut inflight = 0i64;
+    let mut peak = 0i64;
+    for op in &sched.ops[device] {
+        if op.chunk as usize != chunk {
+            continue;
+        }
+        if op.kind == PassKind::Forward {
+            inflight += 1;
+        } else if op.kind == release {
+            inflight -= 1;
+        }
+        peak = peak.max(inflight);
+    }
+    peak as usize
+}
+
+/// Convert a device's peak units to bytes. `m_a` is the activation bytes of
+/// one full microbatch through the whole model (per TP rank); the unit size
+/// is `m_a / (p · v · n)`.
+pub fn peak_bytes(sched: &Schedule, device: usize, m_a: f64) -> f64 {
+    let unit = m_a / (sched.devices * sched.chunks * sched.slices) as f64;
+    peak_units(sched, device) as f64 * unit
+}
+
+/// Relative activation memory (units of `M_a`) of the worst device — the
+/// measured counterpart of `theory::act_memory_rel`.
+pub fn measured_act_rel(sched: &Schedule) -> f64 {
+    worst_peak_units(sched) as f64
+        / (sched.devices * sched.chunks * sched.slices) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::{act_memory_rel, Scheme};
+
+    #[test]
+    fn walks_match_table2_for_every_scheme() {
+        let (p, m) = (4usize, 8usize);
+        let cases: Vec<(Schedule, Scheme, usize, usize)> = vec![
+            (slimpipe_sched::gpipe::generate(p, m).unwrap(), Scheme::GPipe, 1, 1),
+            (slimpipe_sched::onefoneb::generate(p, m).unwrap(), Scheme::OneFOneB, 1, 1),
+            (
+                slimpipe_sched::interleaved::generate(p, 2, m).unwrap(),
+                Scheme::Interleaved,
+                1,
+                2,
+            ),
+            (
+                slimpipe_sched::terapipe::generate(p, m, 8).unwrap(),
+                Scheme::TeraPipe,
+                8,
+                1,
+            ),
+            (crate::schedule::generate(p, m, 8).unwrap(), Scheme::SlimPipe, 8, 1),
+            (
+                crate::interleaved::generate(p, 2, m, 8).unwrap(),
+                Scheme::SlimPipe,
+                8,
+                2,
+            ),
+        ];
+        for (sched, scheme, n, v) in cases {
+            let measured = measured_act_rel(&sched);
+            let theory = act_memory_rel(scheme, p, m, n, v);
+            assert!(
+                (measured - theory).abs() < 1e-9,
+                "{}: measured {measured}, theory {theory}",
+                sched.name
+            );
+        }
+    }
+
+    #[test]
+    fn zbv_walk_is_at_most_1f1b_level() {
+        let (p, m) = (4usize, 8usize);
+        let zbv =
+            slimpipe_sched::zbv::generate_zbv(p, m, slimpipe_sched::zbv::ZbCosts::default())
+                .unwrap();
+        assert!(measured_act_rel(&zbv) <= 1.0 + 1e-9);
+        let vhalf = slimpipe_sched::zbv::generate_vhalf(
+            p,
+            m,
+            slimpipe_sched::zbv::ZbCosts::default(),
+        )
+        .unwrap();
+        assert!(measured_act_rel(&vhalf) <= 0.5 + 1.0 / p as f64 + 1e-9);
+    }
+
+    #[test]
+    fn last_stage_units_sit_on_last_device_for_classic_pp() {
+        let s = slimpipe_sched::onefoneb::generate(4, 8).unwrap();
+        assert_eq!(peak_last_stage_units(&s, 0), 0);
+        assert!(peak_last_stage_units(&s, 3) > 0);
+    }
+
+    #[test]
+    fn slimpipe_first_device_peak_exceeds_last() {
+        // §6.2: "The memory usage of the first device is slightly higher
+        // than that of the last device. The gap is 2(p−1)·M_a/(n·v·p)."
+        let (p, m, n) = (4usize, 4usize, 8usize);
+        let s = crate::schedule::generate(p, m, n).unwrap();
+        let first = peak_units(&s, 0);
+        let last = peak_units(&s, p - 1);
+        assert_eq!(first - last, 2 * (p - 1));
+    }
+
+    #[test]
+    fn peak_bytes_scales_with_ma() {
+        let s = crate::schedule::generate(4, 2, 8).unwrap();
+        let b1 = peak_bytes(&s, 0, 32.0);
+        let b2 = peak_bytes(&s, 0, 64.0);
+        assert!((b2 / b1 - 2.0).abs() < 1e-12);
+    }
+}

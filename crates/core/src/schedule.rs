@@ -1,0 +1,176 @@
+//! The SlimPipe slice-wise 1F1B schedule (§4.1.2, Figure 4).
+//!
+//! Construction rules, read directly off the paper's Figure 4:
+//!
+//! * Forward units run `(microbatch asc, slice asc)` — slices append to the
+//!   KV cache in order.
+//! * Backward units run `(microbatch asc, slice DESC)` — the last-in
+//!   first-out order that lets each backward release its slice's KV chunk
+//!   immediately, keeping steady-state memory flat.
+//! * Rank `r` warms up with `n + 2(p-1-r)` forwards ("we put more forward
+//!   passes ahead to align forward and backward passes separately" — the
+//!   factor 2 accounts for backward ≈ 2× forward), then strictly
+//!   alternates backward/forward, then drains backwards.
+//!
+//! The resulting accumulation on rank 0 is `n + 2(p-1)` slices of
+//! `M_a/(p·n)` each — Eq. 1's `(1+δ)·M_a/p` with `δ = 2(p-1)/n`.
+
+use slimpipe_sched::{Schedule, ScheduleError, WorkItem};
+
+/// Build the plain (non-interleaved) SlimPipe schedule: `p` devices,
+/// `m` microbatches, `n` slices per microbatch.
+pub fn generate(p: usize, m: usize, n: usize) -> Result<Schedule, ScheduleError> {
+    if p == 0 || m == 0 || n == 0 {
+        return Err(ScheduleError::Infeasible("p, m, n must be positive".into()));
+    }
+    if n % p != 0 {
+        return Err(ScheduleError::Infeasible(format!(
+            "SlimPipe requires the slice count ({n}) to be a multiple of the \
+             pipeline size ({p})"
+        )));
+    }
+    let total = m * n;
+    let f_unit = |k: usize| -> WorkItem {
+        WorkItem::f((k / n) as u32, (k % n) as u32, 0)
+    };
+    let b_unit = |k: usize| -> WorkItem {
+        WorkItem::b((k / n) as u32, (n - 1 - k % n) as u32, 0)
+    };
+    let mut ops = Vec::with_capacity(p);
+    for r in 0..p {
+        let warmup = (n + 2 * (p - 1 - r)).min(total);
+        let mut dev = Vec::with_capacity(2 * total);
+        let mut f = 0usize;
+        let mut b = 0usize;
+        for _ in 0..warmup {
+            dev.push(f_unit(f));
+            f += 1;
+        }
+        while f < total {
+            dev.push(b_unit(b));
+            b += 1;
+            dev.push(f_unit(f));
+            f += 1;
+        }
+        while b < total {
+            dev.push(b_unit(b));
+            b += 1;
+        }
+        ops.push(dev);
+    }
+    Ok(Schedule {
+        name: "SlimPipe".into(),
+        devices: p,
+        chunks: 1,
+        microbatches: m,
+        slices: n,
+        split_backward: false,
+        stage_map: Schedule::contiguous_stage_map(p, 1),
+        ops,
+    })
+}
+
+/// Slices accumulated at the warm-up peak on rank `r` (Figure 4's
+/// annotation): `n + 2(p-1-r)`, capped by the total work.
+pub fn warmup_slices(p: usize, m: usize, n: usize, r: usize) -> usize {
+    (n + 2 * (p - 1 - r)).min(m * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimpipe_sched::{validate, PassKind};
+
+    #[test]
+    fn validates_for_a_grid_of_sizes() {
+        for p in [1usize, 2, 4, 8] {
+            for m in [1usize, 2, 4] {
+                for mult in [1usize, 2, 4] {
+                    let n = p * mult;
+                    let s = generate(p, m, n).unwrap();
+                    validate(&s).unwrap_or_else(|e| panic!("p={p} m={m} n={n}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_n_not_multiple_of_p() {
+        assert!(generate(4, 2, 6).is_err());
+        assert!(generate(4, 2, 8).is_ok());
+    }
+
+    #[test]
+    fn figure4_device_rows() {
+        // p=4, n=8: first backward lands after n + 2(p-1-r) forwards.
+        let s = generate(4, 3, 8).unwrap();
+        let first_b = |d: usize| {
+            s.ops[d].iter().position(|o| o.kind == PassKind::Backward).unwrap()
+        };
+        assert_eq!(first_b(0), 14);
+        assert_eq!(first_b(1), 12);
+        assert_eq!(first_b(2), 10);
+        assert_eq!(first_b(3), 8);
+        // Device 4 (last rank): after F1..F8 of mb0 the first backward is
+        // slice 8 of mb0 (LIFO), then F1 of mb1 — exactly Figure 4.
+        let last = &s.ops[3];
+        assert_eq!(last[8], WorkItem::b(0, 7, 0));
+        assert_eq!(last[9], WorkItem::f(1, 0, 0));
+        assert_eq!(last[10], WorkItem::b(0, 6, 0));
+    }
+
+    #[test]
+    fn backward_is_lifo_within_each_microbatch() {
+        let s = generate(2, 3, 4).unwrap();
+        for dev in &s.ops {
+            let mut last_seen: std::collections::HashMap<u32, u32> =
+                std::collections::HashMap::new();
+            for op in dev {
+                if op.kind == PassKind::Backward {
+                    if let Some(&prev) = last_seen.get(&op.mb) {
+                        assert_eq!(op.slice, prev - 1, "backward not LIFO");
+                    }
+                    last_seen.insert(op.mb, op.slice);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulation_matches_eq1() {
+        // Peak in-flight slices on rank r == n + 2(p-1-r) (Eq. 1's units).
+        for (p, m, n) in [(4usize, 3usize, 8usize), (8, 2, 16), (2, 4, 6)] {
+            let s = generate(p, m, n).unwrap();
+            for r in 0..p {
+                let mut inflight = 0i64;
+                let mut peak = 0i64;
+                for op in &s.ops[r] {
+                    match op.kind {
+                        PassKind::Forward => inflight += 1,
+                        PassKind::Backward => inflight -= 1,
+                        _ => {}
+                    }
+                    peak = peak.max(inflight);
+                }
+                assert_eq!(
+                    peak as usize,
+                    warmup_slices(p, m, n, r),
+                    "p={p} m={m} n={n} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slimpipe_beats_1f1b_memory_for_n_above_two_p_minus_one() {
+        // 1F1B accumulates p·n slice-equivalents (p microbatches); SlimPipe
+        // accumulates n + 2(p-1). SlimPipe wins whenever p > 1.
+        let (p, n) = (8usize, 32usize);
+        let slim = warmup_slices(p, 4, n, 0);
+        let classic = p * n / p * p; // p microbatches of n slices / ... = p·n
+        assert!(slim * p < classic * 2, "slim={slim} classic_units={classic}");
+        // Eq. 1 sanity: (1+δ)/p of classic 1F1B's M_a.
+        let delta = 2.0 * (p as f64 - 1.0) / n as f64;
+        assert_eq!(slim as f64, n as f64 * (1.0 + delta));
+    }
+}

@@ -1,0 +1,161 @@
+//! Sequence slicing (§4.1.1).
+//!
+//! SlimPipe splits every input sequence into `n` *equal-length* slices.
+//! The paper argues uniform slicing wins over non-uniform (TeraPipe-style)
+//! slicing because (1) accumulated memory is better constrained, (2) the
+//! fixed slice length composes with context parallelism, and (3) slices
+//! keep sufficient arithmetic intensity. The cost is unequal computation
+//! across slices under causal attention — quantified here in attended
+//! pairs and fixed by [`crate::exchange`].
+//!
+//! The pair-balanced variant is provided for the ablation benches.
+
+use slimpipe_model::flops::causal_pairs;
+
+/// A slicing of one sequence into contiguous slices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Slicing {
+    /// Sequence length in tokens.
+    pub seq: u64,
+    /// Slice boundaries: `bounds[i]..bounds[i+1]` is slice `i`;
+    /// `bounds.len() == n + 1`, `bounds[0] == 0`, `bounds[n] == seq`.
+    pub bounds: Vec<u64>,
+}
+
+impl Slicing {
+    /// Uniform slicing into `n` equal slices (requires `n | seq`).
+    pub fn uniform(seq: u64, n: usize) -> Self {
+        assert!(n > 0 && seq > 0, "need positive seq and n");
+        assert!(
+            seq % n as u64 == 0,
+            "uniform slicing requires n ({n}) to divide seq ({seq})"
+        );
+        let l = seq / n as u64;
+        Self { seq, bounds: (0..=n as u64).map(|i| i * l).collect() }
+    }
+
+    /// Pair-balanced (TeraPipe-style) slicing: boundaries chosen so each
+    /// slice attends approximately the same number of causal pairs, which
+    /// makes early slices long and late slices short.
+    pub fn pair_balanced(seq: u64, n: usize) -> Self {
+        assert!(n > 0 && seq > 0, "need positive seq and n");
+        assert!(n as u64 <= seq, "more slices than tokens");
+        // Cumulative pairs up to position x is x(x+1)/2 ≈ x²/2, so the
+        // boundary for an equal share i/n sits near seq·sqrt(i/n).
+        let mut bounds: Vec<u64> = (0..=n)
+            .map(|i| ((seq as f64) * ((i as f64) / n as f64).sqrt()).round() as u64)
+            .collect();
+        bounds[0] = 0;
+        bounds[n] = seq;
+        // Enforce strict monotonicity (at least one token per slice).
+        for i in 1..=n {
+            let min = bounds[i - 1] + 1;
+            let max = seq - (n - i) as u64;
+            bounds[i] = bounds[i].clamp(min, max);
+        }
+        Self { seq, bounds }
+    }
+
+    /// Number of slices.
+    pub fn n(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// `(start, length)` of slice `i`.
+    pub fn slice(&self, i: usize) -> (u64, u64) {
+        (self.bounds[i], self.bounds[i + 1] - self.bounds[i])
+    }
+
+    /// Length of slice `i`.
+    pub fn len(&self, i: usize) -> u64 {
+        self.bounds[i + 1] - self.bounds[i]
+    }
+
+    /// True when the slicing covers no tokens (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.seq == 0
+    }
+
+    /// Causal pairs attended by slice `i` (its attention workload).
+    pub fn pairs(&self, i: usize) -> u128 {
+        let (start, len) = self.slice(i);
+        causal_pairs(start, len)
+    }
+
+    /// Total pairs over all slices (= pairs of the unsliced sequence).
+    pub fn total_pairs(&self) -> u128 {
+        causal_pairs(0, self.seq)
+    }
+
+    /// Ratio of the heaviest to the lightest slice workload — the imbalance
+    /// context exchange must absorb (`(2n-1)`:1 for uniform slicing).
+    pub fn imbalance(&self) -> f64 {
+        let (mut min, mut max) = (u128::MAX, 0u128);
+        for i in 0..self.n() {
+            let p = self.pairs(i);
+            min = min.min(p);
+            max = max.max(p);
+        }
+        max as f64 / min as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_slices_have_equal_length() {
+        let s = Slicing::uniform(4096, 8);
+        for i in 0..8 {
+            assert_eq!(s.len(i), 512);
+        }
+        assert_eq!(s.n(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn uniform_requires_divisibility() {
+        let _ = Slicing::uniform(100, 3);
+    }
+
+    #[test]
+    fn pairs_partition_regardless_of_slicing() {
+        for s in [Slicing::uniform(1024, 4), Slicing::pair_balanced(1024, 4)] {
+            let total: u128 = (0..s.n()).map(|i| s.pairs(i)).sum();
+            assert_eq!(total, s.total_pairs());
+        }
+    }
+
+    #[test]
+    fn uniform_imbalance_is_2n_minus_1() {
+        // Slice 0 attends l(l+1)/2 pairs, slice n-1 attends (n-1)l² + l(l+1)/2:
+        // ratio → 2n-1 for large l.
+        let n = 8;
+        let s = Slicing::uniform(8 * 4096, n);
+        let ratio = s.imbalance();
+        assert!((ratio - (2.0 * n as f64 - 1.0)).abs() < 0.01, "ratio={ratio}");
+    }
+
+    #[test]
+    fn pair_balanced_is_much_flatter() {
+        let uniform = Slicing::uniform(16384, 8);
+        let balanced = Slicing::pair_balanced(16384, 8);
+        assert!(balanced.imbalance() < 1.4);
+        assert!(uniform.imbalance() > 10.0);
+        // ...but its slices are wildly unequal in *length* (the memory
+        // problem the paper's §4.1.1 points out).
+        let lens: Vec<u64> = (0..8).map(|i| balanced.len(i)).collect();
+        assert!(lens[0] > 4 * lens[7], "{lens:?}");
+    }
+
+    #[test]
+    fn pair_balanced_covers_sequence_exactly() {
+        for n in [2usize, 3, 7, 16] {
+            let s = Slicing::pair_balanced(10_000, n);
+            assert_eq!(s.bounds[0], 0);
+            assert_eq!(*s.bounds.last().unwrap(), 10_000);
+            assert!(s.bounds.windows(2).all(|w| w[0] < w[1]), "n={n}: {:?}", s.bounds);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Closed-form theory: Eq. 1, Table 2, and the Figure 6 curves.
+//!
+//! Activation memory is expressed relative to `M_a` — the total activation
+//! footprint of *one* microbatch through the *whole* model (so classic
+//! 1F1B's "constant activation memory" is exactly `1.0`, regardless of
+//! `p`). Bubble fractions follow Table 2's formulas; ZB-V and V-Half are
+//! intervals whose position depends on how far the workload departs from
+//! the `T_f = T_b = T_w` ideal — we expose the ends and an interpolation in
+//! the attention share of compute.
+
+/// The pipeline schemes of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    GPipe,
+    TeraPipe,
+    OneFOneB,
+    Interleaved,
+    ZbV,
+    VHalf,
+    SlimPipe,
+}
+
+impl Scheme {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::GPipe => "GPipe",
+            Scheme::TeraPipe => "TeraPipe",
+            Scheme::OneFOneB => "Default 1F1B",
+            Scheme::Interleaved => "Interleaved 1F1B",
+            Scheme::ZbV => "ZB-V",
+            Scheme::VHalf => "V-Half",
+            Scheme::SlimPipe => "SlimPipe",
+        }
+    }
+
+    /// All rows of Table 2, in the paper's order.
+    pub fn table2() -> [Scheme; 7] {
+        [
+            Scheme::GPipe,
+            Scheme::TeraPipe,
+            Scheme::OneFOneB,
+            Scheme::Interleaved,
+            Scheme::ZbV,
+            Scheme::VHalf,
+            Scheme::SlimPipe,
+        ]
+    }
+}
+
+/// Table 2 "Activation Memory" column: worst-device peak activation
+/// relative to `M_a` (one microbatch, whole model).
+pub fn act_memory_rel(scheme: Scheme, p: usize, m: usize, n: usize, v: usize) -> f64 {
+    let (pf, mf, nf, vf) = (p as f64, m as f64, n as f64, v as f64);
+    match scheme {
+        Scheme::GPipe | Scheme::TeraPipe => mf / pf,
+        Scheme::OneFOneB => (mf / pf).min(1.0),
+        Scheme::Interleaved => (1.0 + (pf - 1.0) / (vf * pf)).min(mf / pf),
+        Scheme::ZbV => 1.0,
+        Scheme::VHalf => 0.5 + 1.0 / pf,
+        Scheme::SlimPipe => 1.0 / pf + 2.0 * (pf - 1.0) / (nf * vf * pf),
+    }
+}
+
+/// Table 2 "Bubble Fraction" column (point estimates; for the interval
+/// schemes this is the *lower* end — the `T_f = T_b = T_w` ideal).
+pub fn bubble_fraction_ideal(scheme: Scheme, p: usize, m: usize, n: usize, v: usize) -> f64 {
+    let (pf, mf, nf, vf) = (p as f64, m as f64, n as f64, v as f64);
+    match scheme {
+        Scheme::GPipe => (pf - 1.0) / mf,
+        Scheme::TeraPipe => (pf - 1.0) / (nf * mf),
+        Scheme::OneFOneB => (pf - 1.0) / mf,
+        Scheme::Interleaved => (pf - 1.0) / (vf * mf),
+        Scheme::ZbV => 0.0,
+        Scheme::VHalf => pf / (2.0 * mf),
+        Scheme::SlimPipe => (pf - 1.0) / (nf * vf * mf),
+    }
+}
+
+/// Upper ends of the interval schemes (Table 2's daggered entries), which
+/// "increase with longer context length": ZB-V's `2(p−1)/(3m)` and
+/// V-Half's `1/3 + p/(2m)`. For non-interval schemes this equals the ideal.
+pub fn bubble_fraction_worst(scheme: Scheme, p: usize, m: usize, n: usize, v: usize) -> f64 {
+    let (pf, mf) = (p as f64, m as f64);
+    match scheme {
+        Scheme::ZbV => 2.0 * (pf - 1.0) / (3.0 * mf),
+        Scheme::VHalf => 1.0 / 3.0 + pf / (2.0 * mf),
+        _ => bubble_fraction_ideal(scheme, p, m, n, v),
+    }
+}
+
+/// Interpolated bubble fraction for the interval schemes, parameterised by
+/// the attention share of total compute `alpha ∈ [0, 1]` (the farther the
+/// workload departs from `T_f=T_b=T_w`, the closer to the worst end —
+/// attention has `T_b ≈ 2·T_f` and `T_w = 0`, §2.2).
+pub fn bubble_fraction_at(
+    scheme: Scheme,
+    p: usize,
+    m: usize,
+    n: usize,
+    v: usize,
+    alpha: f64,
+) -> f64 {
+    let lo = bubble_fraction_ideal(scheme, p, m, n, v);
+    let hi = bubble_fraction_worst(scheme, p, m, n, v);
+    lo + (hi - lo) * alpha.clamp(0.0, 1.0)
+}
+
+/// §4.1.3: with extremely long context (attention-dominated compute) the
+/// SlimPipe bubble fraction becomes `(p−1)p / ((n+1)·n·v·m)` — smaller than
+/// the generic bound because warm-up slices are the *cheap* early ones.
+pub fn slimpipe_bubble_attention_dominated(p: usize, m: usize, n: usize, v: usize) -> f64 {
+    let (pf, mf, nf, vf) = (p as f64, m as f64, n as f64, v as f64);
+    (pf - 1.0) * pf / ((nf + 1.0) * nf * vf * mf)
+}
+
+/// Eq. 1: accumulated activation relative to `M_a`:
+/// `M_acc = (1 + δ)·M_a/p`, `δ = 2(p−1)/n` (plain form, v = 1).
+pub fn eq1_accumulated(p: usize, n: usize) -> f64 {
+    let delta = 2.0 * (p as f64 - 1.0) / n as f64;
+    (1.0 + delta) / p as f64
+}
+
+/// Figure 6a: activation memory (relative to `M_a`) as a function of the
+/// slice count, for a given `p` (v = 1). `n = 0` encodes "no slicing"
+/// (default 1F1B) and returns 1.
+pub fn fig6a_curve(p: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    eq1_accumulated(p, n)
+}
+
+/// Figure 6b: warm-up bubble fraction vs slice count for given `m`
+/// (`p` fixed by the caller, v = 1). `n = 0` encodes "no slicing".
+pub fn fig6b_curve(p: usize, m: usize, n: usize) -> f64 {
+    if n == 0 {
+        return bubble_fraction_ideal(Scheme::OneFOneB, p, m, 1, 1);
+    }
+    bubble_fraction_ideal(Scheme::SlimPipe, p, m, n, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_memory_column_ordering() {
+        // With m ≥ p (so 1F1B reaches its full accumulation):
+        // SlimPipe < V-Half < 1F1B = ZB-V.
+        let (p, m, n) = (8, 8, 32);
+        let slim = act_memory_rel(Scheme::SlimPipe, p, m, n, 1);
+        let vhalf = act_memory_rel(Scheme::VHalf, p, m, n, 1);
+        let ofob = act_memory_rel(Scheme::OneFOneB, p, m, n, 1);
+        let zbv = act_memory_rel(Scheme::ZbV, p, m, n, 1);
+        assert!(slim < vhalf);
+        assert!(vhalf < ofob);
+        assert_eq!(ofob, zbv);
+        assert_eq!(ofob, 1.0, "classic PP activation is constant = M_a");
+    }
+
+    #[test]
+    fn slimpipe_memory_approaches_one_over_p() {
+        let p = 8;
+        let wide = act_memory_rel(Scheme::SlimPipe, p, 4, 64 * p, 1);
+        assert!((wide - 1.0 / p as f64).abs() < 0.01);
+        // And it decreases monotonically in n (Figure 6a).
+        let mut prev = f64::MAX;
+        for mult in 1..=6 {
+            let x = fig6a_curve(p, mult * p);
+            assert!(x < prev);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn eq1_matches_table2_row() {
+        for p in [2usize, 4, 8, 16] {
+            for n in [p, 2 * p, 4 * p] {
+                let eq1 = eq1_accumulated(p, n);
+                let t2 = act_memory_rel(Scheme::SlimPipe, p, 4, n, 1);
+                assert!((eq1 - t2).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn slimpipe_bubble_is_smallest() {
+        let (p, m, n, v) = (8, 4, 32, 1);
+        let slim = bubble_fraction_ideal(Scheme::SlimPipe, p, m, n, v);
+        for s in [Scheme::GPipe, Scheme::OneFOneB, Scheme::Interleaved, Scheme::VHalf] {
+            assert!(slim < bubble_fraction_ideal(s, p, m, n, v), "{s:?}");
+        }
+        // Only the ZB ideal (unreachable with attention) ties at zero.
+        assert!(slim > bubble_fraction_ideal(Scheme::ZbV, p, m, n, v));
+    }
+
+    #[test]
+    fn interval_schemes_degrade_with_attention_share() {
+        let (p, m) = (8, 4);
+        let zbv_ideal = bubble_fraction_at(Scheme::ZbV, p, m, 1, 1, 0.0);
+        let zbv_long = bubble_fraction_at(Scheme::ZbV, p, m, 1, 1, 0.9);
+        assert_eq!(zbv_ideal, 0.0);
+        assert!(zbv_long > 0.3);
+        // SlimPipe is attention-share independent (context exchange).
+        let s0 = bubble_fraction_at(Scheme::SlimPipe, p, m, 32, 1, 0.0);
+        let s9 = bubble_fraction_at(Scheme::SlimPipe, p, m, 32, 1, 0.9);
+        assert_eq!(s0, s9);
+    }
+
+    #[test]
+    fn attention_dominated_bound_is_tighter() {
+        // §4.1.3: the long-context bubble (p−1)p/((n+1)nvm) is below the
+        // generic (p−1)/(nvm) whenever p < n+1 — always true (n ≥ p).
+        for p in [2usize, 4, 8] {
+            for mult in [1usize, 2, 4] {
+                let n = p * mult;
+                let generic = bubble_fraction_ideal(Scheme::SlimPipe, p, 4, n, 1);
+                let tight = slimpipe_bubble_attention_dominated(p, 4, n, 1);
+                assert!(tight <= generic + 1e-12, "p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig6b_is_monotone_decreasing_in_n() {
+        let (p, _) = (4usize, ());
+        for m in [2usize, 4, 8] {
+            let mut prev = fig6b_curve(p, m, 0);
+            for mult in 1..=6 {
+                let x = fig6b_curve(p, m, mult * p);
+                assert!(x < prev, "m={m} mult={mult}");
+                prev = x;
+            }
+        }
+    }
+}

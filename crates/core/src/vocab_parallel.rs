@@ -1,0 +1,116 @@
+//! Vocabulary parallelism (§4.3).
+//!
+//! The output layer projects hidden states into a 128 000-wide vocabulary;
+//! assigning it to the last pipeline device creates both a compute bubble
+//! (Figure 9) and a huge fp32 logits stash (§3). SlimPipe parallelises the
+//! GEMM column-wise across all `p` pipeline devices: the hidden states are
+//! broadcast, every device computes its logits shard, and the cross-entropy
+//! is evaluated from sharded logits with only scalar statistics
+//! synchronised (see `slimpipe_tensor::crossentropy` for the executable
+//! math). This module provides the cost/memory model consumed by the
+//! simulator and planner.
+
+use slimpipe_model::{ModelConfig, FP32};
+
+/// Costs of one output-layer evaluation over `tokens` tokens.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VocabCost {
+    /// GEMM + cross-entropy FLOPs executed per participating device.
+    pub flops_per_device: f64,
+    /// Bytes broadcast to each participating device (hidden states).
+    pub broadcast_bytes: f64,
+    /// Bytes of scalar statistics synchronised per device (two passes of
+    /// 3 fp32 scalars per token).
+    pub stats_bytes: f64,
+    /// fp32 logits bytes resident per device until the unit's backward.
+    pub logits_bytes_per_device: f64,
+    /// Number of devices sharing the work.
+    pub shards: usize,
+}
+
+/// Cost model of the output layer.
+///
+/// * `vocab_parallel = false`: the classic placement — the last device does
+///   everything (`shards = tp` only).
+/// * `vocab_parallel = true`: SlimPipe's distribution over `p` pipeline
+///   devices on top of TP.
+pub fn output_layer_cost(
+    model: &ModelConfig,
+    tokens: u64,
+    tp: usize,
+    p: usize,
+    vocab_parallel: bool,
+) -> VocabCost {
+    let h = model.hidden as f64;
+    let total_flops = model.output_fwd_flops(tokens) / tp as f64;
+    if vocab_parallel {
+        VocabCost {
+            flops_per_device: total_flops / p as f64,
+            // Sequence-parallel hidden states are already sharded by tp;
+            // each of the other p-1 devices receives the full slice.
+            broadcast_bytes: tokens as f64 * h / tp as f64 * 2.0,
+            stats_bytes: tokens as f64 * 3.0 * FP32 * 2.0,
+            logits_bytes_per_device: model.logits_bytes(tokens, tp * p),
+            shards: p,
+        }
+    } else {
+        VocabCost {
+            flops_per_device: total_flops,
+            broadcast_bytes: 0.0,
+            stats_bytes: 0.0,
+            logits_bytes_per_device: model.logits_bytes(tokens, tp),
+            shards: 1,
+        }
+    }
+}
+
+/// The §4.3 argument in one number: ratio of synchronised bytes with and
+/// without sharded-loss statistics (gathering logits vs. syncing scalars).
+pub fn stats_vs_gather_ratio(model: &ModelConfig, tokens: u64, tp: usize, p: usize) -> f64 {
+    let gather = model.logits_bytes(tokens, tp * p) * (p as f64 - 1.0);
+    let stats = tokens as f64 * 3.0 * FP32 * 2.0;
+    stats / gather
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimpipe_model::GIB;
+
+    #[test]
+    fn vocab_parallel_divides_flops_and_logits_by_p() {
+        let m = ModelConfig::llama_13b();
+        let classic = output_layer_cost(&m, 262_144, 8, 4, false);
+        let vp = output_layer_cost(&m, 262_144, 8, 4, true);
+        assert!((classic.flops_per_device / vp.flops_per_device - 4.0).abs() < 1e-9);
+        assert!(
+            (classic.logits_bytes_per_device / vp.logits_bytes_per_device - 4.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn classic_logits_blow_up_at_long_context() {
+        // §3's 16 GiB example lands on the last device without §4.3.
+        let m = ModelConfig::llama_13b();
+        let classic = output_layer_cost(&m, 262_144, 8, 8, false);
+        assert!(classic.logits_bytes_per_device / GIB > 15.0);
+        let vp = output_layer_cost(&m, 262_144, 8, 8, true);
+        assert!(vp.logits_bytes_per_device / GIB < 2.0);
+    }
+
+    #[test]
+    fn scalar_stats_are_tiny_versus_gathering() {
+        let m = ModelConfig::llama_13b();
+        let ratio = stats_vs_gather_ratio(&m, 65_536, 8, 8);
+        assert!(ratio < 1e-2, "stats should be ≪ logits gather: {ratio}");
+    }
+
+    #[test]
+    fn broadcast_is_linear_in_tokens() {
+        let m = ModelConfig::llama_70b();
+        let a = output_layer_cost(&m, 1024, 8, 4, true);
+        let b = output_layer_cost(&m, 2048, 8, 4, true);
+        assert!((b.broadcast_bytes / a.broadcast_bytes - 2.0).abs() < 1e-12);
+    }
+}

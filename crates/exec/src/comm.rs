@@ -1,0 +1,496 @@
+//! Inter-device communication: per-device compute servers, the context
+//! exchange runtime, and cooperative vocabulary-parallel loss.
+//!
+//! Every pipeline device spawns one *compute server* thread. Servers are
+//! stateless with respect to the pipeline (they never wait on another
+//! device), which makes the request/reply pattern deadlock-free by
+//! construction: main device threads may block on a server's reply, but a
+//! server only ever computes. Two kinds of work arrive:
+//!
+//! * **attention jobs** — the §4.2 context exchange: a heavy device ships
+//!   `(Q, K-chunk, V-chunk)`; the light device's server computes the
+//!   partial attention (forward) or the chunk-local flash backward and
+//!   ships the result back;
+//! * **vocabulary jobs** — §4.3: each server owns one vocabulary shard of
+//!   the (tied) output projection; the last stage scatters the normed
+//!   hidden states and gathers per-shard scalar statistics (forward) or
+//!   partial `d_hidden` (backward), while `dW` accumulates shard-locally.
+
+use crate::model::ExecConfig;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use slimpipe_core::exchange::{plan_round, steady_round_slices};
+use slimpipe_tensor::attention::{
+    self, backward_chunk, d_rows, merge_partials, AttnPartial, HeadCfg,
+};
+use slimpipe_tensor::crossentropy::{combine_stats, shard_backward, shard_stats, ShardStats};
+use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use slimpipe_tensor::Tensor;
+use std::thread::JoinHandle;
+
+/// One device's vocabulary shard (weights + local gradient accumulator).
+pub struct VocabShard {
+    pub w: Tensor,
+    pub grad: Tensor,
+    /// First vocabulary column this shard owns.
+    pub offset: usize,
+}
+
+/// Work a compute server performs.
+pub enum ServerJob {
+    AttnFwd {
+        q: Tensor,
+        k: Tensor,
+        v: Tensor,
+        cfg: HeadCfg,
+        q_offset: usize,
+        kv_offset: usize,
+        reply: Sender<AttnPartial>,
+    },
+    AttnBwd {
+        q: Tensor,
+        k: Tensor,
+        v: Tensor,
+        d_o: Tensor,
+        lse: Vec<f32>,
+        d: Vec<f32>,
+        cfg: HeadCfg,
+        q_offset: usize,
+        kv_offset: usize,
+        reply: Sender<(Tensor, Tensor, Tensor)>,
+    },
+    VocabFwd {
+        normed: Tensor,
+        targets: Vec<u32>,
+        reply: Sender<ShardStats>,
+    },
+    VocabBwd {
+        normed: Tensor,
+        targets: Vec<u32>,
+        lse: Vec<f32>,
+        scale: f32,
+        reply: Sender<Tensor>,
+    },
+    /// Apply one SGD step to the vocabulary shard and clear its gradient
+    /// (issued once per iteration by the last stage).
+    SgdStep { lr: f32, reply: Sender<()> },
+    Stop,
+}
+
+/// Handle for submitting jobs to a device's server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    tx: Sender<ServerJob>,
+}
+
+impl ServerHandle {
+    pub fn submit(&self, job: ServerJob) {
+        self.tx.send(job).expect("server thread gone");
+    }
+}
+
+/// Spawn one device's compute server. Returns the shard (with accumulated
+/// gradients) when stopped.
+pub fn spawn_server(shard: Option<VocabShard>) -> (ServerHandle, JoinHandle<Option<VocabShard>>) {
+    let (tx, rx): (Sender<ServerJob>, Receiver<ServerJob>) = unbounded();
+    let handle = std::thread::spawn(move || {
+        let mut shard = shard;
+        while let Ok(job) = rx.recv() {
+            match job {
+                ServerJob::AttnFwd { q, k, v, cfg, q_offset, kv_offset, reply } => {
+                    let part = attention::partial(&q, &k, &v, cfg, q_offset, kv_offset);
+                    let _ = reply.send(part);
+                }
+                ServerJob::AttnBwd {
+                    q,
+                    k,
+                    v,
+                    d_o,
+                    lse,
+                    d,
+                    cfg,
+                    q_offset,
+                    kv_offset,
+                    reply,
+                } => {
+                    let out =
+                        backward_chunk(&q, &k, &v, &d_o, &lse, &d, cfg, q_offset, kv_offset);
+                    let _ = reply.send(out);
+                }
+                ServerJob::VocabFwd { normed, targets, reply } => {
+                    let s = shard.as_ref().expect("vocab job on shardless server");
+                    let logits = matmul(&normed, &s.w);
+                    let _ = reply.send(shard_stats(&logits, &targets, s.offset));
+                }
+                ServerJob::VocabBwd { normed, targets, lse, scale, reply } => {
+                    let s = shard.as_mut().expect("vocab job on shardless server");
+                    let logits = matmul(&normed, &s.w);
+                    let mut d_logits = shard_backward(&logits, &targets, s.offset, &lse);
+                    d_logits.scale(scale);
+                    s.grad.add_assign(&matmul_tn(&normed, &d_logits));
+                    let _ = reply.send(matmul_nt(&d_logits, &s.w));
+                }
+                ServerJob::SgdStep { lr, reply } => {
+                    if let Some(s) = shard.as_mut() {
+                        s.w.axpy(-lr, &s.grad);
+                        s.grad.scale(0.0);
+                    }
+                    let _ = reply.send(());
+                }
+                ServerJob::Stop => break,
+            }
+        }
+        shard
+    });
+    (ServerHandle { tx }, handle)
+}
+
+/// Static context-exchange assignment: for each `(owner, slice)`, which
+/// device executes each KV chunk. Derived once from the steady-state round
+/// structure (§4.2.1's staircase).
+#[derive(Clone, Debug)]
+pub struct ExchangeMap {
+    /// `executor[owner][slice][chunk]` = executing device.
+    executor: Vec<Vec<Vec<usize>>>,
+}
+
+impl ExchangeMap {
+    pub fn build(p: usize, n: usize, slice_len: u64) -> Self {
+        let mut executor = vec![vec![Vec::new(); n]; p];
+        for t in 0..n {
+            let slices = steady_round_slices(p, n, t);
+            let plan = plan_round(&slices, slice_len);
+            for task in &plan.tasks {
+                let owner = task.q_owner;
+                let j = slices[owner].unwrap() as usize;
+                let row = &mut executor[owner][j];
+                if row.len() <= task.kv_chunk as usize {
+                    row.resize(j + 1, owner);
+                }
+                row[task.kv_chunk as usize] = task.executor;
+            }
+        }
+        // Slices with zero moved chunks still need identity rows.
+        for (owner, rows) in executor.iter_mut().enumerate() {
+            for (j, row) in rows.iter_mut().enumerate() {
+                if row.len() < j + 1 {
+                    row.resize(j + 1, owner);
+                }
+            }
+        }
+        Self { executor }
+    }
+
+    /// Executing device for `(owner, slice, chunk)`.
+    pub fn executor_of(&self, owner: usize, slice: usize, chunk: usize) -> usize {
+        self.executor[owner][slice][chunk]
+    }
+
+    /// Chunks of `(owner, slice)` executed remotely.
+    pub fn remote_chunks(&self, owner: usize, slice: usize) -> Vec<(usize, usize)> {
+        self.executor[owner][slice]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e != owner)
+            .map(|(c, &e)| (c, e))
+            .collect()
+    }
+}
+
+/// Runtime attention executor with context exchange: local chunks run
+/// in-thread, remote chunks ship to peer servers, partials merge by online
+/// softmax.
+pub struct ExchangeRt<'a> {
+    pub device: usize,
+    pub servers: &'a [ServerHandle],
+    pub map: &'a ExchangeMap,
+}
+
+impl crate::layer::AttnExecutor for ExchangeRt<'_> {
+    fn attn_forward(
+        &mut self,
+        q: &Tensor,
+        chunks: &[(&Tensor, &Tensor)],
+        offsets: &[usize],
+        cfg: HeadCfg,
+        q_offset: usize,
+    ) -> AttnPartial {
+        let slice = chunks.len() - 1;
+        // Dispatch remote chunks first (early exchange), then compute local.
+        let (rtx, rrx) = unbounded();
+        let mut remote = 0usize;
+        let mut local: Vec<usize> = Vec::new();
+        for c in 0..chunks.len() {
+            let exec = self.map.executor_of(self.device, slice, c);
+            if exec != self.device {
+                self.servers[exec].submit(ServerJob::AttnFwd {
+                    q: q.clone(),
+                    k: chunks[c].0.clone(),
+                    v: chunks[c].1.clone(),
+                    cfg,
+                    q_offset,
+                    kv_offset: offsets[c],
+                    reply: rtx.clone(),
+                });
+                remote += 1;
+            } else {
+                local.push(c);
+            }
+        }
+        let mut acc: Option<AttnPartial> = None;
+        for c in local {
+            let p =
+                attention::partial(q, chunks[c].0, chunks[c].1, cfg, q_offset, offsets[c]);
+            acc = Some(match acc {
+                None => p,
+                Some(prev) => merge_partials(&prev, &p, cfg),
+            });
+        }
+        for _ in 0..remote {
+            let p = rrx.recv().expect("exchange server died");
+            acc = Some(match acc {
+                None => p,
+                Some(prev) => merge_partials(&prev, &p, cfg),
+            });
+        }
+        acc.expect("at least the diagonal chunk is local")
+    }
+
+    fn attn_backward(
+        &mut self,
+        q: &Tensor,
+        chunks: &[(&Tensor, &Tensor)],
+        offsets: &[usize],
+        d_o: &Tensor,
+        o: &Tensor,
+        lse: &[f32],
+        cfg: HeadCfg,
+        q_offset: usize,
+    ) -> (Tensor, Vec<(Tensor, Tensor)>) {
+        let slice = chunks.len() - 1;
+        let d = d_rows(d_o, o, cfg);
+        // Dispatch all remote chunk jobs first, each with its own reply
+        // channel, then compute the local chunks while peers work.
+        let mut pending: Vec<(usize, Receiver<(Tensor, Tensor, Tensor)>)> = Vec::new();
+        let mut results: Vec<Option<(Tensor, Tensor)>> = vec![None; chunks.len()];
+        let mut dq = Tensor::zeros(q.rows(), cfg.q_width());
+        for c in 0..chunks.len() {
+            let exec = self.map.executor_of(self.device, slice, c);
+            if exec != self.device {
+                let (tx1, rx1) = unbounded();
+                self.servers[exec].submit(ServerJob::AttnBwd {
+                    q: q.clone(),
+                    k: chunks[c].0.clone(),
+                    v: chunks[c].1.clone(),
+                    d_o: d_o.clone(),
+                    lse: lse.to_vec(),
+                    d: d.clone(),
+                    cfg,
+                    q_offset,
+                    kv_offset: offsets[c],
+                    reply: tx1,
+                });
+                pending.push((c, rx1));
+            }
+        }
+        for c in 0..chunks.len() {
+            if self.map.executor_of(self.device, slice, c) == self.device {
+                let (dq_c, dk, dv) = backward_chunk(
+                    q, chunks[c].0, chunks[c].1, d_o, lse, &d, cfg, q_offset, offsets[c],
+                );
+                dq.add_assign(&dq_c);
+                results[c] = Some((dk, dv));
+            }
+        }
+        for (c, rx) in pending {
+            let (dq_c, dk, dv) = rx.recv().expect("exchange server died");
+            dq.add_assign(&dq_c);
+            results[c] = Some((dk, dv));
+        }
+        (
+            dq,
+            results.into_iter().map(|r| r.expect("chunk computed")).collect(),
+        )
+    }
+}
+
+/// Cooperative vocabulary-parallel loss across all device servers.
+pub struct VocabParallel<'a> {
+    pub servers: &'a [ServerHandle],
+}
+
+impl VocabParallel<'_> {
+    /// Forward: scatter normed hidden states, gather per-shard statistics,
+    /// combine. Returns `(summed loss, per-row global lse)`.
+    pub fn loss_forward(&self, normed: &Tensor, targets: &[u32]) -> (f64, Vec<f32>) {
+        let (tx, rx) = unbounded();
+        for s in self.servers {
+            s.submit(ServerJob::VocabFwd {
+                normed: normed.clone(),
+                targets: targets.to_vec(),
+                reply: tx.clone(),
+            });
+        }
+        let stats: Vec<ShardStats> =
+            (0..self.servers.len()).map(|_| rx.recv().expect("vocab server died")).collect();
+        let g = combine_stats(&stats);
+        (slimpipe_tensor::crossentropy::loss_from_stats(&g), g.lse)
+    }
+
+    /// Backward: scatter `(normed, lse)`, gather partial `d_normed`
+    /// contributions (shard `dW` accumulates server-side).
+    pub fn loss_backward(
+        &self,
+        normed: &Tensor,
+        targets: &[u32],
+        lse: &[f32],
+        scale: f32,
+    ) -> Tensor {
+        let (tx, rx) = unbounded();
+        for s in self.servers {
+            s.submit(ServerJob::VocabBwd {
+                normed: normed.clone(),
+                targets: targets.to_vec(),
+                lse: lse.to_vec(),
+                scale,
+                reply: tx.clone(),
+            });
+        }
+        let mut d = Tensor::zeros(normed.rows(), normed.cols());
+        for _ in 0..self.servers.len() {
+            d.add_assign(&rx.recv().expect("vocab server died"));
+        }
+        d
+    }
+}
+
+/// Build per-device vocabulary shards from the full (deterministic) output
+/// weight of `cfg`.
+pub fn build_vocab_shards(cfg: &ExecConfig) -> Vec<VocabShard> {
+    let full = cfg.build_output(); // (hidden, vocab)
+    let p = cfg.stages;
+    assert!(cfg.vocab % p == 0, "vocab must divide by stages for sharding");
+    let w = cfg.vocab / p;
+    (0..p)
+        .map(|s| VocabShard {
+            w: full.cols_slice(s * w, w),
+            grad: Tensor::zeros(cfg.hidden(), w),
+            offset: s * w,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::AttnExecutor;
+    use slimpipe_tensor::init::{seeded_tokens, seeded_uniform};
+
+    #[test]
+    fn exchange_map_is_total_and_diagonal_local() {
+        let (p, n) = (4usize, 8usize);
+        let map = ExchangeMap::build(p, n, 64);
+        for owner in 0..p {
+            for j in 0..n {
+                assert_eq!(map.executor[owner][j].len(), j + 1, "owner={owner} j={j}");
+                // Diagonal stays home (§4.2 + early-KV rule).
+                assert_eq!(map.executor_of(owner, j, j), owner);
+            }
+        }
+        // The heaviest slice of some device must actually move work.
+        let total_remote: usize =
+            (0..p).map(|o| map.remote_chunks(o, n - 1).len()).sum();
+        assert!(total_remote > 0, "exchange should move something");
+    }
+
+    #[test]
+    fn exchanged_forward_matches_local() {
+        let cfg = HeadCfg::new(2, 2, 8);
+        let (p, n, l) = (4usize, 8usize, 8usize);
+        let map = ExchangeMap::build(p, n, l as u64);
+        let servers: Vec<ServerHandle> = Vec::new();
+        let _ = servers;
+        let mut handles = Vec::new();
+        let mut joins = Vec::new();
+        for _ in 0..p {
+            let (h, j) = spawn_server(None);
+            handles.push(h);
+            joins.push(j);
+        }
+        // Queries at the last slice (heaviest) of device 1.
+        let j = n - 1;
+        let q = seeded_uniform(l, 16, 900);
+        let ks: Vec<Tensor> = (0..=j).map(|c| seeded_uniform(l, 16, 901 + c as u64)).collect();
+        let vs: Vec<Tensor> = (0..=j).map(|c| seeded_uniform(l, 16, 950 + c as u64)).collect();
+        let chunks: Vec<(&Tensor, &Tensor)> = ks.iter().zip(vs.iter()).collect();
+        let offsets: Vec<usize> = (0..=j).map(|c| c * l).collect();
+        let q_offset = j * l;
+
+        let mut rt = ExchangeRt { device: 1, servers: &handles, map: &map };
+        let got = rt.attn_forward(&q, &chunks, &offsets, cfg, q_offset);
+        let want = attention::forward_chunked(&q, &chunks, &offsets, cfg, q_offset);
+        assert!(got.o.max_abs_diff(&want.o) < 1e-4);
+
+        // Backward too.
+        let d_o = seeded_uniform(l, 16, 999);
+        let (dq_got, dkv_got) =
+            rt.attn_backward(&q, &chunks, &offsets, &d_o, &got.o, &got.lse, cfg, q_offset);
+        let (dq_want, dkv_want) = attention::backward_chunked(
+            &q, &chunks, &offsets, &d_o, &want.o, &want.lse, cfg, q_offset,
+        );
+        assert!(dq_got.max_abs_diff(&dq_want) < 1e-4);
+        for (g, w) in dkv_got.iter().zip(&dkv_want) {
+            assert!(g.0.max_abs_diff(&w.0) < 1e-4);
+            assert!(g.1.max_abs_diff(&w.1) < 1e-4);
+        }
+        for h in &handles {
+            h.submit(ServerJob::Stop);
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn vocab_parallel_loss_matches_monolithic() {
+        let cfg = ExecConfig {
+            stages: 4,
+            vocab: 96,
+            ..ExecConfig::small()
+        };
+        let shards = build_vocab_shards(&cfg);
+        let mut handles = Vec::new();
+        let mut joins = Vec::new();
+        for s in shards {
+            let (h, j) = spawn_server(Some(s));
+            handles.push(h);
+            joins.push(j);
+        }
+        let rows = 12;
+        let normed = seeded_uniform(rows, cfg.hidden(), 77);
+        let targets = seeded_tokens(rows, cfg.vocab, 78);
+        let vp = VocabParallel { servers: &handles };
+        let (loss, lse) = vp.loss_forward(&normed, &targets);
+        let d_hidden = vp.loss_backward(&normed, &targets, &lse, 1.0);
+
+        // Monolithic reference.
+        let w = cfg.build_output();
+        let logits = matmul(&normed, &w);
+        let (ref_loss, d_logits) =
+            slimpipe_tensor::crossentropy::forward_backward(&logits, &targets);
+        let ref_d_hidden = matmul_nt(&d_logits, &w);
+        assert!((loss - ref_loss).abs() < 1e-3, "{loss} vs {ref_loss}");
+        assert!(d_hidden.max_abs_diff(&ref_d_hidden) < 1e-4);
+
+        // Shard dW gathers into the monolithic dW.
+        let ref_dw = matmul_tn(&normed, &d_logits);
+        let mut dw = Tensor::zeros(cfg.hidden(), cfg.vocab);
+        for h in &handles {
+            h.submit(ServerJob::Stop);
+        }
+        for (i, j) in joins.into_iter().enumerate() {
+            let shard = j.join().unwrap().unwrap();
+            dw.set_cols(i * cfg.vocab / 4, &shard.grad);
+        }
+        assert!(dw.max_abs_diff(&ref_dw) < 1e-4);
+    }
+}

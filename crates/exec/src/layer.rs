@@ -1,0 +1,532 @@
+//! One transformer layer with a chunked KV cache and slice-wise
+//! forward/backward.
+//!
+//! The forward of slice `j` appends its keys/values as chunk `j` of the
+//! layer's KV cache (§5 *Chunked KV Cache*: "we store them in slice-sized
+//! chunks") and attends chunks `0..=j` by online softmax. The backward of
+//! slice `j` produces `dK/dV` contributions for every chunk `c ≤ j`; the
+//! contributions for `c < j` are parked in a [`DkvAccum`] until the LIFO
+//! order reaches slice `c`, whose own backward drains the accumulator into
+//! its QKV-projection backward and releases both the KV chunk and the
+//! accumulator slot.
+//!
+//! RMSNorm outputs and the SwiGLU product are recomputed in the backward
+//! pass (the paper's §5 activation savings) — the stash holds exactly the
+//! components `slimpipe_model`'s `ActBreakdown` documents.
+
+use crate::model::ExecConfig;
+use slimpipe_tensor::attention::{self, AttnPartial, HeadCfg};
+use slimpipe_tensor::init::seeded_xavier;
+use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use slimpipe_tensor::{rmsnorm, swiglu, Tensor};
+
+/// Weights of one layer.
+#[derive(Clone, Debug)]
+pub struct LayerParams {
+    pub wq: Tensor,
+    pub wk: Tensor,
+    pub wv: Tensor,
+    pub wo: Tensor,
+    pub w_gate: Tensor,
+    pub w_up: Tensor,
+    pub w_down: Tensor,
+    pub norm1: Vec<f32>,
+    pub norm2: Vec<f32>,
+}
+
+impl LayerParams {
+    /// Deterministic build of global layer `layer`.
+    pub fn build(cfg: &ExecConfig, layer: usize) -> Self {
+        let (h, hkv, f) = (cfg.hidden(), cfg.kv_hidden(), cfg.ffn);
+        let s = |w: u64| cfg.param_seed(layer, w);
+        Self {
+            wq: seeded_xavier(h, h, s(1)),
+            wk: seeded_xavier(h, hkv, s(2)),
+            wv: seeded_xavier(h, hkv, s(3)),
+            wo: seeded_xavier(h, h, s(4)),
+            w_gate: seeded_xavier(h, f, s(5)),
+            w_up: seeded_xavier(h, f, s(6)),
+            w_down: seeded_xavier(f, h, s(7)),
+            norm1: vec![1.0; h],
+            norm2: vec![1.0; h],
+        }
+    }
+
+    /// Apply one SGD step and clear nothing (caller owns grads).
+    pub fn sgd_step(&mut self, g: &LayerGrads, lr: f32) {
+        self.wq.axpy(-lr, &g.wq);
+        self.wk.axpy(-lr, &g.wk);
+        self.wv.axpy(-lr, &g.wv);
+        self.wo.axpy(-lr, &g.wo);
+        self.w_gate.axpy(-lr, &g.w_gate);
+        self.w_up.axpy(-lr, &g.w_up);
+        self.w_down.axpy(-lr, &g.w_down);
+        for (p, d) in self.norm1.iter_mut().zip(&g.norm1) {
+            *p -= lr * d;
+        }
+        for (p, d) in self.norm2.iter_mut().zip(&g.norm2) {
+            *p -= lr * d;
+        }
+    }
+}
+
+/// Gradient accumulators matching [`LayerParams`].
+#[derive(Clone, Debug)]
+pub struct LayerGrads {
+    pub wq: Tensor,
+    pub wk: Tensor,
+    pub wv: Tensor,
+    pub wo: Tensor,
+    pub w_gate: Tensor,
+    pub w_up: Tensor,
+    pub w_down: Tensor,
+    pub norm1: Vec<f32>,
+    pub norm2: Vec<f32>,
+}
+
+impl LayerGrads {
+    pub fn zeros(cfg: &ExecConfig) -> Self {
+        let (h, hkv, f) = (cfg.hidden(), cfg.kv_hidden(), cfg.ffn);
+        Self {
+            wq: Tensor::zeros(h, h),
+            wk: Tensor::zeros(h, hkv),
+            wv: Tensor::zeros(h, hkv),
+            wo: Tensor::zeros(h, h),
+            w_gate: Tensor::zeros(h, f),
+            w_up: Tensor::zeros(h, f),
+            w_down: Tensor::zeros(f, h),
+            norm1: vec![0.0; h],
+            norm2: vec![0.0; h],
+        }
+    }
+
+    /// Flat view for fingerprinting / comparisons.
+    pub fn tensors(&self) -> Vec<(&'static str, &Tensor)> {
+        vec![
+            ("wq", &self.wq),
+            ("wk", &self.wk),
+            ("wv", &self.wv),
+            ("wo", &self.wo),
+            ("w_gate", &self.w_gate),
+            ("w_up", &self.w_up),
+            ("w_down", &self.w_down),
+        ]
+    }
+}
+
+/// Chunked KV cache of one layer for one microbatch.
+#[derive(Default)]
+pub struct KvCache {
+    /// `chunks[c] = Some((k, v))` while slice `c` is in flight.
+    pub chunks: Vec<Option<(Tensor, Tensor)>>,
+    /// Global token offset of each chunk.
+    pub offsets: Vec<usize>,
+}
+
+impl KvCache {
+    /// Append slice `j`'s chunk (must arrive in order).
+    pub fn push(&mut self, k: Tensor, v: Tensor, offset: usize) {
+        self.offsets.push(offset);
+        self.chunks.push(Some((k, v)));
+    }
+
+    /// Bytes resident.
+    pub fn bytes(&self) -> u64 {
+        self.chunks
+            .iter()
+            .flatten()
+            .map(|(k, v)| k.bytes() + v.bytes())
+            .sum()
+    }
+
+    /// Release chunk `c` (after slice `c`'s backward). Returns freed bytes.
+    /// Once every chunk is gone the cache resets so the next microbatch
+    /// reuses the slots — §5: "These chunks will be precisely reused
+    /// between two adjacent microbatches in the pipeline."
+    pub fn release(&mut self, c: usize) -> u64 {
+        let freed = self.chunks[c]
+            .as_ref()
+            .map(|(k, v)| k.bytes() + v.bytes())
+            .unwrap_or(0);
+        self.chunks[c] = None;
+        if self.chunks.iter().all(Option::is_none) {
+            self.chunks.clear();
+            self.offsets.clear();
+        }
+        freed
+    }
+
+    /// Visible chunks for a query at slice `j` (chunks `0..=j`).
+    pub fn visible(&self, j: usize) -> (Vec<(&Tensor, &Tensor)>, Vec<usize>) {
+        let mut ch = Vec::with_capacity(j + 1);
+        let mut off = Vec::with_capacity(j + 1);
+        for c in 0..=j {
+            let (k, v) = self.chunks[c]
+                .as_ref()
+                .expect("KV chunk released before its last reader");
+            ch.push((k, v));
+            off.push(self.offsets[c]);
+        }
+        (ch, off)
+    }
+}
+
+/// Deferred dK/dV contributions per chunk (from later slices' backwards).
+#[derive(Default)]
+pub struct DkvAccum {
+    pub slots: Vec<Option<(Tensor, Tensor)>>,
+}
+
+impl DkvAccum {
+    pub fn ensure(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, || None);
+        }
+    }
+
+    pub fn add(&mut self, c: usize, dk: &Tensor, dv: &Tensor) {
+        match &mut self.slots[c] {
+            Some((ak, av)) => {
+                ak.add_assign(dk);
+                av.add_assign(dv);
+            }
+            slot @ None => *slot = Some((dk.clone(), dv.clone())),
+        }
+    }
+
+    /// Drain chunk `c`'s accumulated gradients (may be absent when no later
+    /// slice existed).
+    pub fn take(&mut self, c: usize) -> Option<(Tensor, Tensor)> {
+        self.slots[c].take()
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|(k, v)| k.bytes() + v.bytes())
+            .sum()
+    }
+}
+
+/// Stash of one slice's forward pass through one layer.
+pub struct SliceCache {
+    pub x_in: Tensor,
+    pub q: Tensor,
+    pub attn_out: Tensor,
+    pub lse: Vec<f32>,
+    pub resid_mid: Tensor,
+    pub gate: Tensor,
+    pub up: Tensor,
+}
+
+impl SliceCache {
+    pub fn bytes(&self) -> u64 {
+        self.x_in.bytes()
+            + self.q.bytes()
+            + self.attn_out.bytes()
+            + (self.lse.len() * 4) as u64
+            + self.resid_mid.bytes()
+            + self.gate.bytes()
+            + self.up.bytes()
+    }
+}
+
+/// How attention chunk work is executed (locally, or partly shipped to
+/// other devices by context exchange). The closure receives the chunk task
+/// list and must return the merged partial — see `crate::comm`.
+pub trait AttnExecutor {
+    /// Forward: attention of `q` against visible chunks; returns merged
+    /// output + lse.
+    fn attn_forward(
+        &mut self,
+        q: &Tensor,
+        chunks: &[(&Tensor, &Tensor)],
+        offsets: &[usize],
+        cfg: HeadCfg,
+        q_offset: usize,
+    ) -> AttnPartial;
+
+    /// Backward: per-chunk dK/dV plus the summed dQ.
+    #[allow(clippy::too_many_arguments)]
+    fn attn_backward(
+        &mut self,
+        q: &Tensor,
+        chunks: &[(&Tensor, &Tensor)],
+        offsets: &[usize],
+        d_o: &Tensor,
+        o: &Tensor,
+        lse: &[f32],
+        cfg: HeadCfg,
+        q_offset: usize,
+    ) -> (Tensor, Vec<(Tensor, Tensor)>);
+}
+
+/// Purely local execution.
+pub struct LocalAttn;
+
+impl AttnExecutor for LocalAttn {
+    fn attn_forward(
+        &mut self,
+        q: &Tensor,
+        chunks: &[(&Tensor, &Tensor)],
+        offsets: &[usize],
+        cfg: HeadCfg,
+        q_offset: usize,
+    ) -> AttnPartial {
+        attention::forward_chunked(q, chunks, offsets, cfg, q_offset)
+    }
+
+    fn attn_backward(
+        &mut self,
+        q: &Tensor,
+        chunks: &[(&Tensor, &Tensor)],
+        offsets: &[usize],
+        d_o: &Tensor,
+        o: &Tensor,
+        lse: &[f32],
+        cfg: HeadCfg,
+        q_offset: usize,
+    ) -> (Tensor, Vec<(Tensor, Tensor)>) {
+        attention::backward_chunked(q, chunks, offsets, d_o, o, lse, cfg, q_offset)
+    }
+}
+
+/// Forward one slice through one layer. Appends to `kv` and returns
+/// `(output, stash)`.
+pub fn layer_forward(
+    p: &LayerParams,
+    cfg: HeadCfg,
+    x: &Tensor,
+    kv: &mut KvCache,
+    slice: usize,
+    q_offset: usize,
+    attn: &mut dyn AttnExecutor,
+) -> (Tensor, SliceCache) {
+    let normed1 = rmsnorm::forward(x, &p.norm1);
+    let q = matmul(&normed1, &p.wq);
+    let k = matmul(&normed1, &p.wk);
+    let v = matmul(&normed1, &p.wv);
+    kv.push(k, v, q_offset);
+    let (chunks, offsets) = kv.visible(slice);
+    let part = attn.attn_forward(&q, &chunks, &offsets, cfg, q_offset);
+    let attn_proj = matmul(&part.o, &p.wo);
+    let mut resid_mid = x.clone();
+    resid_mid.add_assign(&attn_proj);
+    let normed2 = rmsnorm::forward(&resid_mid, &p.norm2);
+    let gate = matmul(&normed2, &p.w_gate);
+    let up = matmul(&normed2, &p.w_up);
+    let act = swiglu::forward(&gate, &up);
+    let mlp = matmul(&act, &p.w_down);
+    let mut y = resid_mid.clone();
+    y.add_assign(&mlp);
+    let cache = SliceCache {
+        x_in: x.clone(),
+        q,
+        attn_out: part.o,
+        lse: part.lse,
+        resid_mid,
+        gate,
+        up,
+    };
+    (y, cache)
+}
+
+/// Backward one slice through one layer (must run in LIFO slice order).
+/// Returns `d_x`.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_backward(
+    p: &LayerParams,
+    g: &mut LayerGrads,
+    cfg: HeadCfg,
+    cache: &SliceCache,
+    d_y: &Tensor,
+    kv: &mut KvCache,
+    dkv: &mut DkvAccum,
+    slice: usize,
+    q_offset: usize,
+    attn: &mut dyn AttnExecutor,
+) -> Tensor {
+    dkv.ensure(slice + 1);
+    // ---- MLP path (recompute normed2 and the SwiGLU product) ----
+    let normed2 = rmsnorm::forward(&cache.resid_mid, &p.norm2);
+    let act = swiglu::forward(&cache.gate, &cache.up);
+    g.w_down.add_assign(&matmul_tn(&act, d_y));
+    let d_act = matmul_nt(d_y, &p.w_down);
+    let (d_gate, d_up) = swiglu::backward(&cache.gate, &cache.up, &d_act);
+    g.w_gate.add_assign(&matmul_tn(&normed2, &d_gate));
+    g.w_up.add_assign(&matmul_tn(&normed2, &d_up));
+    let mut d_normed2 = matmul_nt(&d_gate, &p.w_gate);
+    d_normed2.add_assign(&matmul_nt(&d_up, &p.w_up));
+    let (d_resid_from_norm, d_norm2) = rmsnorm::backward(&cache.resid_mid, &p.norm2, &d_normed2);
+    for (a, b) in g.norm2.iter_mut().zip(&d_norm2) {
+        *a += b;
+    }
+    let mut d_resid_mid = d_y.clone();
+    d_resid_mid.add_assign(&d_resid_from_norm);
+
+    // ---- attention output projection ----
+    g.wo.add_assign(&matmul_tn(&cache.attn_out, &d_resid_mid));
+    let d_o = matmul_nt(&d_resid_mid, &p.wo);
+
+    // ---- chunked attention backward ----
+    let (chunks, offsets) = kv.visible(slice);
+    let (d_q, per_chunk) = attn.attn_backward(
+        &cache.q,
+        &chunks,
+        &offsets,
+        &d_o,
+        &cache.attn_out,
+        &cache.lse,
+        cfg,
+        q_offset,
+    );
+    // Park contributions for earlier chunks; combine our own (diagonal)
+    // chunk with what later slices already deposited.
+    let mut d_k_own = None;
+    let mut d_v_own = None;
+    for (c, (dk, dv)) in per_chunk.into_iter().enumerate() {
+        if c == slice {
+            d_k_own = Some(dk);
+            d_v_own = Some(dv);
+        } else {
+            dkv.add(c, &dk, &dv);
+        }
+    }
+    let (mut d_k, mut d_v) = (d_k_own.expect("diagonal chunk"), d_v_own.expect("diagonal"));
+    if let Some((ak, av)) = dkv.take(slice) {
+        d_k.add_assign(&ak);
+        d_v.add_assign(&av);
+    }
+    kv.release(slice);
+
+    // ---- QKV projections (recompute normed1 from the stashed input) ----
+    let normed1 = rmsnorm::forward(&cache.x_in, &p.norm1);
+    g.wq.add_assign(&matmul_tn(&normed1, &d_q));
+    g.wk.add_assign(&matmul_tn(&normed1, &d_k));
+    g.wv.add_assign(&matmul_tn(&normed1, &d_v));
+    let mut d_normed1 = matmul_nt(&d_q, &p.wq);
+    d_normed1.add_assign(&matmul_nt(&d_k, &p.wk));
+    d_normed1.add_assign(&matmul_nt(&d_v, &p.wv));
+    let (d_x_from_norm, d_norm1) = rmsnorm::backward(&cache.x_in, &p.norm1, &d_normed1);
+    for (a, b) in g.norm1.iter_mut().zip(&d_norm1) {
+        *a += b;
+    }
+    let mut d_x = d_resid_mid;
+    d_x.add_assign(&d_x_from_norm);
+    d_x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimpipe_tensor::init::seeded_uniform;
+
+    /// Sliced forward+backward must equal the unsliced (n=1) run.
+    #[test]
+    fn sliced_layer_matches_monolithic() {
+        let cfg = ExecConfig {
+            slices: 4,
+            ..ExecConfig::small()
+        };
+        let hc = cfg.head_cfg();
+        let p = LayerParams::build(&cfg, 0);
+        let x = seeded_uniform(cfg.seq, cfg.hidden(), 100);
+        let d_y = seeded_uniform(cfg.seq, cfg.hidden(), 101);
+
+        // Monolithic.
+        let mut kv1 = KvCache::default();
+        let (y_ref, cache_ref) =
+            layer_forward(&p, hc, &x, &mut kv1, 0, 0, &mut LocalAttn);
+        let mut g_ref = LayerGrads::zeros(&cfg);
+        let mut dkv1 = DkvAccum::default();
+        let dx_ref = layer_backward(
+            &p, &mut g_ref, hc, &cache_ref, &d_y, &mut kv1, &mut dkv1, 0, 0,
+            &mut LocalAttn,
+        );
+
+        // Sliced: forward in order, backward LIFO.
+        let l = cfg.slice_len();
+        let mut kv = KvCache::default();
+        let mut caches = Vec::new();
+        let mut y_cat = Tensor::zeros(cfg.seq, cfg.hidden());
+        for j in 0..cfg.slices {
+            let xs = x.rows_slice(j * l, l);
+            let (y, c) = layer_forward(&p, hc, &xs, &mut kv, j, j * l, &mut LocalAttn);
+            y_cat.set_rows(j * l, &y);
+            caches.push(c);
+        }
+        assert!(y_cat.max_abs_diff(&y_ref) < 1e-4, "forward mismatch");
+
+        let mut g = LayerGrads::zeros(&cfg);
+        let mut dkv = DkvAccum::default();
+        dkv.ensure(cfg.slices);
+        let mut dx_cat = Tensor::zeros(cfg.seq, cfg.hidden());
+        for j in (0..cfg.slices).rev() {
+            let dys = d_y.rows_slice(j * l, l);
+            let dx = layer_backward(
+                &p, &mut g, hc, &caches[j], &dys, &mut kv, &mut dkv, j, j * l,
+                &mut LocalAttn,
+            );
+            dx_cat.set_rows(j * l, &dx);
+        }
+        assert!(dx_cat.max_abs_diff(&dx_ref) < 1e-3, "dx mismatch");
+        for ((name, a), (_, b)) in g.tensors().iter().zip(g_ref.tensors().iter()) {
+            assert!(a.max_abs_diff(b) < 1e-3, "grad {name} mismatch");
+        }
+    }
+
+    #[test]
+    fn kv_chunks_are_released_by_lifo_backward() {
+        let cfg = ExecConfig::small();
+        let hc = cfg.head_cfg();
+        let p = LayerParams::build(&cfg, 0);
+        let l = cfg.slice_len();
+        let x = seeded_uniform(cfg.seq, cfg.hidden(), 102);
+        let mut kv = KvCache::default();
+        let mut caches = Vec::new();
+        for j in 0..cfg.slices {
+            let xs = x.rows_slice(j * l, l);
+            let (_, c) = layer_forward(&p, hc, &xs, &mut kv, j, j * l, &mut LocalAttn);
+            caches.push(c);
+        }
+        let full = kv.bytes();
+        assert!(full > 0);
+        let mut g = LayerGrads::zeros(&cfg);
+        let mut dkv = DkvAccum::default();
+        dkv.ensure(cfg.slices);
+        let d_y = seeded_uniform(l, cfg.hidden(), 103);
+        for j in (0..cfg.slices).rev() {
+            layer_backward(
+                &p, &mut g, hc, &caches[j], &d_y, &mut kv, &mut dkv, j, j * l,
+                &mut LocalAttn,
+            );
+            // Chunk j gone; chunks 0..j still resident.
+            assert_eq!(kv.bytes(), full * j as u64 / cfg.slices as u64);
+        }
+        assert_eq!(kv.bytes(), 0);
+        assert_eq!(dkv.bytes(), 0, "accumulators fully drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "released before its last reader")]
+    fn reading_a_released_chunk_panics() {
+        let mut kv = KvCache::default();
+        kv.push(Tensor::zeros(2, 4), Tensor::zeros(2, 4), 0);
+        kv.push(Tensor::zeros(2, 4), Tensor::zeros(2, 4), 2);
+        kv.release(0);
+        let _ = kv.visible(1);
+    }
+
+    #[test]
+    fn sgd_step_moves_parameters() {
+        let cfg = ExecConfig::small();
+        let mut p = LayerParams::build(&cfg, 0);
+        let before = p.wq.clone();
+        let mut g = LayerGrads::zeros(&cfg);
+        *g.wq.at_mut(0, 0) = 1.0;
+        p.sgd_step(&g, 0.1);
+        assert!((p.wq.at(0, 0) - (before.at(0, 0) - 0.1)).abs() < 1e-6);
+        assert_eq!(p.wq.at(1, 1), before.at(1, 1));
+    }
+}

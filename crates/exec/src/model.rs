@@ -1,0 +1,127 @@
+//! Executor-level model configuration and deterministic parameter builds.
+
+use slimpipe_tensor::attention::HeadCfg;
+use slimpipe_tensor::init::seeded_xavier;
+use slimpipe_tensor::Tensor;
+
+/// Shape and run parameters of an executor model. Kept small — these train
+/// for real on CPU threads.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    pub layers: usize,
+    pub heads: usize,
+    pub kv_heads: usize,
+    pub head_dim: usize,
+    pub ffn: usize,
+    pub vocab: usize,
+    pub seq: usize,
+    /// Slices per microbatch (1 = microbatch granularity).
+    pub slices: usize,
+    pub microbatches: usize,
+    /// Pipeline stages (threads).
+    pub stages: usize,
+    pub vocab_parallel: bool,
+    pub exchange: bool,
+    /// Device activation-stash budget in bytes; stashes beyond it spill to
+    /// host memory (§6.5). `None` disables offloading.
+    pub offload_budget: Option<u64>,
+    pub seed: u64,
+}
+
+impl ExecConfig {
+    /// A small but non-trivial default: GQA, 2 slices per stage worth of
+    /// layers, divisible everywhere.
+    pub fn small() -> Self {
+        Self {
+            layers: 4,
+            heads: 4,
+            kv_heads: 2,
+            head_dim: 8,
+            ffn: 64,
+            vocab: 96,
+            seq: 64,
+            slices: 4,
+            microbatches: 2,
+            stages: 2,
+            vocab_parallel: false,
+            exchange: false,
+            offload_budget: None,
+            seed: 7,
+        }
+    }
+
+    pub fn hidden(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    pub fn kv_hidden(&self) -> usize {
+        self.kv_heads * self.head_dim
+    }
+
+    pub fn head_cfg(&self) -> HeadCfg {
+        HeadCfg::new(self.heads, self.kv_heads, self.head_dim)
+    }
+
+    pub fn slice_len(&self) -> usize {
+        assert!(self.seq % self.slices == 0, "slices must divide seq");
+        self.seq / self.slices
+    }
+
+    pub fn layers_per_stage(&self) -> usize {
+        assert!(self.layers % self.stages == 0, "stages must divide layers");
+        self.layers / self.stages
+    }
+
+    /// Deterministic seed for parameter matrix `which` of global layer
+    /// `layer` — identical regardless of which stage materialises it.
+    pub fn param_seed(&self, layer: usize, which: u64) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((layer as u64).wrapping_mul(131))
+            .wrapping_add(which)
+    }
+
+    /// Embedding table (tied with the output projection).
+    pub fn build_embedding(&self) -> Tensor {
+        seeded_xavier(self.vocab, self.hidden(), self.param_seed(usize::MAX - 1, 0))
+    }
+
+    /// Final-norm gain.
+    pub fn build_final_norm(&self) -> Vec<f32> {
+        vec![1.0; self.hidden()]
+    }
+
+    /// Output projection `(hidden, vocab)`. Independent weights (untied)
+    /// keep the gradient bookkeeping in tests simple.
+    pub fn build_output(&self) -> Tensor {
+        seeded_xavier(self.hidden(), self.vocab, self.param_seed(usize::MAX - 2, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let c = ExecConfig::small();
+        assert_eq!(c.param_seed(2, 3), c.param_seed(2, 3));
+        assert_ne!(c.param_seed(2, 3), c.param_seed(3, 3));
+        assert_ne!(c.param_seed(2, 3), c.param_seed(2, 4));
+    }
+
+    #[test]
+    fn geometry_is_divisible() {
+        let c = ExecConfig::small();
+        assert_eq!(c.hidden(), 32);
+        assert_eq!(c.kv_hidden(), 16);
+        assert_eq!(c.slice_len(), 16);
+        assert_eq!(c.layers_per_stage(), 2);
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let c = ExecConfig::small();
+        assert_eq!(c.build_embedding(), c.build_embedding());
+    }
+}

@@ -1,0 +1,61 @@
+//! Executor-level schedule selection.
+//!
+//! The executor runs the *same* schedule IR as the simulator, restricted to
+//! one model chunk per device (`v = 1`) — interleaving changes which layers
+//! live where, not the algorithms under test, and is exercised at scale by
+//! the simulator instead.
+
+use crate::model::ExecConfig;
+use slimpipe_sched::{validate, Schedule};
+
+/// The pipeline schemes the executor can run for real.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineKind {
+    GPipe,
+    OneFOneB,
+    TeraPipe,
+    SlimPipe,
+}
+
+/// Build and validate the schedule for `cfg`.
+pub fn build_schedule(kind: PipelineKind, cfg: &ExecConfig) -> Schedule {
+    let (p, m, n) = (cfg.stages, cfg.microbatches, cfg.slices);
+    let sched = match kind {
+        PipelineKind::GPipe => {
+            assert_eq!(n, 1, "GPipe is microbatch-granular");
+            slimpipe_sched::gpipe::generate(p, m)
+        }
+        PipelineKind::OneFOneB => {
+            assert_eq!(n, 1, "1F1B is microbatch-granular");
+            slimpipe_sched::onefoneb::generate(p, m)
+        }
+        PipelineKind::TeraPipe => slimpipe_sched::terapipe::generate(p, m, n),
+        PipelineKind::SlimPipe => slimpipe_core::schedule::generate(p, m, n),
+    }
+    .expect("schedule parameters rejected");
+    validate(&sched).expect("generated schedule failed validation");
+    assert_eq!(sched.chunks, 1, "executor supports one chunk per device");
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_build_for_the_small_config() {
+        let cfg = ExecConfig::small(); // slices = 4
+        build_schedule(PipelineKind::SlimPipe, &cfg);
+        build_schedule(PipelineKind::TeraPipe, &cfg);
+        let mono = ExecConfig { slices: 1, ..cfg };
+        build_schedule(PipelineKind::OneFOneB, &mono);
+        build_schedule(PipelineKind::GPipe, &mono);
+    }
+
+    #[test]
+    #[should_panic(expected = "microbatch-granular")]
+    fn onefoneb_rejects_slicing() {
+        let cfg = ExecConfig::small();
+        build_schedule(PipelineKind::OneFOneB, &cfg);
+    }
+}

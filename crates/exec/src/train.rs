@@ -1,0 +1,311 @@
+//! The threaded pipeline training driver.
+//!
+//! One OS thread per pipeline stage executes its static op list; boundary
+//! activations and gradients move through crossbeam channels; compute
+//! servers (one per device) serve context-exchange and vocabulary-shard
+//! jobs. Determinism: parameters, data, and schedules are all seeded, so a
+//! run is reproducible and comparable against the single-device reference.
+
+use crate::comm::{build_vocab_shards, spawn_server, ServerHandle, ServerJob, ExchangeMap, ExchangeRt, VocabParallel};
+use crate::layer::{AttnExecutor, LayerGrads, LocalAttn};
+use crate::model::ExecConfig;
+use crate::schedule::{build_schedule, PipelineKind};
+use crate::stage::{Stage, StageOutput};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use slimpipe_sched::PassKind;
+use slimpipe_tensor::init::seeded_tokens;
+use slimpipe_tensor::Tensor;
+
+/// Everything a run produces, for comparison and reporting.
+pub struct RunResult {
+    /// Mean loss per iteration.
+    pub losses: Vec<f64>,
+    /// Final-iteration gradients, global layer order.
+    pub layer_grads: Vec<LayerGrads>,
+    pub embed_grad: Tensor,
+    /// Full `(hidden, vocab)` output-projection gradient (vocabulary
+    /// shards gathered when vocabulary parallelism was on).
+    pub out_grad: Tensor,
+    pub final_norm_grad: Vec<f32>,
+    /// Peak activation bytes per device (stash + KV + head stash).
+    pub peak_act_bytes: Vec<u64>,
+    /// Offload traffic per device (0 when no budget configured, §6.5).
+    pub offload_transferred: Vec<u64>,
+}
+
+/// Deterministic training data: one token stream per microbatch, next-token
+/// targets.
+pub fn make_data(cfg: &ExecConfig) -> Vec<(Vec<u32>, Vec<u32>)> {
+    (0..cfg.microbatches)
+        .map(|mb| {
+            let toks = seeded_tokens(cfg.seq, cfg.vocab, cfg.seed * 1000 + mb as u64);
+            let mut targets = toks[1..].to_vec();
+            targets.push(toks[0]);
+            (toks, targets)
+        })
+        .collect()
+}
+
+type ActMsg = (u32, u32, Tensor);
+
+/// Run `steps` training iterations of `cfg` under `kind`. The gradients of
+/// the final iteration are returned un-stepped so they can be compared
+/// across configurations.
+pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32) -> RunResult {
+    assert!(steps >= 1);
+    let sched = build_schedule(kind, cfg);
+    let p = cfg.stages;
+    let data = make_data(cfg);
+
+    // Compute servers (vocabulary shards live inside them when enabled).
+    let mut servers: Vec<ServerHandle> = Vec::with_capacity(p);
+    let mut server_joins = Vec::with_capacity(p);
+    if cfg.vocab_parallel {
+        for shard in build_vocab_shards(cfg) {
+            let (h, j) = spawn_server(Some(shard));
+            servers.push(h);
+            server_joins.push(j);
+        }
+    } else {
+        for _ in 0..p {
+            let (h, j) = spawn_server(None);
+            servers.push(h);
+            server_joins.push(j);
+        }
+    }
+    let exmap = (cfg.exchange && cfg.slices > 1)
+        .then(|| ExchangeMap::build(p, cfg.slices, cfg.slice_len() as u64));
+
+    // Stage-boundary channels.
+    let mut fwd_tx: Vec<Option<Sender<ActMsg>>> = Vec::new();
+    let mut fwd_rx: Vec<Option<Receiver<ActMsg>>> = vec![None];
+    let mut bwd_tx: Vec<Option<Sender<ActMsg>>> = vec![None];
+    let mut bwd_rx: Vec<Option<Receiver<ActMsg>>> = Vec::new();
+    for _ in 0..p.saturating_sub(1) {
+        let (ft, fr) = unbounded();
+        fwd_tx.push(Some(ft));
+        fwd_rx.push(Some(fr));
+        let (bt, br) = unbounded();
+        bwd_tx.push(Some(bt));
+        bwd_rx.push(Some(br));
+    }
+    fwd_tx.push(None);
+    bwd_rx.push(None);
+
+    let (loss_tx, loss_rx) = unbounded::<f64>();
+
+    let mut joins = Vec::with_capacity(p);
+    for d in 0..p {
+        let cfg = *cfg;
+        let ops = sched.ops[d].clone();
+        let data = data.clone();
+        let my_fwd_rx = fwd_rx[d].take();
+        let my_fwd_tx = fwd_tx[d].take();
+        let my_bwd_rx = bwd_rx[d].take();
+        let my_bwd_tx = bwd_tx[d].take();
+        let servers = servers.clone();
+        let exmap = exmap.clone();
+        let loss_tx = loss_tx.clone();
+        let l = cfg.slice_len();
+        joins.push(std::thread::spawn(move || {
+            let mut stage = Stage::build(&cfg, d);
+            let is_last = d == p - 1;
+            for step in 0..steps {
+                let mut iter_loss = 0.0f64;
+                for op in &ops {
+                    let mut local = LocalAttn;
+                    let mut rt;
+                    let attn: &mut dyn AttnExecutor = match &exmap {
+                        Some(map) => {
+                            rt = ExchangeRt { device: d, servers: &servers, map };
+                            &mut rt
+                        }
+                        None => &mut local,
+                    };
+                    let vp_holder;
+                    let vp = if cfg.vocab_parallel && is_last {
+                        vp_holder = VocabParallel { servers: &servers };
+                        Some(&vp_holder)
+                    } else {
+                        None
+                    };
+                    let (mb, sl) = (op.mb, op.slice);
+                    let range = sl as usize * l..(sl as usize + 1) * l;
+                    match op.kind {
+                        PassKind::Forward => {
+                            let input = if d == 0 {
+                                Err(data[mb as usize].0[range.clone()].to_vec())
+                            } else {
+                                let (rmb, rsl, act) = my_fwd_rx
+                                    .as_ref()
+                                    .expect("interior stage has fwd input")
+                                    .recv()
+                                    .expect("upstream died");
+                                assert_eq!((rmb, rsl), (mb, sl), "fwd order mismatch");
+                                Ok(act)
+                            };
+                            let targets = is_last
+                                .then(|| data[mb as usize].1[range.clone()].to_vec());
+                            match stage.forward(mb, sl, input, targets.as_deref(), attn, vp)
+                            {
+                                StageOutput::Activation(act) => {
+                                    my_fwd_tx
+                                        .as_ref()
+                                        .expect("interior stage has fwd output")
+                                        .send((mb, sl, act))
+                                        .expect("downstream died");
+                                }
+                                StageOutput::Loss(lv) => iter_loss += lv,
+                            }
+                        }
+                        PassKind::Backward => {
+                            let d_in = if is_last {
+                                None
+                            } else {
+                                let (rmb, rsl, g) = my_bwd_rx
+                                    .as_ref()
+                                    .expect("interior stage has bwd input")
+                                    .recv()
+                                    .expect("downstream died");
+                                assert_eq!((rmb, rsl), (mb, sl), "bwd order mismatch");
+                                Some(g)
+                            };
+                            let targets = is_last
+                                .then(|| data[mb as usize].1[range.clone()].to_vec());
+                            if let Some(dx) =
+                                stage.backward(mb, sl, d_in, targets.as_deref(), attn, vp)
+                            {
+                                my_bwd_tx
+                                    .as_ref()
+                                    .expect("non-first stage has bwd output")
+                                    .send((mb, sl, dx))
+                                    .expect("upstream died");
+                            }
+                        }
+                        PassKind::BackwardWeight => {
+                            unreachable!("executor schemes do not split backward")
+                        }
+                    }
+                }
+                if is_last {
+                    loss_tx.send(iter_loss).expect("driver died");
+                }
+                if step + 1 < steps {
+                    if cfg.vocab_parallel && is_last {
+                        // Step the vocabulary shards (their gradients live
+                        // in the servers). All of this iteration's vocab
+                        // jobs have completed — loss_backward is
+                        // synchronous — so FIFO ordering makes this safe.
+                        let (ack_tx, ack_rx) = unbounded();
+                        for s in &servers {
+                            s.submit(ServerJob::SgdStep { lr, reply: ack_tx.clone() });
+                        }
+                        for _ in 0..servers.len() {
+                            ack_rx.recv().expect("server died");
+                        }
+                    }
+                    stage.sgd_step(lr);
+                }
+            }
+            stage
+        }));
+    }
+    drop(loss_tx);
+
+    let mut stages: Vec<Stage> = joins
+        .into_iter()
+        .map(|j| j.join().expect("stage thread panicked"))
+        .collect();
+    let losses: Vec<f64> = loss_rx.iter().collect();
+    assert_eq!(losses.len(), steps, "one loss per iteration");
+
+    // Collect vocabulary shards (and stop the servers).
+    let mut out_grad = Tensor::zeros(cfg.hidden(), cfg.vocab);
+    for s in &servers {
+        s.submit(ServerJob::Stop);
+    }
+    let shard_w = cfg.vocab / p;
+    for (i, j) in server_joins.into_iter().enumerate() {
+        if let Some(shard) = j.join().expect("server panicked") {
+            out_grad.set_cols(i * shard_w, &shard.grad);
+        }
+    }
+    if !cfg.vocab_parallel {
+        let (_, g) = stages[p - 1].out_proj.as_ref().expect("classic head");
+        out_grad = g.clone();
+    }
+
+    let peak_act_bytes: Vec<u64> = stages.iter().map(|s| s.mem.peak()).collect();
+    let offload_transferred: Vec<u64> = stages
+        .iter()
+        .map(|s| {
+            if let Some(eng) = &s.offload {
+                eng.assert_drained();
+                eng.transferred
+            } else {
+                0
+            }
+        })
+        .collect();
+    let mut layer_grads = Vec::with_capacity(cfg.layers);
+    for st in &mut stages {
+        layer_grads.append(&mut st.grads.drain(..).collect());
+    }
+    let embed_grad = stages[0].embed.as_ref().expect("stage 0 owns embedding").1.clone();
+    let final_norm_grad = stages[p - 1]
+        .final_norm
+        .as_ref()
+        .expect("last stage owns final norm")
+        .1
+        .clone();
+
+    RunResult {
+        losses,
+        layer_grads,
+        embed_grad,
+        out_grad,
+        final_norm_grad,
+        peak_act_bytes,
+        offload_transferred,
+    }
+}
+
+/// Single-device, unsliced reference run — the ground truth every pipeline
+/// configuration is verified against.
+pub fn run_reference(cfg: &ExecConfig, steps: usize, lr: f32) -> RunResult {
+    let ref_cfg = ExecConfig {
+        stages: 1,
+        slices: 1,
+        vocab_parallel: false,
+        exchange: false,
+        ..*cfg
+    };
+    run_pipeline(&ref_cfg, PipelineKind::OneFOneB, steps, lr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_runs_and_learns() {
+        let cfg = ExecConfig::small();
+        let r = run_reference(&cfg, 4, 0.5);
+        assert_eq!(r.losses.len(), 4);
+        assert!(r.losses[3] < r.losses[0], "losses: {:?}", r.losses);
+        assert_eq!(r.layer_grads.len(), cfg.layers);
+    }
+
+    #[test]
+    fn slimpipe_pipeline_runs() {
+        let cfg = ExecConfig {
+            exchange: false,
+            ..ExecConfig::small()
+        };
+        let r = run_pipeline(&cfg, PipelineKind::SlimPipe, 1, 0.1);
+        assert_eq!(r.losses.len(), 1);
+        assert!(r.losses[0].is_finite());
+        assert_eq!(r.peak_act_bytes.len(), cfg.stages);
+        assert!(r.peak_act_bytes.iter().all(|&b| b > 0));
+    }
+}

@@ -1,0 +1,202 @@
+//! Equivalence harness: pipeline runs must reproduce the single-device
+//! reference bit-for-bit up to f32 reassociation.
+//!
+//! This is the executor's load-bearing guarantee: uniform slicing, the
+//! LIFO backward, the chunked KV cache, attention context exchange, and
+//! vocabulary parallelism are all *exact* transformations of the
+//! computation — the paper's schedule changes *when and where* math
+//! happens, never *what* is computed.
+
+use crate::train::RunResult;
+use slimpipe_tensor::Tensor;
+
+/// Worst relative deviation between two runs.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    pub max_loss_diff: f64,
+    pub worst_grad_rel: f32,
+    pub worst_grad_name: String,
+}
+
+fn rel_diff(a: &Tensor, b: &Tensor) -> f32 {
+    let scale = b
+        .as_slice()
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()))
+        .max(1e-6);
+    a.max_abs_diff(b) / scale
+}
+
+/// Compare `got` against the reference `want`.
+pub fn compare(got: &RunResult, want: &RunResult) -> Comparison {
+    assert_eq!(got.losses.len(), want.losses.len(), "iteration count differs");
+    let max_loss_diff = got
+        .losses
+        .iter()
+        .zip(&want.losses)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+
+    let mut worst = 0.0f32;
+    let mut worst_name = String::from("-");
+    let mut check = |name: String, a: &Tensor, b: &Tensor| {
+        let r = rel_diff(a, b);
+        if r > worst {
+            worst = r;
+            worst_name = name;
+        }
+    };
+    assert_eq!(got.layer_grads.len(), want.layer_grads.len(), "layer count differs");
+    for (li, (g, w)) in got.layer_grads.iter().zip(&want.layer_grads).enumerate() {
+        for ((name, a), (_, b)) in g.tensors().iter().zip(w.tensors().iter()) {
+            check(format!("layer{li}.{name}"), a, b);
+        }
+    }
+    check("embedding".into(), &got.embed_grad, &want.embed_grad);
+    check("output".into(), &got.out_grad, &want.out_grad);
+
+    Comparison { max_loss_diff, worst_grad_rel: worst, worst_grad_name: worst_name }
+}
+
+/// Panic unless `got` matches `want` within `tol` (relative for grads,
+/// absolute for per-token mean losses).
+pub fn assert_equivalent(got: &RunResult, want: &RunResult, tol: f32) {
+    let c = compare(got, want);
+    assert!(
+        c.max_loss_diff < tol as f64,
+        "loss diverged: {} (tol {tol})",
+        c.max_loss_diff
+    );
+    assert!(
+        c.worst_grad_rel < tol,
+        "gradient diverged at {}: rel {} (tol {tol})",
+        c.worst_grad_name,
+        c.worst_grad_rel
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ExecConfig;
+    use crate::schedule::PipelineKind;
+    use crate::train::{run_pipeline, run_reference};
+
+    /// The cornerstone test: SlimPipe (slicing + LIFO + chunked KV across
+    /// two threads) reproduces the reference exactly.
+    #[test]
+    fn slimpipe_matches_reference() {
+        let cfg = ExecConfig::small();
+        let want = run_reference(&cfg, 2, 0.2);
+        let got = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
+        assert_equivalent(&got, &want, 2e-3);
+    }
+
+    #[test]
+    fn slimpipe_with_context_exchange_matches_reference() {
+        let cfg = ExecConfig {
+            stages: 2,
+            slices: 8,
+            exchange: true,
+            ..ExecConfig::small()
+        };
+        let want = run_reference(&cfg, 1, 0.2);
+        let got = run_pipeline(&cfg, PipelineKind::SlimPipe, 1, 0.2);
+        assert_equivalent(&got, &want, 2e-3);
+    }
+
+    #[test]
+    fn slimpipe_with_vocab_parallelism_matches_reference() {
+        let cfg = ExecConfig {
+            stages: 2,
+            slices: 4,
+            vocab_parallel: true,
+            ..ExecConfig::small()
+        };
+        let want = run_reference(&cfg, 1, 0.2);
+        let got = run_pipeline(&cfg, PipelineKind::SlimPipe, 1, 0.2);
+        assert_equivalent(&got, &want, 2e-3);
+    }
+
+    #[test]
+    fn everything_on_matches_reference() {
+        // Exchange + vocabulary parallelism + multi-step SGD, four slices
+        // per device's worth of pipeline.
+        let cfg = ExecConfig {
+            stages: 2,
+            slices: 8,
+            microbatches: 2,
+            exchange: true,
+            vocab_parallel: true,
+            ..ExecConfig::small()
+        };
+        let want = run_reference(&cfg, 2, 0.2);
+        let got = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
+        assert_equivalent(&got, &want, 3e-3);
+    }
+
+    #[test]
+    fn classic_1f1b_matches_reference() {
+        let cfg = ExecConfig {
+            slices: 1,
+            microbatches: 4,
+            ..ExecConfig::small()
+        };
+        let want = run_reference(&cfg, 1, 0.2);
+        let got = run_pipeline(&cfg, PipelineKind::OneFOneB, 1, 0.2);
+        assert_equivalent(&got, &want, 2e-3);
+    }
+
+    #[test]
+    fn gpipe_and_terapipe_match_reference() {
+        let base = ExecConfig::small();
+        let g = ExecConfig { slices: 1, microbatches: 3, ..base };
+        assert_equivalent(
+            &run_pipeline(&g, PipelineKind::GPipe, 1, 0.2),
+            &run_reference(&g, 1, 0.2),
+            2e-3,
+        );
+        let t = ExecConfig { slices: 4, microbatches: 2, ..base };
+        assert_equivalent(
+            &run_pipeline(&t, PipelineKind::TeraPipe, 1, 0.2),
+            &run_reference(&t, 1, 0.2),
+            2e-3,
+        );
+    }
+
+    /// Figure 1 in the executor: SlimPipe's per-device activation peak is
+    /// far below classic 1F1B's on the same workload.
+    #[test]
+    fn slimpipe_peak_memory_beats_1f1b() {
+        let slim_cfg = ExecConfig {
+            stages: 2,
+            slices: 8,
+            microbatches: 4,
+            ..ExecConfig::small()
+        };
+        let classic_cfg = ExecConfig { slices: 1, ..slim_cfg };
+        let slim = run_pipeline(&slim_cfg, PipelineKind::SlimPipe, 1, 0.1);
+        let classic = run_pipeline(&classic_cfg, PipelineKind::OneFOneB, 1, 0.1);
+        // Eq. 1: (n + 2(p-1))/n / p = (8+2)/8/2 = 0.625 of classic's
+        // p-microbatch accumulation (plus the head stash on the last
+        // device, which slicing also shrinks).
+        let ratio = slim.peak_act_bytes[0] as f64 / classic.peak_act_bytes[0] as f64;
+        assert!(ratio < 0.75, "device-0 peak ratio {ratio}");
+    }
+
+    /// TeraPipe accumulates every slice of every microbatch; SlimPipe holds
+    /// roughly one microbatch's worth.
+    #[test]
+    fn slimpipe_peak_memory_beats_terapipe() {
+        let cfg = ExecConfig {
+            stages: 2,
+            slices: 8,
+            microbatches: 4,
+            ..ExecConfig::small()
+        };
+        let slim = run_pipeline(&cfg, PipelineKind::SlimPipe, 1, 0.1);
+        let tera = run_pipeline(&cfg, PipelineKind::TeraPipe, 1, 0.1);
+        let ratio = slim.peak_act_bytes[0] as f64 / tera.peak_act_bytes[0] as f64;
+        assert!(ratio < 0.5, "device-0 peak ratio vs TeraPipe {ratio}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Activation memory per layer per token, under the paper's §5 kernel stack.
+//!
+//! The paper's implementation avoids storing: flash-attention score
+//! matrices (cuDNN SDPA), the SwiGLU product (swish recomputed), and
+//! RMSNorm outputs (memory-efficient RMSNorm). What remains stashed per
+//! layer per token, in bf16, is broken down component by component in
+//! [`ActBreakdown`] so the model is auditable. The `Full` checkpointing mode
+//! reduces this to the layer input only — which reproduces the paper's §3
+//! worked example: Llama 70B at 1M context with full recomputing and `t = 8`
+//! needs `1048576 · 8192 · 80 · 2 / 8 = 160 GiB`.
+
+use crate::config::ModelConfig;
+use crate::BF16;
+
+/// Activation rematerialisation mode (§2.3, §5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Checkpoint {
+    /// Stash everything the backward pass needs (beyond §5's free savings).
+    None,
+    /// The paper's selective checkpointing: "recomputes the up projection
+    /// plus SwiGLU in an MLP layer" — drops the `gate`/`up` stash.
+    Selective,
+    /// Full checkpointing: keep only each layer's input.
+    Full,
+}
+
+/// Per-token per-layer stashed bytes, by component (all bf16).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ActBreakdown {
+    /// Residual-stream input to the attention block (`h` elements).
+    pub resid_in: f64,
+    /// Query projection output (`h`).
+    pub q: f64,
+    /// Key projection output (`g·h/a`) — doubles as the KV cache.
+    pub k: f64,
+    /// Value projection output (`g·h/a`) — doubles as the KV cache.
+    pub v: f64,
+    /// Attention output entering the output projection (`h`).
+    pub attn_out: f64,
+    /// Residual-stream input to the MLP block (`h`).
+    pub resid_mid: f64,
+    /// SwiGLU gate projection output (`H·top_k` for MoE).
+    pub gate: f64,
+    /// SwiGLU up projection output (`H·top_k` for MoE).
+    pub up: f64,
+}
+
+impl ActBreakdown {
+    /// Total stashed bytes per token per layer.
+    pub fn total(&self) -> f64 {
+        self.resid_in
+            + self.q
+            + self.k
+            + self.v
+            + self.attn_out
+            + self.resid_mid
+            + self.gate
+            + self.up
+    }
+
+    /// The KV-cache portion (k + v). The paper's §4.1.2 point: "the KV cache
+    /// imposes no memory overhead on the accumulated activation. Because the
+    /// keys and values are deliberately retained for gradient calculation."
+    pub fn kv(&self) -> f64 {
+        self.k + self.v
+    }
+}
+
+impl ModelConfig {
+    /// Component breakdown for the `Checkpoint::None` stash.
+    pub fn act_breakdown(&self) -> ActBreakdown {
+        let h = self.hidden as f64 * BF16;
+        let hkv = self.kv_hidden() as f64 * BF16;
+        let hf = self.ffn_hidden as f64 * BF16 * self.active_experts() as f64;
+        ActBreakdown {
+            resid_in: h,
+            q: h,
+            k: hkv,
+            v: hkv,
+            attn_out: h,
+            resid_mid: h,
+            gate: hf,
+            up: hf,
+        }
+    }
+
+    /// Stashed activation bytes per token per layer under `ckpt`.
+    pub fn act_bytes_per_token_layer(&self, ckpt: Checkpoint) -> f64 {
+        let b = self.act_breakdown();
+        match ckpt {
+            Checkpoint::None => b.total(),
+            Checkpoint::Selective => b.total() - b.gate - b.up,
+            Checkpoint::Full => b.resid_in,
+        }
+    }
+
+    /// KV-cache bytes per token per layer (bf16 K + V).
+    pub fn kv_bytes_per_token_layer(&self) -> f64 {
+        self.act_breakdown().kv()
+    }
+
+    /// Total activation bytes of one microbatch (`seq` tokens) across all
+    /// `L` layers with tensor parallelism `t` — the paper's `M_a` scaled to
+    /// one TP rank. Sequence parallelism keeps activations sharded by `t`
+    /// throughout, so division by `t` is uniform.
+    pub fn microbatch_act_bytes(&self, seq: u64, tp: usize, ckpt: Checkpoint) -> f64 {
+        self.act_bytes_per_token_layer(ckpt) * seq as f64 * self.layers as f64 / tp as f64
+    }
+
+    /// Extra forward FLOPs the backward pass must replay under `ckpt`
+    /// (as a fraction of one forward pass of a layer): `Full` replays the
+    /// whole layer, `Selective` replays only up-projection + SwiGLU.
+    pub fn recompute_fraction(&self, ckpt: Checkpoint) -> f64 {
+        match ckpt {
+            Checkpoint::None => 0.0,
+            Checkpoint::Full => 1.0,
+            Checkpoint::Selective => {
+                // up projection = 2·t·h·H of the layer's GEMM total; the
+                // elementwise SwiGLU itself is negligible.
+                let h = self.hidden as f64;
+                let hf = self.ffn_hidden as f64 * self.active_experts() as f64;
+                let up = 2.0 * h * hf;
+                let gemm = 2.0 * h * (h + 2.0 * self.kv_hidden() as f64)
+                    + 2.0 * h * h
+                    + 6.0 * h * hf;
+                up / gemm
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    #[test]
+    fn paper_70b_1m_full_ckpt_is_160_gib() {
+        // §3 "Immense Memory Overhead" worked example, verbatim.
+        let m = ModelConfig::llama_70b();
+        let bytes = m.microbatch_act_bytes(1_048_576, 8, Checkpoint::Full);
+        assert!((bytes / GIB - 160.0).abs() < 1e-9, "got {} GiB", bytes / GIB);
+    }
+
+    #[test]
+    fn ckpt_modes_are_strictly_ordered() {
+        let m = ModelConfig::llama_13b();
+        let none = m.act_bytes_per_token_layer(Checkpoint::None);
+        let sel = m.act_bytes_per_token_layer(Checkpoint::Selective);
+        let full = m.act_bytes_per_token_layer(Checkpoint::Full);
+        assert!(none > sel && sel > full);
+        assert_eq!(full, 2.0 * 5120.0);
+    }
+
+    #[test]
+    fn kv_cache_is_within_the_stash() {
+        // §4.1.2: retaining KV for backward means the cache is a subset of
+        // the activation stash, not an addition to it.
+        let m = ModelConfig::llama_70b();
+        let b = m.act_breakdown();
+        assert!(b.kv() < b.total());
+        assert_eq!(b.kv(), 2.0 * 2.0 * 1024.0); // g·h/a = 8·128 = 1024 per K and V
+    }
+
+    #[test]
+    fn moe_stash_scales_with_topk() {
+        let m = ModelConfig::mixtral_8x7b();
+        let b = m.act_breakdown();
+        assert_eq!(b.gate, 2.0 * 14336.0 * 2.0); // bf16 · H · top_k
+    }
+
+    #[test]
+    fn recompute_fraction_bounds() {
+        let m = ModelConfig::llama_13b();
+        assert_eq!(m.recompute_fraction(Checkpoint::None), 0.0);
+        assert_eq!(m.recompute_fraction(Checkpoint::Full), 1.0);
+        let sel = m.recompute_fraction(Checkpoint::Selective);
+        assert!(sel > 0.0 && sel < 0.5, "selective replays a minority: {sel}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Model zoo (paper Table 3) and architecture hyper-parameters.
+
+/// Mixture-of-Experts configuration. The paper routes 2 of 8 experts per
+/// token with a perfectly balanced router for performance measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoeConfig {
+    /// Number of experts per MoE layer (`8` for the Mixtral series).
+    pub experts: usize,
+    /// Experts activated per token (`2` in the paper's evaluation).
+    pub top_k: usize,
+}
+
+/// A transformer architecture, mirroring the notation of Table 3:
+/// `L` layers, `a` attention heads, `g` query groups, `h` hidden size,
+/// `H` FFN hidden size, and a 128 000-entry vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    pub name: &'static str,
+    /// `L`: number of transformer layers.
+    pub layers: usize,
+    /// `a`: number of attention (query) heads.
+    pub heads: usize,
+    /// `g`: number of query groups (equals `heads` without GQA).
+    pub query_groups: usize,
+    /// `h`: hidden dimension.
+    pub hidden: usize,
+    /// `H`: FFN hidden dimension (SwiGLU width).
+    pub ffn_hidden: usize,
+    /// `V`: vocabulary size.
+    pub vocab: usize,
+    /// MoE layers, if any (applies to every layer, as in Mixtral).
+    pub moe: Option<MoeConfig>,
+}
+
+impl ModelConfig {
+    /// Per-head dimension `h / a`.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Combined key (or value) projection width `g · h/a`.
+    pub fn kv_hidden(&self) -> usize {
+        self.head_dim() * self.query_groups
+    }
+
+    /// `true` for Mixtral-style MoE models.
+    pub fn is_moe(&self) -> bool {
+        self.moe.is_some()
+    }
+
+    /// Experts whose FFN weights exist per layer (1 for dense models).
+    pub fn expert_count(&self) -> usize {
+        self.moe.map_or(1, |m| m.experts)
+    }
+
+    /// Experts each token's computation flows through (1 for dense models).
+    pub fn active_experts(&self) -> usize {
+        self.moe.map_or(1, |m| m.top_k)
+    }
+
+    // ---- Table 3 presets -------------------------------------------------
+
+    /// Llama 7B (Figure 2's caption model). Standard Llama-1/2 7B geometry
+    /// with the paper's 128 000-entry vocabulary.
+    pub fn llama_7b() -> Self {
+        Self {
+            name: "Llama 7B",
+            layers: 32,
+            heads: 32,
+            query_groups: 32,
+            hidden: 4096,
+            ffn_hidden: 11008,
+            vocab: 128_000,
+            moe: None,
+        }
+    }
+
+    /// Llama 13B (Table 3 row 1): no GQA.
+    pub fn llama_13b() -> Self {
+        Self {
+            name: "Llama 13B",
+            layers: 40,
+            heads: 40,
+            query_groups: 40,
+            hidden: 5120,
+            ffn_hidden: 13824,
+            vocab: 128_000,
+            moe: None,
+        }
+    }
+
+    /// Llama 70B (Table 3 row 2).
+    pub fn llama_70b() -> Self {
+        Self {
+            name: "Llama 70B",
+            layers: 80,
+            heads: 64,
+            query_groups: 8,
+            hidden: 8192,
+            ffn_hidden: 28672,
+            vocab: 128_000,
+            moe: None,
+        }
+    }
+
+    /// Llama 149B (Table 3 row 3).
+    pub fn llama_149b() -> Self {
+        Self {
+            name: "Llama 149B",
+            layers: 96,
+            heads: 96,
+            query_groups: 8,
+            hidden: 12288,
+            ffn_hidden: 32768,
+            vocab: 128_000,
+            moe: None,
+        }
+    }
+
+    /// Mixtral 8x7B (Table 3 row 4).
+    pub fn mixtral_8x7b() -> Self {
+        Self {
+            name: "Mixtral 8x7B",
+            layers: 32,
+            heads: 32,
+            query_groups: 8,
+            hidden: 4096,
+            ffn_hidden: 14336,
+            vocab: 128_000,
+            moe: Some(MoeConfig { experts: 8, top_k: 2 }),
+        }
+    }
+
+    /// Mixtral 8x22B (Table 3 row 5).
+    pub fn mixtral_8x22b() -> Self {
+        Self {
+            name: "Mixtral 8x22B",
+            layers: 56,
+            heads: 48,
+            query_groups: 8,
+            hidden: 6144,
+            ffn_hidden: 16384,
+            vocab: 128_000,
+            moe: Some(MoeConfig { experts: 8, top_k: 2 }),
+        }
+    }
+
+    /// The four models of the end-to-end evaluation (Figure 12, Table 4).
+    pub fn evaluation_zoo() -> Vec<Self> {
+        vec![
+            Self::llama_70b(),
+            Self::llama_149b(),
+            Self::mixtral_8x7b(),
+            Self::mixtral_8x22b(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_geometry_is_consistent() {
+        for m in [
+            ModelConfig::llama_7b(),
+            ModelConfig::llama_13b(),
+            ModelConfig::llama_70b(),
+            ModelConfig::llama_149b(),
+            ModelConfig::mixtral_8x7b(),
+            ModelConfig::mixtral_8x22b(),
+        ] {
+            assert_eq!(m.hidden % m.heads, 0, "{}", m.name);
+            assert_eq!(m.heads % m.query_groups, 0, "{}", m.name);
+            assert_eq!(m.kv_hidden() * m.heads / m.query_groups, m.hidden, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn gqa_models_have_8_groups() {
+        // Figure 12's DeepSpeed discussion hinges on "only 8 query groups".
+        assert_eq!(ModelConfig::llama_70b().query_groups, 8);
+        assert_eq!(ModelConfig::mixtral_8x7b().query_groups, 8);
+        assert_eq!(ModelConfig::llama_13b().query_groups, 40);
+    }
+}

@@ -1,0 +1,157 @@
+//! FLOP accounting with exact causal-attention pair counts.
+//!
+//! The paper's load-balancing argument (§4.2) is entirely about the number
+//! of attended `(query, key)` pairs: "the computation time is in proportion
+//! to the length of attended key-value". We therefore account attention in
+//! *pairs* and convert to FLOPs with `4·h` FLOPs per pair (QKᵀ and AV, two
+//! FLOPs per multiply-add each), which makes slice workloads, context
+//! exchange balancing, and the simulator all share one ground truth.
+
+use crate::config::ModelConfig;
+
+/// Number of `(query, key)` pairs attended by `q_len` causal queries whose
+/// first query sits at global position `q_start` (keys at positions
+/// `0..=query`). Exact, not the `s²/2` approximation.
+pub fn causal_pairs(q_start: u64, q_len: u64) -> u128 {
+    // Σ_{i=0}^{q_len-1} (q_start + i + 1)
+    let n = q_len as u128;
+    n * (q_start as u128 + 1) + n * (n.saturating_sub(1)) / 2
+}
+
+/// Pairs attended by slice `i` of `n` uniform slices of a `seq`-token
+/// sequence.
+pub fn slice_pairs(seq: u64, n: u64, i: u64) -> u128 {
+    assert!(seq % n == 0, "uniform slicing requires n | seq");
+    assert!(i < n, "slice index out of range");
+    let l = seq / n;
+    causal_pairs(i * l, l)
+}
+
+/// Forward FLOPs of one transformer layer, split by operator class. The
+/// split matters because the simulator applies different hardware
+/// efficiencies to GEMM-like and attention-like work, and because ZB-V's
+/// B/W decomposition needs to know which FLOPs have weight gradients.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LayerFlops {
+    /// QKV projection, output projection, MLP / expert GEMMs (have weights).
+    pub gemm: f64,
+    /// Core attention `softmax(QKᵀ)V` (weight-free: `T_w = 0`).
+    pub attn: f64,
+}
+
+impl LayerFlops {
+    pub fn total(&self) -> f64 {
+        self.gemm + self.attn
+    }
+}
+
+impl ModelConfig {
+    /// Forward FLOPs of one layer processing `tokens` query tokens that
+    /// attend `pairs` causal pairs. For a full sequence `s`,
+    /// `pairs = causal_pairs(0, s)`.
+    pub fn layer_fwd_flops(&self, tokens: u64, pairs: u128) -> LayerFlops {
+        let h = self.hidden as f64;
+        let hkv = self.kv_hidden() as f64;
+        let hf = self.ffn_hidden as f64;
+        let t = tokens as f64;
+        let qkv = 2.0 * t * h * (h + 2.0 * hkv);
+        let out = 2.0 * t * h * h;
+        // SwiGLU: gate + up + down projections.
+        let mlp = 6.0 * t * h * hf * self.active_experts() as f64;
+        let attn = 4.0 * h * pairs as f64;
+        LayerFlops { gemm: qkv + out + mlp, attn }
+    }
+
+    /// Forward FLOPs of the output layer (vocabulary GEMM) for `tokens`.
+    pub fn output_fwd_flops(&self, tokens: u64) -> f64 {
+        2.0 * tokens as f64 * self.hidden as f64 * self.vocab as f64
+    }
+
+    /// Forward FLOPs of the whole model for one sequence of length `seq`.
+    pub fn model_fwd_flops(&self, seq: u64) -> f64 {
+        let per_layer = self.layer_fwd_flops(seq, causal_pairs(0, seq));
+        per_layer.total() * self.layers as f64 + self.output_fwd_flops(seq)
+    }
+
+    /// *Model FLOPs* of one training iteration over `seqs` sequences of
+    /// length `seq` — the MFU numerator. Backward ≈ 2× forward; activation
+    /// recomputation deliberately does **not** count (it inflates time, not
+    /// model FLOPs, which is exactly why full checkpointing lowers MFU).
+    pub fn model_flops_per_iter(&self, seq: u64, seqs: u64) -> f64 {
+        3.0 * self.model_fwd_flops(seq) * seqs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_full_sequence_is_triangular() {
+        assert_eq!(causal_pairs(0, 1), 1);
+        assert_eq!(causal_pairs(0, 4), 1 + 2 + 3 + 4);
+        assert_eq!(causal_pairs(0, 1000), 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn pairs_with_prefix_offset() {
+        // Two queries at positions 5 and 6 attend 6 and 7 keys.
+        assert_eq!(causal_pairs(5, 2), 13);
+    }
+
+    #[test]
+    fn slice_pairs_partition_the_total() {
+        let (seq, n) = (4096u64, 8u64);
+        let sum: u128 = (0..n).map(|i| slice_pairs(seq, n, i)).sum();
+        assert_eq!(sum, causal_pairs(0, seq));
+    }
+
+    #[test]
+    fn later_slices_attend_more() {
+        let (seq, n) = (1024u64, 4u64);
+        let p: Vec<u128> = (0..n).map(|i| slice_pairs(seq, n, i)).collect();
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+        // Arithmetic progression with common difference l² (paper §4.2.1).
+        let l = (seq / n) as u128;
+        assert_eq!(p[1] - p[0], l * l);
+        assert_eq!(p[2] - p[1], l * l);
+    }
+
+    #[test]
+    fn attention_share_grows_with_context() {
+        // §2.2: "the computational complexity of attention is quadratic with
+        // respect to context length, the attention component tends to
+        // dominate" — our FLOPs model must reproduce that.
+        let m = ModelConfig::llama_13b();
+        let share = |s: u64| {
+            let f = m.layer_fwd_flops(s, causal_pairs(0, s));
+            f.attn / f.total()
+        };
+        assert!(share(8_192) < share(262_144));
+        assert!(share(262_144) < share(2_097_152));
+        assert!(share(2_097_152) > 0.5, "attention should dominate at 2M");
+    }
+
+    #[test]
+    fn moe_activates_topk_expert_flops() {
+        let dense = ModelConfig {
+            moe: None,
+            ..ModelConfig::mixtral_8x7b()
+        };
+        let moe = ModelConfig::mixtral_8x7b();
+        let fd = dense.layer_fwd_flops(1024, causal_pairs(0, 1024));
+        let fm = moe.layer_fwd_flops(1024, causal_pairs(0, 1024));
+        // MoE GEMM = dense GEMM + one extra expert's MLP.
+        let mlp_one = 6.0 * 1024.0 * 4096.0 * 14336.0;
+        assert!((fm.gemm - fd.gemm - mlp_one).abs() / fm.gemm < 1e-12);
+        assert_eq!(fd.attn, fm.attn);
+    }
+
+    #[test]
+    fn iter_flops_scale_linearly_in_batch() {
+        let m = ModelConfig::llama_70b();
+        let one = m.model_flops_per_iter(65_536, 1);
+        let eight = m.model_flops_per_iter(65_536, 8);
+        assert!((eight / one - 8.0).abs() < 1e-12);
+    }
+}

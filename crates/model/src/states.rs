@@ -1,0 +1,85 @@
+//! Parameter counts (verified against Table 3) and model-state bytes.
+//!
+//! Training precision follows §6.1: bf16 parameters, float32 gradient
+//! accumulation and loss, Adam with float32 internal states. With Megatron's
+//! distributed optimizer the fp32 master weights and both Adam moments shard
+//! across the data-parallel group.
+
+use crate::config::ModelConfig;
+use crate::{BF16, FP32};
+
+impl ModelConfig {
+    /// Parameters of one transformer layer (attention + MLP/experts + norms
+    /// + router for MoE).
+    pub fn layer_params(&self) -> f64 {
+        let h = self.hidden as f64;
+        let hkv = self.kv_hidden() as f64;
+        let hf = self.ffn_hidden as f64;
+        let qkv = h * (h + 2.0 * hkv);
+        let out = h * h;
+        let mlp = 3.0 * h * hf * self.expert_count() as f64;
+        let router = if self.is_moe() { h * self.expert_count() as f64 } else { 0.0 };
+        let norms = 2.0 * h;
+        qkv + out + mlp + router + norms
+    }
+
+    /// Parameters of the FFN experts only (the part expert parallelism
+    /// shards), per layer.
+    pub fn layer_expert_params(&self) -> f64 {
+        3.0 * self.hidden as f64 * self.ffn_hidden as f64 * self.expert_count() as f64
+    }
+
+    /// Word-embedding parameters. The output projection shares these weights
+    /// (§4.3 cites Press & Wolf tying), so they are counted once.
+    pub fn embedding_params(&self) -> f64 {
+        self.vocab as f64 * self.hidden as f64
+    }
+
+    /// Total parameters (Table 3's `#Params`, "including parameters in the
+    /// 128,000 sized vocabulary").
+    pub fn total_params(&self) -> f64 {
+        self.layer_params() * self.layers as f64
+            + self.embedding_params()
+            + self.hidden as f64 // final norm
+    }
+
+    /// Model-state bytes per parameter: bf16 weight + fp32 gradient
+    /// accumulator resident per rank, plus fp32 master weight and two Adam
+    /// moments sharded across `dp` ranks by the distributed optimizer.
+    pub fn state_bytes_per_param(dp: usize) -> f64 {
+        BF16 + FP32 + 3.0 * FP32 / dp as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(m: ModelConfig, expect_billions: f64) {
+        let got = m.total_params() / 1e9;
+        let rel = (got - expect_billions).abs() / expect_billions;
+        assert!(rel < 0.01, "{}: got {got:.2}B, expected {expect_billions}B", m.name);
+    }
+
+    #[test]
+    fn table3_param_counts() {
+        check(ModelConfig::llama_13b(), 13.3);
+        check(ModelConfig::llama_70b(), 69.5);
+        check(ModelConfig::llama_149b(), 148.9);
+        check(ModelConfig::mixtral_8x7b(), 47.0);
+        check(ModelConfig::mixtral_8x22b(), 141.0);
+    }
+
+    #[test]
+    fn state_bytes_shrink_with_dp() {
+        // 18 B/param standalone, approaching 6 B/param at large DP.
+        assert_eq!(ModelConfig::state_bytes_per_param(1), 18.0);
+        assert!(ModelConfig::state_bytes_per_param(64) < 6.2);
+    }
+
+    #[test]
+    fn expert_params_dominate_moe_layers() {
+        let m = ModelConfig::mixtral_8x7b();
+        assert!(m.layer_expert_params() / m.layer_params() > 0.9);
+    }
+}

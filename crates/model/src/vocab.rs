@@ -1,0 +1,61 @@
+//! Output-layer (vocabulary GEMM + cross-entropy) cost and memory.
+//!
+//! §3 "Imbalanced Model Partition" and §4.3: the output layer projects into
+//! a 128 000-wide vocabulary and the following cross-entropy keeps the
+//! logits in float32 for gradient calculation — "with a context length of
+//! 256K and a vocabulary size of 128,000, it consumes about 16 GiB of GPU
+//! memory even in 8-way TP".
+
+use crate::config::ModelConfig;
+use crate::FP32;
+
+impl ModelConfig {
+    /// Float32 logits bytes for `tokens` when the vocabulary is sharded
+    /// `shards` ways (TP shards × optional vocabulary-parallel PP shards).
+    pub fn logits_bytes(&self, tokens: u64, shards: usize) -> f64 {
+        tokens as f64 * self.vocab as f64 * FP32 / shards as f64
+    }
+
+    /// Output-layer weight parameters held per shard when the (tied)
+    /// embedding is split `shards` ways.
+    pub fn vocab_shard_params(&self, shards: usize) -> f64 {
+        self.embedding_params() / shards as f64
+    }
+
+    /// Fraction of one full-model forward spent in the output layer — the
+    /// imbalance the last pipeline device suffers without §4.3.
+    pub fn output_layer_share(&self, seq: u64) -> f64 {
+        self.output_fwd_flops(seq) / self.model_fwd_flops(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GIB;
+
+    #[test]
+    fn paper_256k_logits_are_16_gib_at_tp8() {
+        let m = ModelConfig::llama_13b(); // any model: logits depend on V only
+        let bytes = m.logits_bytes(262_144, 8);
+        assert!((bytes / GIB - 15.625).abs() < 1e-9, "got {}", bytes / GIB);
+        // The paper rounds to "about 16 GiB".
+        assert!((bytes / GIB - 16.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn vocab_parallelism_divides_logits_by_p() {
+        let m = ModelConfig::llama_13b();
+        let tp_only = m.logits_bytes(262_144, 8);
+        let with_vp = m.logits_bytes(262_144, 8 * 4);
+        assert!((tp_only / with_vp - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_share_shrinks_with_context() {
+        // Attention grows quadratically, the vocab GEMM linearly, so the
+        // output layer matters most at short context.
+        let m = ModelConfig::llama_13b();
+        assert!(m.output_layer_share(8_192) > m.output_layer_share(524_288));
+    }
+}

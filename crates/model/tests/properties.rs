@@ -1,0 +1,92 @@
+//! Property-based tests on the analytical cost model.
+
+use proptest::prelude::*;
+use slimpipe_model::flops::slice_pairs;
+use slimpipe_model::{causal_pairs, Checkpoint, ModelConfig};
+
+fn zoo() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::llama_7b(),
+        ModelConfig::llama_13b(),
+        ModelConfig::llama_70b(),
+        ModelConfig::llama_149b(),
+        ModelConfig::mixtral_8x7b(),
+        ModelConfig::mixtral_8x22b(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pair counts are additive over any contiguous query split.
+    #[test]
+    fn pairs_are_additive(start in 0u64..10_000, a in 1u64..5_000, b in 1u64..5_000) {
+        let whole = causal_pairs(start, a + b);
+        let split = causal_pairs(start, a) + causal_pairs(start + a, b);
+        prop_assert_eq!(whole, split);
+    }
+
+    /// Uniform slice pairs always sum to the sequence total and are
+    /// strictly increasing in the slice index.
+    #[test]
+    fn slice_pairs_partition_and_increase(l in 1u64..4_096, n in 2u64..32) {
+        let seq = l * n;
+        let parts: Vec<u128> = (0..n).map(|i| slice_pairs(seq, n, i)).collect();
+        prop_assert_eq!(parts.iter().sum::<u128>(), causal_pairs(0, seq));
+        prop_assert!(parts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Model FLOPs strictly increase with sequence length, superlinearly
+    /// (causal attention is quadratic).
+    #[test]
+    fn flops_superlinear_in_context(model_idx in 0usize..6, s_pow in 10u32..18) {
+        let m = &zoo()[model_idx];
+        let s = 1u64 << s_pow;
+        let f1 = m.model_fwd_flops(s);
+        let f2 = m.model_fwd_flops(2 * s);
+        prop_assert!(f2 > 2.0 * f1, "{}: {f1} -> {f2}", m.name);
+        prop_assert!(f2 < 4.0 * f1 + 1.0, "at most quadratic");
+    }
+
+    /// Activation bytes are ordered None > Selective > Full for every
+    /// model, and full-ckpt is exactly 2·h bytes/token/layer.
+    #[test]
+    fn ckpt_ordering_holds_for_all_models(model_idx in 0usize..6) {
+        let m = &zoo()[model_idx];
+        let none = m.act_bytes_per_token_layer(Checkpoint::None);
+        let sel = m.act_bytes_per_token_layer(Checkpoint::Selective);
+        let full = m.act_bytes_per_token_layer(Checkpoint::Full);
+        prop_assert!(none > sel && sel > full);
+        prop_assert_eq!(full, 2.0 * m.hidden as f64);
+    }
+
+    /// Microbatch activation bytes scale linearly in sequence length and
+    /// inversely in TP.
+    #[test]
+    fn act_bytes_scaling(model_idx in 0usize..6, s_pow in 12u32..20, tp_pow in 0u32..4) {
+        let m = &zoo()[model_idx];
+        let s = 1u64 << s_pow;
+        let tp = 1usize << tp_pow;
+        let base = m.microbatch_act_bytes(s, 1, Checkpoint::None);
+        prop_assert!((m.microbatch_act_bytes(2 * s, 1, Checkpoint::None) / base - 2.0).abs() < 1e-9);
+        prop_assert!((base / m.microbatch_act_bytes(s, tp, Checkpoint::None) - tp as f64).abs() < 1e-9);
+    }
+
+    /// Logits memory divides exactly by the shard count.
+    #[test]
+    fn logits_shard_exactly(tokens in 1u64..100_000, shards in 1usize..64) {
+        let m = ModelConfig::llama_13b();
+        let full = m.logits_bytes(tokens, 1);
+        let sharded = m.logits_bytes(tokens, shards);
+        prop_assert!((full / sharded - shards as f64).abs() < 1e-9);
+    }
+
+    /// State bytes per parameter are monotone decreasing in DP and bounded
+    /// by [6, 18].
+    #[test]
+    fn state_bytes_bounds(dp in 1usize..512) {
+        let b = ModelConfig::state_bytes_per_param(dp);
+        prop_assert!(b <= 18.0 && b > 6.0);
+        prop_assert!(ModelConfig::state_bytes_per_param(dp + 1) <= b);
+    }
+}

@@ -1,0 +1,176 @@
+//! DeepSpeed system model: ZeRO-3 + Ulysses sequence parallelism (§2.1,
+//! §6.4).
+//!
+//! No pipeline: the cluster splits into `d` data-parallel replicas of `u`
+//! Ulysses ranks. Feasibility encodes the paper's two failure modes
+//! verbatim: *"the batch size 8 is not enough for a larger DP size. It
+//! cannot enlarge the UP size because there are only 8 query groups."*
+//!
+//! Timing: GEMMs run on `seq/u` local tokens; attention runs full-sequence
+//! on `heads/u` heads after all-to-alls; ZeRO-3 re-gathers parameters
+//! layer by layer on every pass and reduce-scatters gradients.
+
+use crate::config::{ParallelConfig, SchemeKind};
+use crate::estimate::{Estimate, EstimateError};
+use slimpipe_cluster::{collectives, Cluster, Efficiency, OpClass, Phase};
+use slimpipe_model::flops::causal_pairs;
+use slimpipe_model::{Checkpoint, ModelConfig, BF16, FP32, GIB};
+
+/// Fraction of ZeRO/Ulysses communication overlapped with compute.
+const ZERO_OVERLAP: f64 = 0.5;
+/// DeepSpeed's chunked loss keeps the logits workspace bounded.
+const LOGITS_WORKSPACE_TOKENS: u64 = 4096;
+
+/// Estimate DeepSpeed with Ulysses degree `u` and DP degree `d`.
+pub fn estimate_deepspeed(
+    model: &ModelConfig,
+    u: usize,
+    d: usize,
+    ckpt: Checkpoint,
+    cluster: &Cluster,
+    seq: u64,
+    tokens_per_iter: u64,
+) -> Result<Estimate, EstimateError> {
+    let gpus = u * d;
+    // --- feasibility (the paper's §6.4 constraints) ---
+    if model.heads % u != 0 || u > model.query_groups {
+        return Err(EstimateError::Invalid(format!(
+            "Ulysses degree {u} exceeds query groups ({})",
+            model.query_groups
+        )));
+    }
+    if tokens_per_iter % seq != 0 {
+        return Err(EstimateError::Invalid("seq does not divide token budget".into()));
+    }
+    let batch = tokens_per_iter / seq;
+    if batch % d as u64 != 0 || batch < d as u64 {
+        return Err(EstimateError::Invalid(format!(
+            "batch {batch} is not enough for DP size {d}"
+        )));
+    }
+    let m = (batch / d as u64) as usize;
+
+    // --- memory ---
+    let p_total = model.total_params();
+    let states = p_total * (BF16 + FP32 + 3.0 * FP32) / gpus as f64;
+    // Working set: ZeRO-3 keeps ~2 gathered layers resident.
+    let gathered = 2.0 * model.layer_params() * BF16;
+    let act = model.microbatch_act_bytes(seq, 1, ckpt) / u as f64;
+    let logits = model.logits_bytes(LOGITS_WORKSPACE_TOKENS.min(seq / u as u64), 1);
+    let peak = states + gathered + act + logits;
+    let budget = cluster.gpu.usable_bytes();
+    if peak > budget {
+        return Err(EstimateError::Oom {
+            needed_gib: peak / GIB,
+            budget_gib: budget / GIB,
+        });
+    }
+
+    // --- per-microbatch time ---
+    let eff = Efficiency::hopper();
+    let peak_flops = cluster.gpu.peak_flops;
+    let lf = model.layer_fwd_flops(seq, causal_pairs(0, seq));
+    let tokens_local = seq as f64 / u as f64;
+    let l = model.layers as f64;
+    let gemm_f = lf.gemm * l / u as f64;
+    let attn_f = lf.attn * l / u as f64;
+    let out_f = model.output_fwd_flops(seq) / u as f64;
+    let mean_kv = causal_pairs(0, seq) as f64 / seq as f64;
+    let recompute = model.recompute_fraction(ckpt);
+
+    let t_fwd = eff.op_time(OpClass::Gemm, Phase::Forward, gemm_f + out_f, tokens_local, peak_flops)
+        + eff.op_time(OpClass::Attention, Phase::Forward, attn_f, mean_kv, peak_flops);
+    let t_bwd = eff.op_time(
+        OpClass::Gemm,
+        Phase::Backward,
+        2.0 * (gemm_f + out_f),
+        tokens_local,
+        peak_flops,
+    ) + eff.op_time(OpClass::Attention, Phase::Backward, 2.0 * attn_f, mean_kv, peak_flops)
+        + recompute * t_fwd;
+
+    // Ulysses: 4 all-to-alls per layer per direction on the local shard.
+    let ulysses_link = cluster.link_for_span(u);
+    let a2a_bytes = tokens_local * model.hidden as f64 * BF16;
+    let t_ulysses = 8.0 * l * collectives::all_to_all(a2a_bytes, u, ulysses_link);
+
+    // ZeRO-3: gather params per layer on forward and backward, scatter
+    // gradients on backward. Parameter collectives span all ranks (NIC).
+    let zero_link = cluster.link_for_span(gpus.max(cluster.gpus_per_node + 1));
+    let layer_bytes = model.layer_params() * BF16;
+    let t_zero = l
+        * (2.0 * collectives::all_gather(layer_bytes, gpus, zero_link)
+            + collectives::reduce_scatter(model.layer_params() * FP32, gpus, zero_link));
+
+    let t_mb = t_fwd + t_bwd + (t_ulysses + t_zero) * (1.0 - ZERO_OVERLAP);
+    let iter_time = t_mb * m as f64;
+
+    let flops = model.model_flops_per_iter(seq, batch);
+    let mfu = slimpipe_sim::metrics::mfu(flops, iter_time, gpus, peak_flops);
+    Ok(Estimate {
+        cfg: ParallelConfig {
+            tp: u,
+            cp: 1,
+            ep: 1,
+            dp: d,
+            pp: 1,
+            scheme: SchemeKind::OneFOneB,
+            ckpt,
+            offload: 0.0,
+        },
+        mfu,
+        iter_time,
+        pp_time: iter_time,
+        dp_time: 0.0,
+        offload_stall: 0.0,
+        bubble_fraction: 0.0,
+        peak_gib: peak / GIB,
+        peak_rank: 0,
+        microbatches: m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_feasibility_wall_at_512k_on_128_gpus() {
+        // §6.4: "DeepSpeed fails to run with a 512K context length on a
+        // total of 128 GPUs (no viable configuration), because the batch
+        // size 8 is not enough for a larger DP size. It cannot enlarge the
+        // UP size because there are only 8 query groups."
+        let m = ModelConfig::llama_70b(); // 8 query groups
+        let cl = Cluster::hopper_nvlink();
+        let seq = 524_288;
+        let tokens = 4u64 << 20; // batch = 8
+        for u in [1usize, 2, 4, 8] {
+            let d = 128 / u;
+            let r = estimate_deepspeed(&m, u, d, Checkpoint::Full, &cl, seq, tokens);
+            assert!(r.is_err(), "u={u} d={d} should be infeasible");
+        }
+        // u=16 would make d=8 work, but 16 > 8 query groups.
+        let r = estimate_deepspeed(&m, 16, 8, Checkpoint::Full, &cl, seq, tokens);
+        assert!(matches!(r, Err(EstimateError::Invalid(_))));
+    }
+
+    #[test]
+    fn short_context_config_is_feasible() {
+        let m = ModelConfig::llama_70b();
+        let cl = Cluster::hopper_nvlink();
+        let est =
+            estimate_deepspeed(&m, 8, 16, Checkpoint::Full, &cl, 65_536, 4 << 20).unwrap();
+        assert!(est.mfu > 0.05 && est.mfu < 0.7, "mfu={}", est.mfu);
+    }
+
+    #[test]
+    fn deepspeed_trails_at_long_context() {
+        // The ZeRO-3 regather + full-ckpt overhead should put DeepSpeed
+        // below a plausible SlimPipe MFU at 256K (Figure 12's pattern).
+        let m = ModelConfig::llama_70b();
+        let cl = Cluster::hopper_nvlink();
+        let ds =
+            estimate_deepspeed(&m, 8, 16, Checkpoint::Full, &cl, 262_144, 4 << 20).unwrap();
+        assert!(ds.mfu < 0.45, "ds mfu={}", ds.mfu);
+    }
+}

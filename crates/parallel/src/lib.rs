@@ -1,0 +1,26 @@
+//! Hybrid parallelism systems: composing TP(+SP), CP, EP, DP(ZeRO) with
+//! pipeline parallelism, assembling per-device memory, estimating
+//! end-to-end iteration time, and grid-searching configurations exactly the
+//! way the paper bakes them (§6.4: "their hybrid parallelism configurations
+//! are baked through grid search").
+//!
+//! Three *systems* are modelled, matching Figure 12's contenders:
+//!
+//! * **SlimPipe** — this paper: slice-wise 1F1B + context exchange +
+//!   vocabulary parallelism, composed with TP/CP/EP/DP.
+//! * **Megatron-LM** — interleaved (or plain) 1F1B with the same
+//!   TP/CP/EP/DP substrate, no slicing, output layer on the last stage.
+//! * **DeepSpeed** — ZeRO-3 + Ulysses sequence parallelism (no pipeline),
+//!   with the paper's feasibility constraints (UP ≤ query groups, DP ≤
+//!   batch).
+
+pub mod config;
+pub mod deepspeed;
+pub mod dp;
+pub mod estimate;
+pub mod memory;
+pub mod search;
+
+pub use config::{ParallelConfig, SchemeKind, SystemKind};
+pub use estimate::{estimate, Estimate, EstimateError};
+pub use search::{best_config, SearchOutcome};

@@ -1,0 +1,133 @@
+//! Per-device memory assembly: model states + activations + logits.
+
+use crate::config::ParallelConfig;
+use slimpipe_model::{ModelConfig, BF16};
+use slimpipe_sched::Schedule;
+use slimpipe_sim::cost::PipelineEnv;
+
+/// Model-state bytes on one device of pipeline rank `rank`.
+///
+/// * transformer layers shard by `pp` (layers), `tp` (within layer), and
+///   for MoE the expert weights additionally by `ep`;
+/// * the tied embedding/output weight lives on the first and last pipeline
+///   devices (Megatron) or is spread over all `p` with vocabulary
+///   parallelism;
+/// * per-parameter state bytes follow `ModelConfig::state_bytes_per_param`
+///   (bf16 weight + fp32 grad + Adam states sharded by `dp`).
+pub fn device_state_bytes(
+    model: &ModelConfig,
+    cfg: &ParallelConfig,
+    vocab_parallel: bool,
+    rank: usize,
+) -> f64 {
+    let dense_layer = model.layer_params() - model.layer_expert_params();
+    let expert_layer = model.layer_expert_params();
+    let layers_here = model.layers as f64 / cfg.pp as f64;
+    let mut params = layers_here
+        * (dense_layer / cfg.tp as f64 + expert_layer / (cfg.tp * cfg.ep) as f64);
+    let embed = model.embedding_params() / cfg.tp as f64;
+    if vocab_parallel {
+        params += embed / cfg.pp as f64;
+    } else if rank == 0 || rank == cfg.pp - 1 {
+        params += embed;
+    }
+    params * ModelConfig::state_bytes_per_param(cfg.dp)
+}
+
+/// KV-cache bytes shipped around by context exchange are transient; the
+/// persistent per-device total is states + resident activations + logits.
+pub fn device_total_bytes(
+    model: &ModelConfig,
+    cfg: &ParallelConfig,
+    sched: &Schedule,
+    env: &PipelineEnv,
+    rank: usize,
+) -> f64 {
+    let states = device_state_bytes(model, cfg, env.vocab_parallel, rank);
+    let act = slimpipe_sim::memory::device_peak_act_bytes(sched, env, rank)
+        * (1.0 - cfg.offload);
+    let logits = slimpipe_sim::memory::device_peak_logits_bytes(sched, env, rank);
+    // Pipeline boundary send/recv staging buffers (double-buffered).
+    let staging = 4.0 * env.seq as f64 / sched.slices as f64 * model.hidden as f64 * BF16
+        / env.tp as f64;
+    states + act + logits + staging
+}
+
+/// Worst device total and its rank.
+pub fn worst_device_bytes(
+    model: &ModelConfig,
+    cfg: &ParallelConfig,
+    sched: &Schedule,
+    env: &PipelineEnv,
+) -> (f64, usize) {
+    (0..cfg.pp)
+        .map(|r| (device_total_bytes(model, cfg, sched, env, r), r))
+        .fold((0.0, 0), |acc, x| if x.0 > acc.0 { x } else { acc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchemeKind;
+    use slimpipe_model::{Checkpoint, GIB};
+
+    fn cfg(pp: usize, scheme: SchemeKind) -> ParallelConfig {
+        ParallelConfig {
+            tp: 8,
+            cp: 1,
+            ep: 1,
+            dp: 1,
+            pp,
+            scheme,
+            ckpt: Checkpoint::None,
+            offload: 0.0,
+        }
+    }
+
+    #[test]
+    fn states_shrink_with_pipeline_size() {
+        let m = ModelConfig::llama_70b();
+        let c2 = cfg(2, SchemeKind::OneFOneB);
+        let c8 = cfg(8, SchemeKind::OneFOneB);
+        let s2 = device_state_bytes(&m, &c2, false, 1);
+        let s8 = device_state_bytes(&m, &c8, false, 1);
+        assert!(s2 / s8 > 3.5, "states should scale ~1/p: {} vs {}", s2, s8);
+    }
+
+    #[test]
+    fn moe_experts_shard_by_ep() {
+        let m = ModelConfig::mixtral_8x7b();
+        let mut c = cfg(4, SchemeKind::OneFOneB);
+        let dense = device_state_bytes(&m, &c, false, 1);
+        c.ep = 8;
+        let sharded = device_state_bytes(&m, &c, false, 1);
+        assert!(dense / sharded > 5.0, "{dense} vs {sharded}");
+    }
+
+    #[test]
+    fn embedding_lands_on_edge_devices_without_vp() {
+        let m = ModelConfig::llama_13b();
+        let c = cfg(4, SchemeKind::OneFOneB);
+        let edge = device_state_bytes(&m, &c, false, 0);
+        let mid = device_state_bytes(&m, &c, false, 1);
+        assert!(edge > mid);
+        // With vocabulary parallelism every device gets an equal share.
+        let vp0 = device_state_bytes(&m, &c, true, 0);
+        let vp1 = device_state_bytes(&m, &c, true, 1);
+        assert_eq!(vp0, vp1);
+    }
+
+    #[test]
+    fn offload_reduces_resident_activation() {
+        let model = ModelConfig::llama_13b();
+        let mut c = cfg(4, SchemeKind::SlimPipe { n: 8, v: 1 });
+        let sched = c.scheme.build(4, 2).unwrap();
+        let mut env = PipelineEnv::test_default(model.clone(), 131_072);
+        env.tp = c.tp;
+        let full = device_total_bytes(&model, &c, &sched, &env, 0);
+        c.offload = 0.8;
+        let off = device_total_bytes(&model, &c, &sched, &env, 0);
+        assert!(off < full);
+        assert!(full / GIB > 0.0);
+    }
+}

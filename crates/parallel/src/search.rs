@@ -1,0 +1,244 @@
+//! Configuration grid search — the paper's §6.4: "To exhibit the best
+//! performance of each system, their hybrid parallelism configurations are
+//! baked through grid search."
+
+use crate::config::{ParallelConfig, SchemeKind, SystemKind};
+use crate::deepspeed::estimate_deepspeed;
+use crate::estimate::{estimate, Estimate, EstimateError};
+use slimpipe_cluster::Cluster;
+use slimpipe_model::{Checkpoint, ModelConfig};
+
+/// Search result for one (system, model, seq, gpus) cell of Figure 12.
+#[derive(Clone, Debug)]
+pub enum SearchOutcome {
+    /// Best configuration found and its estimate.
+    Found(Box<Estimate>),
+    /// Valid partitions exist but all exceed device memory — the red ✗.
+    Oom,
+    /// No valid partition at all — the green triangle.
+    NoConfig,
+}
+
+impl SearchOutcome {
+    pub fn mfu(&self) -> Option<f64> {
+        match self {
+            SearchOutcome::Found(e) => Some(e.mfu),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs for the search.
+#[derive(Clone, Debug)]
+pub struct SearchOptions {
+    /// Offload ratios to try (Table 4 uses up to 100 %).
+    pub offload_levels: Vec<f64>,
+    /// Checkpointing modes to try.
+    pub ckpt_modes: Vec<Checkpoint>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            offload_levels: vec![0.0],
+            ckpt_modes: vec![Checkpoint::None, Checkpoint::Selective, Checkpoint::Full],
+        }
+    }
+}
+
+fn divisors_of(x: usize, cap: usize) -> Vec<usize> {
+    (1..=cap.min(x)).filter(|k| x % k == 0).collect()
+}
+
+/// Enumerate candidate configurations for a pipeline-based system.
+pub fn candidate_configs(
+    model: &ModelConfig,
+    system: SystemKind,
+    gpus: usize,
+    seq: u64,
+    cluster: &Cluster,
+    opts: &SearchOptions,
+) -> Vec<ParallelConfig> {
+    let mut out = Vec::new();
+    let node = cluster.gpus_per_node;
+    let tps: Vec<usize> = divisors_of(model.query_groups.min(model.heads), node)
+        .into_iter()
+        .filter(|&t| model.heads % t == 0 && t <= node)
+        .collect();
+    let eps: Vec<usize> = if model.is_moe() {
+        vec![1, model.expert_count()]
+    } else {
+        vec![1]
+    };
+    for &tp in &tps {
+        for cp in [1usize, 2, 4, 8, 16] {
+            if seq % cp as u64 != 0 || tp * cp > gpus {
+                continue;
+            }
+            let inner = tp * cp;
+            if inner > gpus || gpus % inner != 0 {
+                continue;
+            }
+            for pp in divisors_of(gpus / inner, 64) {
+                if model.layers % pp != 0 {
+                    continue;
+                }
+                let dp = gpus / (inner * pp);
+                for &ep in &eps {
+                    // Experts shard across the cp·dp ranks.
+                    if ep > 1 && (cp * dp) % ep != 0 {
+                        continue;
+                    }
+                    let schemes: Vec<SchemeKind> = match system {
+                        SystemKind::MegatronLM => {
+                            let mut s = vec![SchemeKind::OneFOneB];
+                            for v in [2usize, 4, 5, 8] {
+                                if model.layers % (pp * v) == 0 {
+                                    s.push(SchemeKind::Interleaved { v });
+                                }
+                            }
+                            s
+                        }
+                        SystemKind::SlimPipe => {
+                            let mut s = Vec::new();
+                            for mult in [1usize, 2, 4] {
+                                let n = pp * mult;
+                                if seq % n as u64 != 0 {
+                                    continue;
+                                }
+                                for v in [1usize, 2, 4, 5] {
+                                    if model.layers % (pp * v) == 0 {
+                                        s.push(SchemeKind::SlimPipe { n, v });
+                                    }
+                                }
+                            }
+                            s
+                        }
+                        SystemKind::DeepSpeed => Vec::new(), // handled separately
+                    };
+                    for scheme in schemes {
+                        for &ckpt in &opts.ckpt_modes {
+                            for &offload in &opts.offload_levels {
+                                out.push(ParallelConfig {
+                                    tp,
+                                    cp,
+                                    ep,
+                                    dp,
+                                    pp,
+                                    scheme,
+                                    ckpt,
+                                    offload,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Grid-search the best configuration of `system` for one Figure 12 cell.
+pub fn best_config(
+    model: &ModelConfig,
+    system: SystemKind,
+    gpus: usize,
+    seq: u64,
+    tokens_per_iter: u64,
+    cluster: &Cluster,
+    opts: &SearchOptions,
+) -> SearchOutcome {
+    let mut best: Option<Estimate> = None;
+    let mut saw_oom = false;
+
+    if system == SystemKind::DeepSpeed {
+        for u in [1usize, 2, 4, 8, 16, 32] {
+            if gpus % u != 0 {
+                continue;
+            }
+            let d = gpus / u;
+            for &ckpt in &opts.ckpt_modes {
+                match estimate_deepspeed(model, u, d, ckpt, cluster, seq, tokens_per_iter) {
+                    Ok(e) => {
+                        if best.as_ref().is_none_or(|b| e.mfu > b.mfu) {
+                            best = Some(e);
+                        }
+                    }
+                    Err(EstimateError::Oom { .. }) => saw_oom = true,
+                    Err(_) => {}
+                }
+            }
+        }
+    } else {
+        for cfg in candidate_configs(model, system, gpus, seq, cluster, opts) {
+            match estimate(model, &cfg, cluster, seq, tokens_per_iter) {
+                Ok(e) => {
+                    if best.as_ref().is_none_or(|b| e.mfu > b.mfu) {
+                        best = Some(e);
+                    }
+                }
+                Err(EstimateError::Oom { .. }) => saw_oom = true,
+                Err(_) => {}
+            }
+        }
+    }
+
+    match best {
+        Some(e) => SearchOutcome::Found(Box::new(e)),
+        None if saw_oom => SearchOutcome::Oom,
+        None => SearchOutcome::NoConfig,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_respect_divisibility() {
+        let m = ModelConfig::llama_70b();
+        let cl = Cluster::hopper_nvlink();
+        let cands = candidate_configs(
+            &m,
+            SystemKind::SlimPipe,
+            128,
+            131_072,
+            &cl,
+            &SearchOptions::default(),
+        );
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert_eq!(c.gpus(), 128, "{}", c.describe());
+            assert!(c.valid_for(&m, 8), "{}", c.describe());
+        }
+    }
+
+    #[test]
+    fn moe_candidates_include_expert_parallelism() {
+        let m = ModelConfig::mixtral_8x7b();
+        let cl = Cluster::hopper_nvlink();
+        let cands = candidate_configs(
+            &m,
+            SystemKind::SlimPipe,
+            128,
+            131_072,
+            &cl,
+            &SearchOptions::default(),
+        );
+        assert!(cands.iter().any(|c| c.ep == 8));
+    }
+
+    #[test]
+    fn search_finds_slimpipe_config_for_a_small_cell() {
+        let m = ModelConfig::llama_13b();
+        let cl = Cluster::hopper_nvlink();
+        let opts = SearchOptions {
+            ckpt_modes: vec![Checkpoint::Selective],
+            ..Default::default()
+        };
+        let out = best_config(&m, SystemKind::SlimPipe, 32, 65_536, 4 << 20, &cl, &opts);
+        let SearchOutcome::Found(e) = out else { panic!("expected a config") };
+        assert!(e.mfu > 0.1, "mfu = {}", e.mfu);
+    }
+}

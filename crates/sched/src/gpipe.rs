@@ -1,0 +1,71 @@
+//! GPipe (Huang et al. 2019): the whole microbatch set is forwarded, then
+//! backwarded in reverse (LIFO). Simple, but "requires accumulating the
+//! activations for all microbatches until the backward pass is completed
+//! for the first microbatch" (§2.2) — peak activation `m` microbatches.
+
+use crate::op::WorkItem;
+use crate::schedule::{Schedule, ScheduleError};
+
+/// Build a GPipe schedule for `p` devices and `m` microbatches.
+pub fn generate(p: usize, m: usize) -> Result<Schedule, ScheduleError> {
+    if p == 0 || m == 0 {
+        return Err(ScheduleError::Infeasible("p and m must be positive".into()));
+    }
+    let mut ops = Vec::with_capacity(p);
+    for _ in 0..p {
+        let mut dev = Vec::with_capacity(2 * m);
+        for mb in 0..m as u32 {
+            dev.push(WorkItem::f(mb, 0, 0));
+        }
+        for mb in (0..m as u32).rev() {
+            dev.push(WorkItem::b(mb, 0, 0));
+        }
+        ops.push(dev);
+    }
+    Ok(Schedule {
+        name: "GPipe".into(),
+        devices: p,
+        chunks: 1,
+        microbatches: m,
+        slices: 1,
+        split_backward: false,
+        stage_map: Schedule::contiguous_stage_map(p, 1),
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn validates_for_a_grid_of_sizes() {
+        for p in [1, 2, 4, 8] {
+            for m in [1, 2, 4, 7] {
+                let s = generate(p, m).unwrap();
+                validate(&s).unwrap_or_else(|e| panic!("p={p} m={m}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn all_forwards_precede_all_backwards() {
+        let s = generate(4, 3).unwrap();
+        for dev in &s.ops {
+            let first_b = dev
+                .iter()
+                .position(|o| o.kind == crate::op::PassKind::Backward)
+                .unwrap();
+            assert!(dev[..first_b]
+                .iter()
+                .all(|o| o.kind == crate::op::PassKind::Forward));
+        }
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        assert!(generate(0, 4).is_err());
+        assert!(generate(4, 0).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Interleaved 1F1B (Megatron-LM, Narayanan et al. 2021): each device hosts
+//! `v` non-contiguous model chunks, shrinking the warm-up bubble by `v` at
+//! the cost of `(p-1)/(vp)` extra activation accumulation (Table 2).
+//!
+//! Faithful-shape reimplementation of Megatron's scheduler, including its
+//! hard constraint that the microbatch count be a positive multiple of the
+//! pipeline size — the constraint whose violation the paper calls a "fatal
+//! limitation" for Megatron at 512 GPUs (§6.4), and which we surface as
+//! [`ScheduleError::Infeasible`] so the end-to-end grid search reproduces
+//! the "No Configuration" markers of Figure 12.
+
+use crate::op::WorkItem;
+use crate::schedule::{Schedule, ScheduleError};
+
+/// Decode forward unit `k` into `(mb, chunk)`: microbatches advance in
+/// groups of `p`, all chunks of a group before the next group.
+fn decode_f(k: usize, p: usize, v: usize) -> (u32, u32) {
+    let group = k / (p * v);
+    let rem = k % (p * v);
+    let chunk = rem / p;
+    let mb = group * p + rem % p;
+    (mb as u32, chunk as u32)
+}
+
+/// Decode backward unit `j`: same group walk with chunks reversed.
+fn decode_b(j: usize, p: usize, v: usize) -> (u32, u32) {
+    let group = j / (p * v);
+    let rem = j % (p * v);
+    let chunk = v - 1 - rem / p;
+    let mb = group * p + rem % p;
+    (mb as u32, chunk as u32)
+}
+
+/// Build the interleaved schedule for `p` devices, `v` chunks per device,
+/// `m` microbatches.
+pub fn generate(p: usize, v: usize, m: usize) -> Result<Schedule, ScheduleError> {
+    if p == 0 || v == 0 || m == 0 {
+        return Err(ScheduleError::Infeasible("p, v, m must be positive".into()));
+    }
+    if v > 1 && m % p != 0 {
+        return Err(ScheduleError::Infeasible(format!(
+            "interleaved 1F1B requires microbatches ({m}) to be a multiple of \
+             the pipeline size ({p})"
+        )));
+    }
+    if v == 1 {
+        // Degenerates to plain 1F1B.
+        let mut s = crate::onefoneb::generate(p, m)?;
+        s.name = "Interleaved 1F1B (v=1)".into();
+        return Ok(s);
+    }
+    let total = m * v;
+    let mut ops = Vec::with_capacity(p);
+    for d in 0..p {
+        let warmup = ((p - 1 - d) * 2 + (v - 1) * p).min(total);
+        let mut dev = Vec::with_capacity(2 * total);
+        let mut f = 0usize;
+        let mut b = 0usize;
+        for _ in 0..warmup {
+            let (mb, c) = decode_f(f, p, v);
+            dev.push(WorkItem::f(mb, 0, c));
+            f += 1;
+        }
+        while f < total {
+            let (mb, c) = decode_f(f, p, v);
+            dev.push(WorkItem::f(mb, 0, c));
+            f += 1;
+            let (mb, c) = decode_b(b, p, v);
+            dev.push(WorkItem::b(mb, 0, c));
+            b += 1;
+        }
+        while b < total {
+            let (mb, c) = decode_b(b, p, v);
+            dev.push(WorkItem::b(mb, 0, c));
+            b += 1;
+        }
+        ops.push(dev);
+    }
+    Ok(Schedule {
+        name: "Interleaved 1F1B".into(),
+        devices: p,
+        chunks: v,
+        microbatches: m,
+        slices: 1,
+        split_backward: false,
+        stage_map: Schedule::contiguous_stage_map(p, v),
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::PassKind;
+    use crate::validate::validate;
+
+    #[test]
+    fn validates_for_a_grid_of_sizes() {
+        for p in [2usize, 4] {
+            for v in [2usize, 3, 5] {
+                for mult in [1usize, 2, 3] {
+                    let m = p * mult;
+                    let s = generate(p, v, m).unwrap();
+                    validate(&s).unwrap_or_else(|e| panic!("p={p} v={v} m={m}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_m_not_multiple_of_p() {
+        let err = generate(4, 2, 6).unwrap_err();
+        assert!(matches!(err, ScheduleError::Infeasible(_)));
+        // The paper's fatal case: fewer microbatches than pipeline size.
+        assert!(generate(8, 2, 4).is_err());
+    }
+
+    #[test]
+    fn v1_degenerates_to_plain_1f1b() {
+        let s = generate(4, 1, 5).unwrap();
+        assert_eq!(s.chunks, 1);
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn warmup_shrinks_with_rank() {
+        let s = generate(4, 2, 8).unwrap();
+        let first_b = |d: usize| {
+            s.ops[d]
+                .iter()
+                .position(|o| o.kind == PassKind::Backward)
+                .unwrap()
+        };
+        // warmup = 2(p-1-d) + (v-1)p forwards, plus the steady phase's
+        // leading forward: first backward sits at index warmup + 1.
+        assert_eq!(first_b(0), 11);
+        assert_eq!(first_b(3), 5);
+    }
+
+    #[test]
+    fn inflight_peak_matches_table2() {
+        // Table 2 row "Interleaved 1F1B": 1 + (p-1)/(vp) of the 1F1B unit,
+        // i.e. pv + (p-1) chunk-units on device 0.
+        let (p, v, m) = (4usize, 2usize, 8usize);
+        let s = generate(p, v, m).unwrap();
+        let mut inflight = 0i64;
+        let mut peak = 0i64;
+        for op in &s.ops[0] {
+            match op.kind {
+                PassKind::Forward => inflight += 1,
+                PassKind::Backward => inflight -= 1,
+                _ => {}
+            }
+            peak = peak.max(inflight);
+        }
+        assert_eq!(peak as usize, p * v + (p - 1));
+    }
+}

@@ -1,0 +1,34 @@
+//! Pipeline-parallel schedule IR and the baseline generators the paper
+//! compares against (§2.2, Figures 3/13/14):
+//!
+//! * [`gpipe`] — GPipe: all forwards, then all backwards (Huang et al.).
+//! * [`onefoneb`] — default 1F1B / PipeDream-Flush (Narayanan et al., Fan
+//!   et al.): warm-up, steady 1F1B, cool-down.
+//! * [`interleaved`] — Megatron-LM's interleaved 1F1B with `v` model chunks
+//!   per device.
+//! * [`terapipe`] — TeraPipe-style token-level slicing on a GPipe skeleton
+//!   (Li et al.): fine-grained units, but activations still accumulate for
+//!   all microbatches.
+//! * [`zbv`] — ZB-V and V-Half (Qi et al.): backward split into
+//!   input-gradient (`B`) and weight-gradient (`W`) halves on a V-shaped
+//!   stage placement, scheduled by a greedy zero-bubble list scheduler with
+//!   a per-device memory cap.
+//!
+//! A schedule is a per-device *ordered list* of [`WorkItem`]s plus a
+//! stage-placement map; dependencies are implied by pipeline semantics and
+//! checked by [`validate`]. SlimPipe's own generators live in
+//! `slimpipe-core` and produce the same IR, so the simulator executes every
+//! scheme through one code path.
+
+pub mod gpipe;
+pub mod interleaved;
+pub mod onefoneb;
+pub mod op;
+pub mod schedule;
+pub mod terapipe;
+pub mod validate;
+pub mod zbv;
+
+pub use op::{DeviceId, PassKind, StageId, WorkItem};
+pub use schedule::{Schedule, ScheduleError};
+pub use validate::validate;

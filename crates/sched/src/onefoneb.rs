@@ -1,0 +1,113 @@
+//! Default 1F1B (PipeDream-Flush / DAPPLE): warm-up phase of
+//! `p-1-rank` forwards, steady one-forward-one-backward phase, cool-down
+//! of remaining backwards. Peak activation: `min(m, p)` microbatches on the
+//! first device — constant in `m` but *not* decreasing in `p` (the paper's
+//! Figure 1 "Classic PP" line).
+
+use crate::op::WorkItem;
+use crate::schedule::{Schedule, ScheduleError};
+
+/// Build the default 1F1B schedule for `p` devices and `m` microbatches.
+pub fn generate(p: usize, m: usize) -> Result<Schedule, ScheduleError> {
+    if p == 0 || m == 0 {
+        return Err(ScheduleError::Infeasible("p and m must be positive".into()));
+    }
+    let mut ops = Vec::with_capacity(p);
+    for d in 0..p {
+        let warmup = (p - 1 - d).min(m);
+        let mut dev = Vec::with_capacity(2 * m);
+        for mb in 0..warmup as u32 {
+            dev.push(WorkItem::f(mb, 0, 0));
+        }
+        let mut f = warmup as u32;
+        let mut b = 0u32;
+        while (f as usize) < m {
+            dev.push(WorkItem::f(f, 0, 0));
+            f += 1;
+            dev.push(WorkItem::b(b, 0, 0));
+            b += 1;
+        }
+        while (b as usize) < m {
+            dev.push(WorkItem::b(b, 0, 0));
+            b += 1;
+        }
+        ops.push(dev);
+    }
+    Ok(Schedule {
+        name: "1F1B".into(),
+        devices: p,
+        chunks: 1,
+        microbatches: m,
+        slices: 1,
+        split_backward: false,
+        stage_map: Schedule::contiguous_stage_map(p, 1),
+        ops,
+    })
+}
+
+/// Peak in-flight microbatches on device `d` (activation accumulation).
+pub fn peak_inflight(p: usize, m: usize, d: usize) -> usize {
+    (p - d).min(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::PassKind;
+    use crate::validate::validate;
+
+    #[test]
+    fn validates_for_a_grid_of_sizes() {
+        for p in [1, 2, 3, 4, 8] {
+            for m in [1, 2, 4, 9, 16] {
+                let s = generate(p, m).unwrap();
+                validate(&s).unwrap_or_else(|e| panic!("p={p} m={m}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn last_device_strictly_alternates() {
+        let s = generate(4, 6).unwrap();
+        let last = &s.ops[3];
+        for (i, op) in last.iter().enumerate() {
+            let expect = if i % 2 == 0 { PassKind::Forward } else { PassKind::Backward };
+            assert_eq!(op.kind, expect, "op {i}");
+        }
+    }
+
+    #[test]
+    fn measured_inflight_matches_closed_form() {
+        for p in [2usize, 4, 8] {
+            for m in [1usize, 3, 8, 12] {
+                let s = generate(p, m).unwrap();
+                for d in 0..p {
+                    let mut inflight = 0i64;
+                    let mut peak = 0i64;
+                    for op in &s.ops[d] {
+                        match op.kind {
+                            PassKind::Forward => inflight += 1,
+                            PassKind::Backward => inflight -= 1,
+                            _ => {}
+                        }
+                        peak = peak.max(inflight);
+                    }
+                    assert_eq!(
+                        peak as usize,
+                        peak_inflight(p, m, d),
+                        "p={p} m={m} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_device_accumulates_p_microbatches() {
+        // The crux of the paper's critique: device 0's stash does not shrink
+        // as p grows (it holds p microbatches of L/p layers = one full
+        // microbatch's activations).
+        assert_eq!(peak_inflight(8, 16, 0), 8);
+        assert_eq!(peak_inflight(16, 32, 0), 16);
+    }
+}

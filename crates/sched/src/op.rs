@@ -1,0 +1,71 @@
+//! Work-item vocabulary shared by every pipeline scheme.
+
+/// Pipeline device (rank) index.
+pub type DeviceId = usize;
+
+/// Global pipeline stage index in `0..p·v` (model chunks in execution
+/// order: stage `k` feeds stage `k+1`).
+pub type StageId = usize;
+
+/// The kind of compute pass a device performs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PassKind {
+    /// Forward pass of one work unit.
+    Forward,
+    /// Backward pass. For schemes with `split_backward` this is the
+    /// *input-gradient* half (ZB's `B`); otherwise the full backward.
+    Backward,
+    /// Weight-gradient half (ZB's `W`). Only emitted by split-backward
+    /// schemes.
+    BackwardWeight,
+}
+
+/// One unit of work on one device: a pass of `(microbatch, slice)` through
+/// the device's local model `chunk`.
+///
+/// Microbatch-granular schemes use `slice == 0` with `n == 1`; SlimPipe and
+/// TeraPipe address individual sequence slices.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WorkItem {
+    pub kind: PassKind,
+    pub mb: u32,
+    pub slice: u32,
+    /// Local chunk index on the executing device (`0..v`).
+    pub chunk: u32,
+}
+
+impl WorkItem {
+    pub fn f(mb: u32, slice: u32, chunk: u32) -> Self {
+        Self { kind: PassKind::Forward, mb, slice, chunk }
+    }
+
+    pub fn b(mb: u32, slice: u32, chunk: u32) -> Self {
+        Self { kind: PassKind::Backward, mb, slice, chunk }
+    }
+
+    pub fn w(mb: u32, slice: u32, chunk: u32) -> Self {
+        Self { kind: PassKind::BackwardWeight, mb, slice, chunk }
+    }
+
+    /// The same unit with a different pass kind — handy when deriving `B`/`W`
+    /// items from an `F` enumeration.
+    pub fn with_kind(self, kind: PassKind) -> Self {
+        Self { kind, ..self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(WorkItem::f(1, 2, 3).kind, PassKind::Forward);
+        assert_eq!(WorkItem::b(1, 2, 3).kind, PassKind::Backward);
+        assert_eq!(WorkItem::w(1, 2, 3).kind, PassKind::BackwardWeight);
+        assert_eq!(
+            WorkItem::f(1, 2, 3).with_kind(PassKind::Backward),
+            WorkItem::b(1, 2, 3)
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The schedule container: per-device ordered op lists + stage placement.
+
+use crate::op::{DeviceId, StageId, WorkItem};
+
+/// Errors a generator can report. These map directly onto the paper's
+/// Figure 12 markers: `Infeasible` configurations show up as "No
+/// Configuration" triangles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The scheme cannot run with these parameters (with reason).
+    Infeasible(String),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Infeasible(why) => write!(f, "infeasible schedule: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete static pipeline schedule.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Human-readable scheme name ("SlimPipe", "1F1B", …).
+    pub name: String,
+    /// Pipeline size `p`.
+    pub devices: usize,
+    /// Model chunks per device `v` (interleaving stages).
+    pub chunks: usize,
+    /// Microbatches per iteration `m`.
+    pub microbatches: usize,
+    /// Sequence slices per microbatch `n` (1 = microbatch granularity).
+    pub slices: usize,
+    /// Whether `Backward` is the input-grad half with separate
+    /// `BackwardWeight` items (ZB schemes).
+    pub split_backward: bool,
+    /// `stage_map[d][c]` = global stage id of device `d`'s chunk `c`.
+    pub stage_map: Vec<Vec<StageId>>,
+    /// Per-device ordered op lists.
+    pub ops: Vec<Vec<WorkItem>>,
+}
+
+impl Schedule {
+    /// Total number of global stages `p·v`.
+    pub fn num_stages(&self) -> usize {
+        self.devices * self.chunks
+    }
+
+    /// Inverse of `stage_map`: which `(device, chunk)` hosts `stage`.
+    pub fn locate_stage(&self, stage: StageId) -> (DeviceId, usize) {
+        for (d, row) in self.stage_map.iter().enumerate() {
+            for (c, &s) in row.iter().enumerate() {
+                if s == stage {
+                    return (d, c);
+                }
+            }
+        }
+        panic!("stage {stage} not placed on any device");
+    }
+
+    /// Global stage id of `(device, chunk)`.
+    pub fn stage_of(&self, device: DeviceId, chunk: usize) -> StageId {
+        self.stage_map[device][chunk]
+    }
+
+    /// Number of work units of each kind one device must execute.
+    pub fn units_per_device(&self) -> usize {
+        self.chunks * self.microbatches * self.slices
+    }
+
+    /// Standard interleaved placement: stage `c·p + d` on device `d`.
+    pub fn contiguous_stage_map(devices: usize, chunks: usize) -> Vec<Vec<StageId>> {
+        (0..devices)
+            .map(|d| (0..chunks).map(|c| c * devices + d).collect())
+            .collect()
+    }
+
+    /// V-shaped placement (ZB-V): device `d` hosts stages `d` and
+    /// `2p-1-d`, so the pipeline folds back on itself.
+    pub fn v_stage_map(devices: usize) -> Vec<Vec<StageId>> {
+        (0..devices)
+            .map(|d| vec![d, 2 * devices - 1 - d])
+            .collect()
+    }
+
+    /// Compact single-line rendering of one device's op list — used by the
+    /// timeline experiment binary and invaluable when debugging generators.
+    pub fn render_device(&self, d: DeviceId) -> String {
+        use crate::op::PassKind::*;
+        let mut out = String::new();
+        for op in &self.ops[d] {
+            let tag = match op.kind {
+                Forward => 'F',
+                Backward => 'B',
+                BackwardWeight => 'W',
+            };
+            if self.slices > 1 {
+                out.push_str(&format!("{}{}.{}", tag, op.mb + 1, op.slice + 1));
+            } else {
+                out.push_str(&format!("{}{}", tag, op.mb + 1));
+            }
+            if self.chunks > 1 {
+                out.push_str(&format!("c{}", op.chunk));
+            }
+            out.push(' ');
+        }
+        out.trim_end().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_map_is_round_robin() {
+        let m = Schedule::contiguous_stage_map(4, 2);
+        assert_eq!(m[0], vec![0, 4]);
+        assert_eq!(m[3], vec![3, 7]);
+    }
+
+    #[test]
+    fn v_map_folds_back() {
+        let m = Schedule::v_stage_map(4);
+        assert_eq!(m[0], vec![0, 7]);
+        assert_eq!(m[3], vec![3, 4]);
+    }
+
+    #[test]
+    fn locate_stage_inverts_map() {
+        let sched = Schedule {
+            name: "test".into(),
+            devices: 4,
+            chunks: 2,
+            microbatches: 1,
+            slices: 1,
+            split_backward: false,
+            stage_map: Schedule::v_stage_map(4),
+            ops: vec![vec![]; 4],
+        };
+        assert_eq!(sched.locate_stage(7), (0, 1));
+        assert_eq!(sched.locate_stage(3), (3, 0));
+        assert_eq!(sched.stage_of(0, 1), 7);
+    }
+}

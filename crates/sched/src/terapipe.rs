@@ -1,0 +1,81 @@
+//! TeraPipe-style token-level pipelining (Li et al. 2021).
+//!
+//! TeraPipe slices each microbatch along the sequence dimension for
+//! fine-grained scheduling, which shrinks the warm-up bubble to
+//! `(p-1)/(nm)` — but it keeps GPipe's all-forward-then-all-backward
+//! skeleton, so it "inherits GPipe's critical memory limitation:
+//! accumulating all activations throughout the pipeline" (§2.2): peak
+//! activation is still `m` microbatches.
+
+use crate::op::WorkItem;
+use crate::schedule::{Schedule, ScheduleError};
+
+/// Build a TeraPipe schedule: `p` devices, `m` microbatches, `n` slices per
+/// microbatch. Forwards run (mb asc, slice asc); backwards run fully
+/// reversed (LIFO), respecting the KV-cache append/release order.
+pub fn generate(p: usize, m: usize, n: usize) -> Result<Schedule, ScheduleError> {
+    if p == 0 || m == 0 || n == 0 {
+        return Err(ScheduleError::Infeasible("p, m, n must be positive".into()));
+    }
+    let mut ops = Vec::with_capacity(p);
+    for _ in 0..p {
+        let mut dev = Vec::with_capacity(2 * m * n);
+        for mb in 0..m as u32 {
+            for sl in 0..n as u32 {
+                dev.push(WorkItem::f(mb, sl, 0));
+            }
+        }
+        for mb in (0..m as u32).rev() {
+            for sl in (0..n as u32).rev() {
+                dev.push(WorkItem::b(mb, sl, 0));
+            }
+        }
+        ops.push(dev);
+    }
+    Ok(Schedule {
+        name: "TeraPipe".into(),
+        devices: p,
+        chunks: 1,
+        microbatches: m,
+        slices: n,
+        split_backward: false,
+        stage_map: Schedule::contiguous_stage_map(p, 1),
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::PassKind;
+    use crate::validate::validate;
+
+    #[test]
+    fn validates_for_a_grid_of_sizes() {
+        for p in [1usize, 2, 4] {
+            for m in [1usize, 2, 3] {
+                for n in [2usize, 4, 8] {
+                    let s = generate(p, m, n).unwrap();
+                    validate(&s).unwrap_or_else(|e| panic!("p={p} m={m} n={n}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_all_activations() {
+        // The memory critique: peak in-flight = every slice of every mb.
+        let s = generate(2, 3, 4).unwrap();
+        let mut inflight = 0i64;
+        let mut peak = 0i64;
+        for op in &s.ops[0] {
+            match op.kind {
+                PassKind::Forward => inflight += 1,
+                PassKind::Backward => inflight -= 1,
+                _ => {}
+            }
+            peak = peak.max(inflight);
+        }
+        assert_eq!(peak as usize, 3 * 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Schedule validation: shape, completeness, and deadlock-freedom.
+//!
+//! The executability check runs the schedule through an abstract zero-time
+//! machine: every device executes its op list strictly in order, and an op
+//! becomes ready only when its pipeline dependencies have completed. If no
+//! device can make progress before all ops complete, the schedule would
+//! deadlock on real hardware and is rejected.
+
+use crate::op::{PassKind, WorkItem};
+use crate::schedule::Schedule;
+use std::collections::HashSet;
+
+/// Dependency key: `(kind, stage, mb, slice)`.
+type Done = HashSet<(PassKind, usize, u32, u32)>;
+
+/// Pipeline readiness rules shared with the discrete-event simulator.
+///
+/// * `F(stage s)` needs `F(s-1)` of the same `(mb, slice)`; when slicing,
+///   it also needs `F(s)` of the previous slice of the same microbatch
+///   (the KV cache is appended in slice order).
+/// * `B(stage s)` needs `F(s)` and `B(s+1)` of the same unit; when slicing,
+///   also `B(s)` of the *next* slice (LIFO backward releases KV chunks in
+///   reverse — §4.1.2).
+/// * `W(stage s)` needs `B(s)` of the same unit.
+pub fn deps_satisfied(
+    sched: &Schedule,
+    device: usize,
+    op: &WorkItem,
+    done: &Done,
+) -> bool {
+    let stage = sched.stage_of(device, op.chunk as usize);
+    let last_stage = sched.num_stages() - 1;
+    let n = sched.slices as u32;
+    match op.kind {
+        PassKind::Forward => {
+            let prev_stage_ok = stage == 0
+                || done.contains(&(PassKind::Forward, stage - 1, op.mb, op.slice));
+            let prev_slice_ok = op.slice == 0
+                || done.contains(&(PassKind::Forward, stage, op.mb, op.slice - 1));
+            prev_stage_ok && prev_slice_ok
+        }
+        PassKind::Backward => {
+            let fwd_ok = done.contains(&(PassKind::Forward, stage, op.mb, op.slice));
+            let next_stage_ok = stage == last_stage
+                || done.contains(&(PassKind::Backward, stage + 1, op.mb, op.slice));
+            let next_slice_ok = op.slice == n - 1
+                || done.contains(&(PassKind::Backward, stage, op.mb, op.slice + 1));
+            fwd_ok && next_stage_ok && next_slice_ok
+        }
+        PassKind::BackwardWeight => {
+            done.contains(&(PassKind::Backward, stage, op.mb, op.slice))
+        }
+    }
+}
+
+/// Validate `sched`; returns a human-readable description of the first
+/// violation found.
+pub fn validate(sched: &Schedule) -> Result<(), String> {
+    // --- shape ---
+    if sched.ops.len() != sched.devices {
+        return Err(format!(
+            "ops lists for {} devices, expected {}",
+            sched.ops.len(),
+            sched.devices
+        ));
+    }
+    if sched.stage_map.len() != sched.devices {
+        return Err("stage_map row count != devices".into());
+    }
+    let mut seen_stage = vec![false; sched.num_stages()];
+    for row in &sched.stage_map {
+        if row.len() != sched.chunks {
+            return Err("stage_map column count != chunks".into());
+        }
+        for &s in row {
+            if s >= sched.num_stages() || seen_stage[s] {
+                return Err(format!("stage {s} missing or duplicated in stage_map"));
+            }
+            seen_stage[s] = true;
+        }
+    }
+
+    // --- completeness ---
+    for (d, ops) in sched.ops.iter().enumerate() {
+        let mut count: std::collections::HashMap<WorkItem, usize> =
+            std::collections::HashMap::new();
+        for op in ops {
+            *count.entry(*op).or_default() += 1;
+        }
+        for c in 0..sched.chunks as u32 {
+            for mb in 0..sched.microbatches as u32 {
+                for sl in 0..sched.slices as u32 {
+                    let mut expected = vec![WorkItem::f(mb, sl, c), WorkItem::b(mb, sl, c)];
+                    if sched.split_backward {
+                        expected.push(WorkItem::w(mb, sl, c));
+                    }
+                    for e in expected {
+                        match count.get(&e) {
+                            Some(1) => {}
+                            Some(k) => {
+                                return Err(format!(
+                                    "device {d}: {e:?} appears {k} times"
+                                ))
+                            }
+                            None => return Err(format!("device {d}: missing {e:?}")),
+                        }
+                    }
+                }
+            }
+        }
+        let per_unit = if sched.split_backward { 3 } else { 2 };
+        if ops.len() != per_unit * sched.units_per_device() {
+            return Err(format!(
+                "device {d}: {} ops, expected {}",
+                ops.len(),
+                per_unit * sched.units_per_device()
+            ));
+        }
+    }
+
+    // --- executability ---
+    let mut pc = vec![0usize; sched.devices];
+    let mut done: Done = HashSet::new();
+    let total: usize = sched.ops.iter().map(|o| o.len()).sum();
+    let mut completed = 0usize;
+    while completed < total {
+        let mut progress = false;
+        for d in 0..sched.devices {
+            while pc[d] < sched.ops[d].len() {
+                let op = sched.ops[d][pc[d]];
+                if !deps_satisfied(sched, d, &op, &done) {
+                    break;
+                }
+                let stage = sched.stage_of(d, op.chunk as usize);
+                done.insert((op.kind, stage, op.mb, op.slice));
+                pc[d] += 1;
+                completed += 1;
+                progress = true;
+            }
+        }
+        if !progress {
+            let stuck: Vec<String> = (0..sched.devices)
+                .filter(|&d| pc[d] < sched.ops[d].len())
+                .map(|d| format!("dev{d}@{:?}", sched.ops[d][pc[d]]))
+                .collect();
+            return Err(format!("deadlock; blocked at {}", stuck.join(", ")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_device_trivial() -> Schedule {
+        Schedule {
+            name: "trivial".into(),
+            devices: 2,
+            chunks: 1,
+            microbatches: 1,
+            slices: 1,
+            split_backward: false,
+            stage_map: Schedule::contiguous_stage_map(2, 1),
+            ops: vec![
+                vec![WorkItem::f(0, 0, 0), WorkItem::b(0, 0, 0)],
+                vec![WorkItem::f(0, 0, 0), WorkItem::b(0, 0, 0)],
+            ],
+        }
+    }
+
+    #[test]
+    fn trivial_schedule_validates() {
+        assert!(validate(&two_device_trivial()).is_ok());
+    }
+
+    #[test]
+    fn missing_backward_is_incomplete() {
+        let mut s = two_device_trivial();
+        s.ops[1].pop();
+        let err = validate(&s).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn backward_before_forward_deadlocks() {
+        let mut s = two_device_trivial();
+        s.ops[0] = vec![WorkItem::b(0, 0, 0), WorkItem::f(0, 0, 0)];
+        let err = validate(&s).unwrap_err();
+        assert!(err.contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_op_rejected() {
+        let mut s = two_device_trivial();
+        s.ops[0] = vec![WorkItem::f(0, 0, 0), WorkItem::f(0, 0, 0)];
+        let err = validate(&s).unwrap_err();
+        assert!(err.contains("2 times") || err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn slice_order_violation_deadlocks() {
+        // Two slices forwarded in the wrong order violate KV-append order.
+        let s = Schedule {
+            name: "bad-slices".into(),
+            devices: 1,
+            chunks: 1,
+            microbatches: 1,
+            slices: 2,
+            split_backward: false,
+            stage_map: vec![vec![0]],
+            ops: vec![vec![
+                WorkItem::f(0, 1, 0),
+                WorkItem::f(0, 0, 0),
+                WorkItem::b(0, 1, 0),
+                WorkItem::b(0, 0, 0),
+            ]],
+        };
+        assert!(validate(&s).unwrap_err().contains("deadlock"));
+    }
+}

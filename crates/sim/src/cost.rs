@@ -1,0 +1,379 @@
+//! Per-op cost model: WorkItem → (seconds, bytes to ship downstream).
+
+use slimpipe_cluster::{collectives, Cluster, Efficiency, OpClass, Phase};
+use slimpipe_core::vocab_parallel::output_layer_cost;
+use slimpipe_model::flops::slice_pairs;
+use slimpipe_model::{causal_pairs, Checkpoint, ModelConfig, BF16};
+use slimpipe_sched::{PassKind, Schedule, WorkItem};
+
+/// Everything the cost model needs to know about the run besides the
+/// schedule itself.
+#[derive(Clone, Debug)]
+pub struct PipelineEnv {
+    pub model: ModelConfig,
+    pub cluster: Cluster,
+    pub eff: Efficiency,
+    /// Tensor-parallel size `t` (always paired with sequence parallelism).
+    pub tp: usize,
+    /// Context-parallel size `c` (load-balanced causal CP).
+    pub cp: usize,
+    /// Expert-parallel size `e` (1 for dense models).
+    pub ep: usize,
+    /// Full sequence length of one microbatch (tokens).
+    pub seq: u64,
+    /// Activation rematerialisation mode.
+    pub ckpt: Checkpoint,
+    /// Attention context exchange (§4.2) — balances slice attention loads.
+    pub exchange: bool,
+    /// Early key-value exchange (§5) — overlaps the KV shipment; when off,
+    /// the KV transfer lands on the critical path.
+    pub early_kv: bool,
+    /// Vocabulary parallelism (§4.3).
+    pub vocab_parallel: bool,
+    /// Fraction of intra-pass collective time (TP/CP/EP) hidden behind
+    /// compute — Megatron-style async collectives overlap roughly half.
+    pub comm_overlap: f64,
+}
+
+impl PipelineEnv {
+    /// A reasonable default environment for unit tests.
+    pub fn test_default(model: ModelConfig, seq: u64) -> Self {
+        Self {
+            model,
+            cluster: Cluster::hopper_nvlink(),
+            eff: Efficiency::hopper(),
+            tp: 8,
+            cp: 1,
+            ep: 1,
+            seq,
+            ckpt: Checkpoint::None,
+            exchange: true,
+            early_kv: true,
+            vocab_parallel: true,
+            comm_overlap: 0.5,
+        }
+    }
+}
+
+/// Duration + downstream traffic of one op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpCost {
+    pub duration: f64,
+    /// Bytes this op ships to the adjacent stage when it completes
+    /// (activations for F, gradients for B).
+    pub send_bytes: f64,
+}
+
+/// Concrete cost model bound to one (schedule, environment) pair.
+pub struct CostModel<'a> {
+    pub sched: &'a Schedule,
+    pub env: &'a PipelineEnv,
+}
+
+impl<'a> CostModel<'a> {
+    pub fn new(sched: &'a Schedule, env: &'a PipelineEnv) -> Self {
+        Self { sched, env }
+    }
+
+    /// Tokens one pass processes on one rank (slice tokens / CP).
+    fn unit_tokens(&self) -> f64 {
+        self.env.seq as f64 / self.sched.slices as f64 / self.env.cp as f64
+    }
+
+    /// Attention pairs one pass attends on one rank.
+    fn unit_pairs(&self, slice: u32) -> f64 {
+        let n = self.sched.slices as u64;
+        let raw = if self.sched.slices > 1 {
+            if self.env.exchange {
+                // Context exchange equalises the per-round attention load:
+                // every pass carries the average share (residual spread is
+                // at most one KV slice — §4.2.2).
+                causal_pairs(0, self.env.seq) as f64 / n as f64
+            } else {
+                slice_pairs(self.env.seq, n, slice as u64) as f64
+            }
+        } else {
+            causal_pairs(0, self.env.seq) as f64
+        };
+        raw / self.env.cp as f64
+    }
+
+    /// Transformer layers per chunk.
+    fn layers_per_chunk(&self) -> f64 {
+        self.env.model.layers as f64 / (self.sched.devices * self.sched.chunks) as f64
+    }
+
+    /// TP collective time for one layer, one direction (SP: 2 all-gathers +
+    /// 2 reduce-scatters per layer per pass).
+    fn tp_comm_per_layer(&self) -> f64 {
+        if self.env.tp <= 1 {
+            return 0.0;
+        }
+        let bytes = self.unit_tokens() * self.env.model.hidden as f64 * BF16;
+        let link = self.env.cluster.link_for_span(self.env.tp);
+        2.0 * (collectives::all_gather(bytes, self.env.tp, link)
+            + collectives::reduce_scatter(bytes, self.env.tp, link))
+    }
+
+    /// CP communication per layer: the paper's commutated CP ships Q, O and
+    /// the softmax normaliser instead of cached KV, recovering the no-cache
+    /// volume (§5) — two ring passes of one activation-sized tensor.
+    fn cp_comm_per_layer(&self) -> f64 {
+        if self.env.cp <= 1 {
+            return 0.0;
+        }
+        let bytes = self.unit_tokens() * self.env.model.hidden as f64 * BF16;
+        let link = self.env.cluster.link_for_span(self.env.tp * self.env.cp);
+        2.0 * collectives::all_gather(bytes, self.env.cp, link)
+    }
+
+    /// EP all-to-all per MoE layer (dispatch + combine).
+    fn ep_comm_per_layer(&self) -> f64 {
+        if self.env.ep <= 1 || !self.env.model.is_moe() {
+            return 0.0;
+        }
+        let bytes = self.unit_tokens()
+            * self.env.model.hidden as f64
+            * BF16
+            * self.env.model.active_experts() as f64;
+        let link = self.env.cluster.link_for_span(self.env.tp * self.env.ep);
+        2.0 * collectives::all_to_all(bytes, self.env.ep, link)
+    }
+
+    /// Exposed (non-overlapped) context-exchange communication per pass.
+    fn exchange_comm(&self) -> f64 {
+        if !self.env.exchange || self.sched.slices <= 1 {
+            return 0.0;
+        }
+        let m = &self.env.model;
+        let nic = self.env.cluster.nic;
+        // One chunk pass exchanges context for its own layers only.
+        let layers = self.layers_per_chunk();
+        // Q out + O back, per the chunk's layer share, always on the
+        // critical path (they exist only when the pass runs).
+        let qo = 2.0 * self.unit_tokens() * m.hidden as f64 * BF16 * layers
+            / self.env.tp as f64;
+        let mut t = collectives::p2p(qo, nic);
+        if !self.env.early_kv {
+            // Without early exchange, the average shipped KV volume also
+            // blocks: ⌊(p-1)/2⌋ slices off-juncture, ⌊(n-1)/2⌋ at junctures
+            // (§4.2.3), K and V each.
+            let (p, n) = (self.sched.devices as f64, self.sched.slices as f64);
+            let avg_slices = (((self.sched.devices - 1) / 2) as f64 * (n - p + 1.0)
+                + ((self.sched.slices - 1) / 2) as f64 * (p - 1.0))
+                / n;
+            let kv = 2.0
+                * avg_slices
+                * self.unit_tokens()
+                * m.kv_hidden() as f64
+                * BF16
+                * layers
+                / self.env.tp as f64;
+            t += collectives::p2p(kv, nic);
+        }
+        t
+    }
+
+    /// Output-layer compute added to this op, if any. Returns
+    /// `(flops, broadcast_seconds)`.
+    fn output_layer_share(&self, device: usize, op: &WorkItem) -> (f64, f64) {
+        let m = &self.env.model;
+        let tokens = (self.env.seq as f64 / self.sched.slices as f64 / self.env.cp as f64)
+            .round() as u64;
+        if self.env.vocab_parallel {
+            // Distributed over all p devices: each device contributes its
+            // share when the unit passes through its last local chunk.
+            if op.chunk as usize != self.sched.chunks - 1 {
+                return (0.0, 0.0);
+            }
+            let cost = output_layer_cost(m, tokens, self.env.tp, self.sched.devices, true);
+            let bcast = collectives::broadcast(
+                cost.broadcast_bytes,
+                self.sched.devices,
+                self.env.cluster.nic,
+            );
+            (cost.flops_per_device, bcast)
+        } else {
+            // Classic: everything on the device hosting the last stage.
+            let last = self.sched.num_stages() - 1;
+            if self.sched.stage_of(device, op.chunk as usize) != last {
+                return (0.0, 0.0);
+            }
+            let cost = output_layer_cost(m, tokens, self.env.tp, self.sched.devices, false);
+            (cost.flops_per_device, 0.0)
+        }
+    }
+
+    /// Cost of one work item on `device`.
+    pub fn op_cost(&self, device: usize, op: &WorkItem) -> OpCost {
+        let env = self.env;
+        let m = &env.model;
+        let layers = self.layers_per_chunk();
+        let tokens = self.unit_tokens();
+        let pairs = self.unit_pairs(op.slice);
+        let lf = m.layer_fwd_flops(tokens.round() as u64, pairs.round() as u128);
+        let gemm_f = lf.gemm * layers / env.tp as f64;
+        let attn_f = lf.attn * layers / env.tp as f64;
+        let peak = env.cluster.gpu.peak_flops;
+        let mean_kv = if tokens > 0.0 { pairs / tokens } else { 0.0 };
+        let (out_flops, out_bcast) = self.output_layer_share(device, op);
+
+        let fwd_compute = |effphase: Phase| -> f64 {
+            env.eff.op_time(OpClass::Gemm, effphase, gemm_f, tokens, peak)
+                + env.eff.op_time(OpClass::Attention, effphase, attn_f, mean_kv, peak)
+        };
+
+        let duration = match op.kind {
+            PassKind::Forward => {
+                fwd_compute(Phase::Forward)
+                    + env.eff.op_time(OpClass::Gemm, Phase::Forward, out_flops, tokens, peak)
+                    + out_bcast
+                    + layers
+                        * (self.tp_comm_per_layer() + self.cp_comm_per_layer()
+                            + self.ep_comm_per_layer())
+                        * (1.0 - env.comm_overlap)
+                    + layers * env.eff.layer_overhead(Phase::Forward)
+                    + self.exchange_comm()
+            }
+            PassKind::Backward => {
+                let (gemm_mult, attn_mult) = if self.sched.split_backward {
+                    // Input-grad half: dX GEMMs (1×) + full attention bwd (2×).
+                    (1.0, 2.0)
+                } else {
+                    (2.0, 2.0)
+                };
+                let recompute = m.recompute_fraction(env.ckpt) * fwd_compute(Phase::Forward);
+                env.eff.op_time(OpClass::Gemm, Phase::Backward, gemm_f * gemm_mult, tokens, peak)
+                    + env.eff.op_time(
+                        OpClass::Attention,
+                        Phase::Backward,
+                        attn_f * attn_mult,
+                        mean_kv,
+                        peak,
+                    )
+                    + env.eff.op_time(
+                        OpClass::Gemm,
+                        Phase::Backward,
+                        out_flops * 2.0,
+                        tokens,
+                        peak,
+                    )
+                    + recompute
+                    + layers
+                        * (self.tp_comm_per_layer() + self.cp_comm_per_layer()
+                            + self.ep_comm_per_layer())
+                        * (1.0 - env.comm_overlap)
+                    + layers * env.eff.layer_overhead(Phase::Backward)
+                    + self.exchange_comm()
+            }
+            PassKind::BackwardWeight => {
+                // Weight-grad half: dW GEMMs only (attention has no weights).
+                env.eff.op_time(OpClass::Gemm, Phase::Backward, gemm_f, tokens, peak)
+                    + layers * env.eff.layer_overhead(Phase::Forward)
+            }
+        };
+
+        // Boundary tensor shipped to the adjacent stage (SP-sharded).
+        let send_bytes = match op.kind {
+            PassKind::BackwardWeight => 0.0,
+            _ => tokens * m.hidden as f64 * BF16 / env.tp as f64,
+        };
+        OpCost { duration, send_bytes }
+    }
+
+    /// Link used between adjacent pipeline stages.
+    pub fn pipeline_link(&self) -> slimpipe_cluster::Link {
+        self.env
+            .cluster
+            .pipeline_link(self.env.tp * self.env.cp * self.env.ep.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimpipe_model::ModelConfig;
+
+    fn env() -> PipelineEnv {
+        PipelineEnv::test_default(ModelConfig::llama_13b(), 131_072)
+    }
+
+    #[test]
+    fn backward_costs_more_than_forward() {
+        let env = env();
+        let sched = slimpipe_sched::onefoneb::generate(4, 4).unwrap();
+        let cm = CostModel::new(&sched, &env);
+        let f = cm.op_cost(1, &WorkItem::f(0, 0, 0)).duration;
+        let b = cm.op_cost(1, &WorkItem::b(0, 0, 0)).duration;
+        assert!(b > 1.5 * f, "f={f} b={b}");
+    }
+
+    #[test]
+    fn without_exchange_later_slices_cost_more() {
+        let mut e = env();
+        e.exchange = false;
+        let sched = slimpipe_core::schedule::generate(4, 2, 8).unwrap();
+        let cm = CostModel::new(&sched, &e);
+        let first = cm.op_cost(0, &WorkItem::f(0, 0, 0)).duration;
+        let last = cm.op_cost(0, &WorkItem::f(0, 7, 0)).duration;
+        assert!(last > 1.3 * first, "first={first} last={last}");
+    }
+
+    #[test]
+    fn with_exchange_slice_costs_are_equal() {
+        let e = env();
+        let sched = slimpipe_core::schedule::generate(4, 2, 8).unwrap();
+        let cm = CostModel::new(&sched, &e);
+        let first = cm.op_cost(0, &WorkItem::f(0, 0, 0)).duration;
+        let last = cm.op_cost(0, &WorkItem::f(0, 7, 0)).duration;
+        assert!((last - first).abs() / first < 1e-9);
+    }
+
+    #[test]
+    fn full_ckpt_backward_includes_a_forward_replay() {
+        let mut e = env();
+        let sched = slimpipe_sched::onefoneb::generate(4, 4).unwrap();
+        e.ckpt = Checkpoint::None;
+        let b_plain = CostModel::new(&sched, &e).op_cost(0, &WorkItem::b(0, 0, 0)).duration;
+        e.ckpt = Checkpoint::Full;
+        let b_ckpt = CostModel::new(&sched, &e).op_cost(0, &WorkItem::b(0, 0, 0)).duration;
+        assert!(b_ckpt > b_plain * 1.2, "plain={b_plain} ckpt={b_ckpt}");
+    }
+
+    #[test]
+    fn weight_half_is_cheapest_at_long_context() {
+        // §2.2: T_w = 0 for attention, so at long context W ≪ B.
+        let e = PipelineEnv::test_default(ModelConfig::llama_13b(), 262_144);
+        let sched = slimpipe_sched::zbv::generate_zbv(
+            4,
+            4,
+            slimpipe_sched::zbv::ZbCosts::default(),
+        )
+        .unwrap();
+        let cm = CostModel::new(&sched, &e);
+        let b = cm.op_cost(0, &WorkItem::b(0, 0, 0)).duration;
+        let w = cm.op_cost(0, &WorkItem::w(0, 0, 0)).duration;
+        assert!(w < 0.4 * b, "b={b} w={w}");
+    }
+
+    #[test]
+    fn vocab_parallel_moves_output_off_last_device() {
+        // Short context: the vocabulary GEMM is a large share of a pass
+        // (§3 — the imbalance is worst when attention doesn't dominate).
+        let mut e = PipelineEnv::test_default(ModelConfig::llama_13b(), 32_768);
+        let sched = slimpipe_sched::onefoneb::generate(4, 4).unwrap();
+        e.vocab_parallel = false;
+        let cm = CostModel::new(&sched, &e);
+        let f_first = cm.op_cost(0, &WorkItem::f(0, 0, 0)).duration;
+        let f_last = cm.op_cost(3, &WorkItem::f(0, 0, 0)).duration;
+        assert!(
+            f_last > 1.05 * f_first,
+            "last device should carry the GEMM: first={f_first} last={f_last}"
+        );
+        e.vocab_parallel = true;
+        let cm = CostModel::new(&sched, &e);
+        let f_first = cm.op_cost(0, &WorkItem::f(0, 0, 0)).duration;
+        let f_last = cm.op_cost(3, &WorkItem::f(0, 0, 0)).duration;
+        assert!((f_last - f_first).abs() / f_first < 0.05);
+    }
+}

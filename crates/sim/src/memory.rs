@@ -1,0 +1,128 @@
+//! Per-device peak memory under a schedule — the simulator-side counterpart
+//! of `torch.cuda.max_memory_allocated` (paper §6.2).
+//!
+//! Activation peaks come from the exact schedule walk
+//! (`slimpipe_core::memory`); this module converts units to bytes using the
+//! environment (sequence length, TP/CP sharding, checkpointing mode) and
+//! adds the fp32 logits stash of the output layer.
+
+use crate::cost::PipelineEnv;
+use slimpipe_core::memory::{peak_last_stage_units, peak_units};
+use slimpipe_sched::Schedule;
+
+/// Peak activation bytes (including KV cache — it is part of the stash) on
+/// `device`.
+pub fn device_peak_act_bytes(sched: &Schedule, env: &PipelineEnv, device: usize) -> f64 {
+    // M_a for one microbatch on one rank: activations shard by TP (with SP)
+    // and by CP (each CP rank holds its sequence shard).
+    let m_a = env.model.microbatch_act_bytes(env.seq, env.tp, env.ckpt) / env.cp as f64;
+    let unit = m_a / (sched.devices * sched.chunks * sched.slices) as f64;
+    peak_units(sched, device) as f64 * unit
+}
+
+/// Peak fp32 logits bytes on `device`.
+pub fn device_peak_logits_bytes(sched: &Schedule, env: &PipelineEnv, device: usize) -> f64 {
+    let tokens_per_unit =
+        env.seq as f64 / sched.slices as f64 / env.cp as f64;
+    if env.vocab_parallel {
+        // Every device holds a 1/(t·p) logits shard for the units in flight
+        // at its final chunk (≈ overall in-flight peak / chunk count).
+        let inflight = peak_units(sched, device).div_ceil(sched.chunks.max(1));
+        let per_unit = env
+            .model
+            .logits_bytes(tokens_per_unit.round() as u64, env.tp * sched.devices);
+        inflight as f64 * per_unit
+    } else {
+        let units = peak_last_stage_units(sched, device);
+        let per_unit = env
+            .model
+            .logits_bytes(tokens_per_unit.round() as u64, env.tp);
+        units as f64 * per_unit
+    }
+}
+
+/// Peak activation + logits bytes on `device`.
+pub fn device_peak_bytes(sched: &Schedule, env: &PipelineEnv, device: usize) -> f64 {
+    device_peak_act_bytes(sched, env, device) + device_peak_logits_bytes(sched, env, device)
+}
+
+/// Worst peak across devices.
+pub fn worst_peak_bytes(sched: &Schedule, env: &PipelineEnv) -> f64 {
+    (0..sched.devices)
+        .map(|d| device_peak_bytes(sched, env, d))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimpipe_model::{Checkpoint, ModelConfig, GIB};
+
+    fn env(seq: u64) -> PipelineEnv {
+        PipelineEnv::test_default(ModelConfig::llama_13b(), seq)
+    }
+
+    #[test]
+    fn slimpipe_act_shrinks_with_p_but_1f1b_does_not() {
+        // Figure 1's contrast, in bytes.
+        let e = env(131_072);
+        let act = |p: usize, slim: bool| {
+            let sched = if slim {
+                slimpipe_core::schedule::generate(p, 2 * p.max(2), 4 * p).unwrap()
+            } else {
+                slimpipe_sched::onefoneb::generate(p, 2 * p.max(2)).unwrap()
+            };
+            device_peak_act_bytes(&sched, &e, 0)
+        };
+        let slim2 = act(2, true);
+        let slim8 = act(8, true);
+        assert!(slim8 < slim2 * 0.4, "slim should scale down with p");
+        let classic2 = act(2, false);
+        let classic8 = act(8, false);
+        assert!((classic8 / classic2 - 1.0).abs() < 0.05, "classic PP is flat");
+    }
+
+    #[test]
+    fn classic_logits_land_on_last_device_only() {
+        let mut e = env(262_144);
+        e.vocab_parallel = false;
+        let sched = slimpipe_sched::onefoneb::generate(8, 8).unwrap();
+        assert_eq!(device_peak_logits_bytes(&sched, &e, 0), 0.0);
+        let last = device_peak_logits_bytes(&sched, &e, 7);
+        // §3: one microbatch of 256K tokens at t=8 is ~16 GiB fp32 logits.
+        assert!(last / GIB > 15.0, "got {} GiB", last / GIB);
+    }
+
+    #[test]
+    fn vocab_parallel_logits_are_balanced_and_small() {
+        let e = env(262_144);
+        let sched = slimpipe_core::schedule::generate(8, 4, 16).unwrap();
+        let per: Vec<f64> = (0..8)
+            .map(|d| device_peak_logits_bytes(&sched, &e, d))
+            .collect();
+        let max = per.iter().copied().fold(0.0, f64::max);
+        assert!(max / GIB < 4.0, "sharded logits stay small: {} GiB", max / GIB);
+    }
+
+    #[test]
+    fn full_ckpt_cuts_activation_bytes() {
+        let mut e = env(131_072);
+        let sched = slimpipe_sched::onefoneb::generate(4, 4).unwrap();
+        e.ckpt = Checkpoint::None;
+        let none = device_peak_act_bytes(&sched, &e, 0);
+        e.ckpt = Checkpoint::Full;
+        let full = device_peak_act_bytes(&sched, &e, 0);
+        assert!(full < 0.2 * none);
+    }
+
+    #[test]
+    fn cp_shards_activations() {
+        let mut e = env(131_072);
+        let sched = slimpipe_sched::onefoneb::generate(4, 4).unwrap();
+        e.cp = 1;
+        let c1 = device_peak_act_bytes(&sched, &e, 0);
+        e.cp = 4;
+        let c4 = device_peak_act_bytes(&sched, &e, 0);
+        assert!((c1 / c4 - 4.0).abs() < 1e-9);
+    }
+}

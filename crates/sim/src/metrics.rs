@@ -1,0 +1,40 @@
+//! Derived metrics: bubble fraction and MFU.
+
+/// The paper's bubble fraction: idle share of the `p × makespan` area.
+pub fn bubble_fraction(busy: &[f64], makespan: f64) -> f64 {
+    if makespan <= 0.0 || busy.is_empty() {
+        return 0.0;
+    }
+    let total_busy: f64 = busy.iter().sum();
+    (1.0 - total_busy / (busy.len() as f64 * makespan)).max(0.0)
+}
+
+/// Model FLOPs Utilisation: `model_flops / (time · gpus · peak)`.
+pub fn mfu(model_flops: f64, time: f64, gpus: usize, peak_flops: f64) -> f64 {
+    if time <= 0.0 || gpus == 0 {
+        return 0.0;
+    }
+    model_flops / (time * gpus as f64 * peak_flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_busy_has_zero_bubble() {
+        assert_eq!(bubble_fraction(&[2.0, 2.0], 2.0), 0.0);
+    }
+
+    #[test]
+    fn half_idle_has_half_bubble() {
+        assert!((bubble_fraction(&[1.0, 1.0], 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mfu_is_dimensionally_sane() {
+        // 1 PFLOP of model math in 1 s on 1 GPU of 2 PFLOP/s peak = 50 %.
+        assert!((mfu(1e15, 1.0, 1, 2e15) - 0.5).abs() < 1e-12);
+        assert_eq!(mfu(1e15, 0.0, 1, 2e15), 0.0);
+    }
+}

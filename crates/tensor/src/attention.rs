@@ -1,0 +1,552 @@
+//! Chunked causal attention with online softmax — the kernel contract
+//! SlimPipe builds on.
+//!
+//! The paper computes attention "slice by slice" over a chunked KV cache
+//! (§4.1.2, §5 *Chunked KV Cache*) and rebalances work by letting a remote
+//! device compute attention for a `(Q, KV-chunk)` pair and merging the
+//! partial output back "via the online softmax method" (§4.2.2, citing
+//! Milakov & Gimelshein). That requires three properties, all provided here:
+//!
+//! 1. **Forward** streams over KV chunks keeping only a running
+//!    `(max, sum, out)` per query row; the result is exact (not an
+//!    approximation) and the saved state is one log-sum-exp scalar per
+//!    query row per head ([`FlashStats`]).
+//! 2. **Partial results compose**: [`partial`] over any subset of KV chunks
+//!    yields an [`AttnPartial`] and [`merge_partials`] combines two partials
+//!    into the partial over the union — associatively and exactly.
+//! 3. **Backward is chunk-local**: given `(Q, K_chunk, V_chunk, dO, lse, D)`
+//!    — with `D = rowsum(dO ∘ O)` — [`backward_chunk`] produces
+//!    `(dQ_partial, dK_chunk, dV_chunk)` without any other chunk, so the
+//!    backward of an exchanged chunk can also run remotely.
+//!
+//! Supports grouped-query attention (GQA): `n_heads` query heads share
+//! `n_kv_heads` key/value heads.
+
+use crate::tensor::Tensor;
+
+/// Per-(head, query-row) log-sum-exp saved by the forward pass.
+/// Layout: `lse[h * rows + i]`.
+#[derive(Clone, Debug)]
+pub struct FlashStats {
+    pub lse: Vec<f32>,
+}
+
+/// A (possibly partial) attention result: normalised output plus the
+/// log-sum-exp of the score mass it covers. Two partials over disjoint KV
+/// ranges merge exactly into the partial over the union.
+#[derive(Clone, Debug)]
+pub struct AttnPartial {
+    /// `(rows, n_heads * head_dim)` output, already normalised by this
+    /// partial's own softmax denominator.
+    pub o: Tensor,
+    /// `lse[h * rows + i]`; `-inf` where the partial saw no visible key.
+    pub lse: Vec<f32>,
+}
+
+/// Head geometry shared by every entry point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeadCfg {
+    pub n_heads: usize,
+    pub n_kv_heads: usize,
+    pub head_dim: usize,
+}
+
+impl HeadCfg {
+    pub fn new(n_heads: usize, n_kv_heads: usize, head_dim: usize) -> Self {
+        assert!(n_heads % n_kv_heads == 0, "GQA requires n_kv_heads | n_heads");
+        Self { n_heads, n_kv_heads, head_dim }
+    }
+
+    #[inline]
+    pub fn q_width(&self) -> usize {
+        self.n_heads * self.head_dim
+    }
+
+    #[inline]
+    pub fn kv_width(&self) -> usize {
+        self.n_kv_heads * self.head_dim
+    }
+
+    #[inline]
+    fn kv_head_of(&self, q_head: usize) -> usize {
+        q_head / (self.n_heads / self.n_kv_heads)
+    }
+
+    #[inline]
+    fn scale(&self) -> f32 {
+        1.0 / (self.head_dim as f32).sqrt()
+    }
+}
+
+/// Attention of `q` (rows at global positions `q_offset..`) against a single
+/// KV chunk whose first row sits at global position `kv_offset`. Causal
+/// masking is positional: query `i` sees key `j` iff `j <= i` globally.
+pub fn partial(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    cfg: HeadCfg,
+    q_offset: usize,
+    kv_offset: usize,
+) -> AttnPartial {
+    assert_eq!(q.cols(), cfg.q_width(), "q width mismatch");
+    assert_eq!(k.cols(), cfg.kv_width(), "k width mismatch");
+    assert_eq!(v.cols(), cfg.kv_width(), "v width mismatch");
+    assert_eq!(k.rows(), v.rows(), "k/v row mismatch");
+
+    let (lq, dh) = (q.rows(), cfg.head_dim);
+    let lc = k.rows();
+    let scale = cfg.scale();
+    let mut o = Tensor::zeros(lq, cfg.q_width());
+    let mut lse = vec![f32::NEG_INFINITY; cfg.n_heads * lq];
+
+    for h in 0..cfg.n_heads {
+        let kvh = cfg.kv_head_of(h);
+        let qc0 = h * dh;
+        let kc0 = kvh * dh;
+        for i in 0..lq {
+            let gi = q_offset + i;
+            let qi = &q.row(i)[qc0..qc0 + dh];
+            // Pass 1: max score among visible keys.
+            let mut m = f32::NEG_INFINITY;
+            let visible = (gi + 1).saturating_sub(kv_offset).min(lc);
+            for j in 0..visible {
+                let kj = &k.row(j)[kc0..kc0 + dh];
+                let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                m = m.max(s);
+            }
+            if visible == 0 {
+                continue; // no mass; lse stays -inf, o stays 0
+            }
+            // Pass 2: accumulate exp-weighted values.
+            let mut sum = 0.0f32;
+            let mut acc = vec![0.0f32; dh];
+            for j in 0..visible {
+                let kj = &k.row(j)[kc0..kc0 + dh];
+                let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                let w = (s - m).exp();
+                sum += w;
+                let vj = &v.row(j)[kc0..kc0 + dh];
+                for (a, vv) in acc.iter_mut().zip(vj) {
+                    *a += w * vv;
+                }
+            }
+            let inv = 1.0 / sum;
+            let orow = &mut o.row_mut(i)[qc0..qc0 + dh];
+            for (oo, a) in orow.iter_mut().zip(&acc) {
+                *oo = a * inv;
+            }
+            lse[h * lq + i] = m + sum.ln();
+        }
+    }
+    AttnPartial { o, lse }
+}
+
+/// Merge two partials over disjoint KV ranges into the partial over their
+/// union (exact online-softmax combination).
+pub fn merge_partials(a: &AttnPartial, b: &AttnPartial, cfg: HeadCfg) -> AttnPartial {
+    assert_eq!(a.o.shape(), b.o.shape(), "merge shape mismatch");
+    let (lq, dh) = (a.o.rows(), cfg.head_dim);
+    let mut o = Tensor::zeros(lq, cfg.q_width());
+    let mut lse = vec![f32::NEG_INFINITY; cfg.n_heads * lq];
+    for h in 0..cfg.n_heads {
+        let c0 = h * dh;
+        for i in 0..lq {
+            let (la, lb) = (a.lse[h * lq + i], b.lse[h * lq + i]);
+            let idx = h * lq + i;
+            if la == f32::NEG_INFINITY && lb == f32::NEG_INFINITY {
+                continue;
+            }
+            let m = la.max(lb);
+            let (wa, wb) = ((la - m).exp(), (lb - m).exp());
+            let denom = wa + wb;
+            lse[idx] = m + denom.ln();
+            let (fa, fb) = (wa / denom, wb / denom);
+            let orow = &mut o.row_mut(i)[c0..c0 + dh];
+            let arow = &a.o.row(i)[c0..c0 + dh];
+            let brow = &b.o.row(i)[c0..c0 + dh];
+            for ((oo, aa), bb) in orow.iter_mut().zip(arow).zip(brow) {
+                *oo = fa * aa + fb * bb;
+            }
+        }
+    }
+    AttnPartial { o, lse }
+}
+
+/// Forward over an ordered list of KV chunks (the chunked KV cache).
+/// `chunk_offsets[c]` is the global position of chunk `c`'s first row.
+pub fn forward_chunked(
+    q: &Tensor,
+    chunks: &[(&Tensor, &Tensor)],
+    chunk_offsets: &[usize],
+    cfg: HeadCfg,
+    q_offset: usize,
+) -> AttnPartial {
+    assert_eq!(chunks.len(), chunk_offsets.len(), "chunk/offset length mismatch");
+    assert!(!chunks.is_empty(), "attention needs at least one KV chunk");
+    let mut acc: Option<AttnPartial> = None;
+    for (c, (k, v)) in chunks.iter().enumerate() {
+        let p = partial(q, k, v, cfg, q_offset, chunk_offsets[c]);
+        acc = Some(match acc {
+            None => p,
+            Some(prev) => merge_partials(&prev, &p, cfg),
+        });
+    }
+    acc.expect("non-empty chunks")
+}
+
+/// Convenience: full causal self-attention over one contiguous sequence.
+pub fn forward_full(q: &Tensor, k: &Tensor, v: &Tensor, cfg: HeadCfg) -> AttnPartial {
+    forward_chunked(q, &[(k, v)], &[0], cfg, 0)
+}
+
+/// `D[h*rows + i] = Σ_c dO[i, h*dh + c] * O[i, h*dh + c]` — precomputed once
+/// per backward and shared by every chunk.
+pub fn d_rows(d_o: &Tensor, o: &Tensor, cfg: HeadCfg) -> Vec<f32> {
+    assert_eq!(d_o.shape(), o.shape(), "d_rows shape mismatch");
+    let (lq, dh) = (o.rows(), cfg.head_dim);
+    let mut d = vec![0.0f32; cfg.n_heads * lq];
+    for h in 0..cfg.n_heads {
+        let c0 = h * dh;
+        for i in 0..lq {
+            d[h * lq + i] = d_o.row(i)[c0..c0 + dh]
+                .iter()
+                .zip(&o.row(i)[c0..c0 + dh])
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+    }
+    d
+}
+
+/// Chunk-local backward: gradients of one KV chunk plus this chunk's
+/// contribution to `dQ`, from `(q, k, v, dO, lse, D)` only.
+///
+/// Probabilities are recomputed as `exp(score - lse)` — nothing beyond the
+/// forward's per-row statistics is needed, which is what lets SlimPipe ship
+/// this computation to another pipeline device during context exchange.
+pub fn backward_chunk(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    d_o: &Tensor,
+    lse: &[f32],
+    d: &[f32],
+    cfg: HeadCfg,
+    q_offset: usize,
+    kv_offset: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let (lq, dh) = (q.rows(), cfg.head_dim);
+    let lc = k.rows();
+    let scale = cfg.scale();
+    let mut dq = Tensor::zeros(lq, cfg.q_width());
+    let mut dk = Tensor::zeros(lc, cfg.kv_width());
+    let mut dv = Tensor::zeros(lc, cfg.kv_width());
+
+    for h in 0..cfg.n_heads {
+        let kvh = cfg.kv_head_of(h);
+        let qc0 = h * dh;
+        let kc0 = kvh * dh;
+        for i in 0..lq {
+            let gi = q_offset + i;
+            let visible = (gi + 1).saturating_sub(kv_offset).min(lc);
+            if visible == 0 {
+                continue;
+            }
+            let l = lse[h * lq + i];
+            if l == f32::NEG_INFINITY {
+                continue;
+            }
+            let di = d[h * lq + i];
+            let qi = &q.row(i)[qc0..qc0 + dh];
+            let doi: Vec<f32> = d_o.row(i)[qc0..qc0 + dh].to_vec();
+            let mut dqi = vec![0.0f32; dh];
+            for j in 0..visible {
+                let kj = &k.row(j)[kc0..kc0 + dh];
+                let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                let p = (s - l).exp();
+                let vj = &v.row(j)[kc0..kc0 + dh];
+                // dV_j += p * dO_i
+                // dP = dO_i · V_j ; dS = p * (dP - D_i)
+                let mut dp = 0.0f32;
+                for (dd, vv) in doi.iter().zip(vj) {
+                    dp += dd * vv;
+                }
+                let ds = p * (dp - di) * scale;
+                let dvj = &mut dv.row_mut(j)[kc0..kc0 + dh];
+                for (dvv, dd) in dvj.iter_mut().zip(&doi) {
+                    *dvv += p * dd;
+                }
+                let dkj = &mut dk.row_mut(j)[kc0..kc0 + dh];
+                for ((dkk, qq), kk) in dkj.iter_mut().zip(qi).zip(kj) {
+                    *dkk += ds * qq;
+                    // accumulate dQ against this key
+                    let _ = kk;
+                }
+                for (dqq, kk) in dqi.iter_mut().zip(kj) {
+                    *dqq += ds * kk;
+                }
+            }
+            let dqrow = &mut dq.row_mut(i)[qc0..qc0 + dh];
+            for (a, b) in dqrow.iter_mut().zip(&dqi) {
+                *a += b;
+            }
+        }
+    }
+    (dq, dk, dv)
+}
+
+/// Backward over every chunk of a chunked KV cache. Returns
+/// `(dQ, per-chunk (dK, dV))`.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_chunked(
+    q: &Tensor,
+    chunks: &[(&Tensor, &Tensor)],
+    chunk_offsets: &[usize],
+    d_o: &Tensor,
+    o: &Tensor,
+    lse: &[f32],
+    cfg: HeadCfg,
+    q_offset: usize,
+) -> (Tensor, Vec<(Tensor, Tensor)>) {
+    let d = d_rows(d_o, o, cfg);
+    let mut dq = Tensor::zeros(q.rows(), cfg.q_width());
+    let mut dkv = Vec::with_capacity(chunks.len());
+    for (c, (k, v)) in chunks.iter().enumerate() {
+        let (dq_c, dk, dv) =
+            backward_chunk(q, k, v, d_o, lse, &d, cfg, q_offset, chunk_offsets[c]);
+        dq.add_assign(&dq_c);
+        dkv.push((dk, dv));
+    }
+    (dq, dkv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_uniform;
+    use crate::ops::softmax_rows;
+
+    /// Naive full causal attention (explicit softmax) for one head layout.
+    fn naive_full(q: &Tensor, k: &Tensor, v: &Tensor, cfg: HeadCfg) -> Tensor {
+        let (lq, dh) = (q.rows(), cfg.head_dim);
+        let mut o = Tensor::zeros(lq, cfg.q_width());
+        for h in 0..cfg.n_heads {
+            let kvh = h / (cfg.n_heads / cfg.n_kv_heads);
+            let mut scores = Tensor::zeros(lq, k.rows());
+            for i in 0..lq {
+                for j in 0..k.rows() {
+                    if j > i {
+                        *scores.at_mut(i, j) = f32::NEG_INFINITY;
+                        continue;
+                    }
+                    let qi = &q.row(i)[h * dh..(h + 1) * dh];
+                    let kj = &k.row(j)[kvh * dh..(kvh + 1) * dh];
+                    *scores.at_mut(i, j) =
+                        qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * cfg.scale();
+                }
+            }
+            softmax_rows(&mut scores);
+            for i in 0..lq {
+                for c in 0..dh {
+                    let mut acc = 0.0;
+                    for j in 0..k.rows() {
+                        acc += scores.at(i, j) * v.at(j, kvh * dh + c);
+                    }
+                    *o.at_mut(i, h * dh + c) = acc;
+                }
+            }
+        }
+        o
+    }
+
+    #[test]
+    fn full_matches_naive() {
+        let cfg = HeadCfg::new(4, 4, 8);
+        let q = seeded_uniform(12, 32, 1);
+        let k = seeded_uniform(12, 32, 2);
+        let v = seeded_uniform(12, 32, 3);
+        let got = forward_full(&q, &k, &v, cfg);
+        assert!(got.o.max_abs_diff(&naive_full(&q, &k, &v, cfg)) < 1e-4);
+    }
+
+    #[test]
+    fn gqa_matches_naive() {
+        let cfg = HeadCfg::new(4, 2, 6);
+        let q = seeded_uniform(10, 24, 4);
+        let k = seeded_uniform(10, 12, 5);
+        let v = seeded_uniform(10, 12, 6);
+        let got = forward_full(&q, &k, &v, cfg);
+        assert!(got.o.max_abs_diff(&naive_full(&q, &k, &v, cfg)) < 1e-4);
+    }
+
+    #[test]
+    fn chunked_equals_full_for_any_split() {
+        let cfg = HeadCfg::new(2, 2, 4);
+        let s = 16;
+        let q = seeded_uniform(s, 8, 7);
+        let k = seeded_uniform(s, 8, 8);
+        let v = seeded_uniform(s, 8, 9);
+        let full = forward_full(&q, &k, &v, cfg);
+        for &nchunks in &[2usize, 4, 8] {
+            let lc = s / nchunks;
+            let ks: Vec<Tensor> = (0..nchunks).map(|c| k.rows_slice(c * lc, lc)).collect();
+            let vs: Vec<Tensor> = (0..nchunks).map(|c| v.rows_slice(c * lc, lc)).collect();
+            let chunks: Vec<(&Tensor, &Tensor)> = ks.iter().zip(vs.iter()).collect();
+            let offsets: Vec<usize> = (0..nchunks).map(|c| c * lc).collect();
+            let got = forward_chunked(&q, &chunks, &offsets, cfg, 0);
+            assert!(got.o.max_abs_diff(&full.o) < 1e-4, "nchunks={nchunks}");
+            for (a, b) in got.lse.iter().zip(&full.lse) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_queries_reconstruct_full_sequence() {
+        // The SlimPipe pattern: process queries slice by slice against the
+        // accumulated KV cache; concatenated outputs must equal monolithic
+        // attention over the whole sequence.
+        let cfg = HeadCfg::new(2, 1, 4);
+        let (s, n) = (24, 4);
+        let l = s / n;
+        let q = seeded_uniform(s, 8, 10);
+        let k = seeded_uniform(s, 4, 11);
+        let v = seeded_uniform(s, 4, 12);
+        let full = forward_full(&q, &k, &v, cfg);
+
+        let mut rebuilt = Tensor::zeros(s, 8);
+        for sl in 0..n {
+            let qs = q.rows_slice(sl * l, l);
+            let ks: Vec<Tensor> = (0..=sl).map(|c| k.rows_slice(c * l, l)).collect();
+            let vs: Vec<Tensor> = (0..=sl).map(|c| v.rows_slice(c * l, l)).collect();
+            let chunks: Vec<(&Tensor, &Tensor)> = ks.iter().zip(vs.iter()).collect();
+            let offsets: Vec<usize> = (0..=sl).map(|c| c * l).collect();
+            let got = forward_chunked(&qs, &chunks, &offsets, cfg, sl * l);
+            rebuilt.set_rows(sl * l, &got.o);
+        }
+        assert!(rebuilt.max_abs_diff(&full.o) < 1e-4);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let cfg = HeadCfg::new(2, 2, 4);
+        let q = seeded_uniform(6, 8, 13);
+        let k = seeded_uniform(12, 8, 14);
+        let v = seeded_uniform(12, 8, 15);
+        // queries at offset 6..12 so both chunks are fully/partially visible
+        let p0 = partial(&q, &k.rows_slice(0, 6), &v.rows_slice(0, 6), cfg, 6, 0);
+        let p1 = partial(&q, &k.rows_slice(6, 6), &v.rows_slice(6, 6), cfg, 6, 6);
+        let ab = merge_partials(&p0, &p1, cfg);
+        let ba = merge_partials(&p1, &p0, cfg);
+        assert!(ab.o.max_abs_diff(&ba.o) < 1e-5);
+        let full = partial(&q, &k, &v, cfg, 6, 0);
+        assert!(ab.o.max_abs_diff(&full.o) < 1e-4);
+    }
+
+    #[test]
+    fn empty_visibility_yields_zero_mass() {
+        let cfg = HeadCfg::new(1, 1, 4);
+        let q = seeded_uniform(2, 4, 16);
+        let k = seeded_uniform(4, 4, 17);
+        let v = seeded_uniform(4, 4, 18);
+        // Keys live at positions 10..14; queries at 0..2 see none of them.
+        let p = partial(&q, &k, &v, cfg, 0, 10);
+        assert!(p.lse.iter().all(|&l| l == f32::NEG_INFINITY));
+        assert_eq!(p.o.sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let cfg = HeadCfg::new(2, 1, 4);
+        let s = 8;
+        let q = seeded_uniform(s, 8, 20);
+        let k = seeded_uniform(s, 4, 21);
+        let v = seeded_uniform(s, 4, 22);
+        let d_o = seeded_uniform(s, 8, 23);
+
+        let fwd = forward_full(&q, &k, &v, cfg);
+        let (dq, dkv) = backward_chunked(
+            &q,
+            &[(&k, &v)],
+            &[0],
+            &d_o,
+            &fwd.o,
+            &fwd.lse,
+            cfg,
+            0,
+        );
+        let (dk, dv) = (&dkv[0].0, &dkv[0].1);
+
+        let loss = |qq: &Tensor, kk: &Tensor, vv: &Tensor| -> f64 {
+            forward_full(qq, kk, vv, cfg)
+                .o
+                .as_slice()
+                .iter()
+                .zip(d_o.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for idx in [0usize, 13, 37, 63] {
+            let mut qp = q.clone();
+            qp.as_mut_slice()[idx] += eps;
+            let mut qm = q.clone();
+            qm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&qp, &k, &v) - loss(&qm, &k, &v)) / (2.0 * eps as f64);
+            assert!(
+                (fd - dq.as_slice()[idx] as f64).abs() < 2e-2,
+                "dq[{idx}] fd={fd} got={}",
+                dq.as_slice()[idx]
+            );
+        }
+        for idx in [0usize, 9, 21, 31] {
+            let mut kp = k.clone();
+            kp.as_mut_slice()[idx] += eps;
+            let mut km = k.clone();
+            km.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&q, &kp, &v) - loss(&q, &km, &v)) / (2.0 * eps as f64);
+            assert!((fd - dk.as_slice()[idx] as f64).abs() < 2e-2, "dk[{idx}]");
+
+            let mut vp = v.clone();
+            vp.as_mut_slice()[idx] += eps;
+            let mut vm = v.clone();
+            vm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&q, &k, &vp) - loss(&q, &k, &vm)) / (2.0 * eps as f64);
+            assert!((fd - dv.as_slice()[idx] as f64).abs() < 2e-2, "dv[{idx}]");
+        }
+    }
+
+    #[test]
+    fn chunked_backward_equals_monolithic_backward() {
+        let cfg = HeadCfg::new(2, 2, 4);
+        let s = 12;
+        let q = seeded_uniform(s, 8, 30);
+        let k = seeded_uniform(s, 8, 31);
+        let v = seeded_uniform(s, 8, 32);
+        let d_o = seeded_uniform(s, 8, 33);
+
+        let fwd = forward_full(&q, &k, &v, cfg);
+        let (dq_ref, dkv_ref) =
+            backward_chunked(&q, &[(&k, &v)], &[0], &d_o, &fwd.o, &fwd.lse, cfg, 0);
+
+        let lc = 4;
+        let ks: Vec<Tensor> = (0..3).map(|c| k.rows_slice(c * lc, lc)).collect();
+        let vs: Vec<Tensor> = (0..3).map(|c| v.rows_slice(c * lc, lc)).collect();
+        let chunks: Vec<(&Tensor, &Tensor)> = ks.iter().zip(vs.iter()).collect();
+        let offsets = [0, 4, 8];
+        let fwd2 = forward_chunked(&q, &chunks, &offsets, cfg, 0);
+        let (dq, dkv) =
+            backward_chunked(&q, &chunks, &offsets, &d_o, &fwd2.o, &fwd2.lse, cfg, 0);
+
+        assert!(dq.max_abs_diff(&dq_ref) < 1e-4);
+        let mut dk_cat = Tensor::zeros(s, 8);
+        let mut dv_cat = Tensor::zeros(s, 8);
+        for (c, (dk, dv)) in dkv.iter().enumerate() {
+            dk_cat.set_rows(c * lc, dk);
+            dv_cat.set_rows(c * lc, dv);
+        }
+        assert!(dk_cat.max_abs_diff(&dkv_ref[0].0) < 1e-4);
+        assert!(dv_cat.max_abs_diff(&dkv_ref[0].1) < 1e-4);
+    }
+}

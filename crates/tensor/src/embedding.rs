@@ -1,0 +1,59 @@
+//! Token embedding lookup with scatter-add backward.
+
+use crate::tensor::Tensor;
+
+/// Gather rows of `table` (shape `(vocab, hidden)`) at the token ids.
+pub fn forward(table: &Tensor, tokens: &[u32]) -> Tensor {
+    let mut out = Tensor::zeros(tokens.len(), table.cols());
+    for (i, &t) in tokens.iter().enumerate() {
+        assert!((t as usize) < table.rows(), "token id out of vocabulary");
+        out.row_mut(i).copy_from_slice(table.row(t as usize));
+    }
+    out
+}
+
+/// Scatter-add `d_out` rows into the embedding-table gradient.
+pub fn backward(tokens: &[u32], d_out: &Tensor, d_table: &mut Tensor) {
+    assert_eq!(tokens.len(), d_out.rows(), "token/grad row mismatch");
+    assert_eq!(d_out.cols(), d_table.cols(), "grad width mismatch");
+    for (i, &t) in tokens.iter().enumerate() {
+        let src = d_out.row(i);
+        let dst = d_table.row_mut(t as usize);
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_uniform;
+
+    #[test]
+    fn gather_then_scatter_roundtrip() {
+        let table = seeded_uniform(10, 4, 1);
+        let tokens = [3u32, 3, 7, 0];
+        let out = forward(&table, &tokens);
+        assert_eq!(out.row(0), table.row(3));
+        assert_eq!(out.row(2), table.row(7));
+
+        let d_out = seeded_uniform(4, 4, 2);
+        let mut d_table = Tensor::zeros(10, 4);
+        backward(&tokens, &d_out, &mut d_table);
+        // Row 3 received two contributions.
+        for c in 0..4 {
+            let expect = d_out.at(0, c) + d_out.at(1, c);
+            assert!((d_table.at(3, c) - expect).abs() < 1e-6);
+        }
+        // Untouched rows stay zero.
+        assert_eq!(d_table.row(5), &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_token_panics() {
+        let table = seeded_uniform(4, 2, 3);
+        let _ = forward(&table, &[9]);
+    }
+}

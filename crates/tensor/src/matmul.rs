@@ -1,0 +1,167 @@
+//! Rayon-parallel GEMM in the three orientations the backward pass needs.
+//!
+//! Row-parallel over the output: each rayon task owns a disjoint block of
+//! output rows, so the kernels are data-race free by construction. The inner
+//! loops are laid out `i-k-j` so the innermost access pattern is sequential
+//! over both operands (good for the hardware prefetcher — see the Rust
+//! Performance Book guidance on cache-friendly layouts).
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Minimum rows per rayon task; below this, parallel overhead dominates.
+const PAR_ROW_BLOCK: usize = 8;
+
+/// `C = A · B` with `A: (m, k)`, `B: (k, n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor::zeros(m, n);
+    let bs = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(n * PAR_ROW_BLOCK)
+        .enumerate()
+        .for_each(|(blk, rows_out)| {
+            let row0 = blk * PAR_ROW_BLOCK;
+            for (li, out_row) in rows_out.chunks_mut(n).enumerate() {
+                let i = row0 + li;
+                let a_row = a.row(i);
+                for kk in 0..k {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &bs[kk * n..(kk + 1) * n];
+                    for (o, bb) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bb;
+                    }
+                }
+            }
+        });
+    c
+}
+
+/// `C = A · Bᵀ` with `A: (m, k)`, `B: (n, k)` — the orientation of
+/// `dX = dY · Wᵀ` and of attention scores `Q · Kᵀ`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt inner dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut c = Tensor::zeros(m, n);
+    c.as_mut_slice()
+        .par_chunks_mut(n * PAR_ROW_BLOCK)
+        .enumerate()
+        .for_each(|(blk, rows_out)| {
+            let row0 = blk * PAR_ROW_BLOCK;
+            for (li, out_row) in rows_out.chunks_mut(n).enumerate() {
+                let i = row0 + li;
+                let a_row = a.row(i);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = b.row(j);
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a_row[kk] * b_row[kk];
+                    }
+                    *o = acc;
+                }
+            }
+        });
+    c
+}
+
+/// `C = Aᵀ · B` with `A: (k, m)`, `B: (k, n)` — the orientation of
+/// `dW = Xᵀ · dY` (weight gradients).
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn inner dimension mismatch");
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor::zeros(m, n);
+    let bs = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(n * PAR_ROW_BLOCK)
+        .enumerate()
+        .for_each(|(blk, rows_out)| {
+            let row0 = blk * PAR_ROW_BLOCK;
+            for (li, out_row) in rows_out.chunks_mut(n).enumerate() {
+                let i = row0 + li;
+                for kk in 0..k {
+                    let aki = a.at(kk, i);
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let b_row = &bs[kk * n..(kk + 1) * n];
+                    for (o, bb) in out_row.iter_mut().zip(b_row) {
+                        *o += aki * bb;
+                    }
+                }
+            }
+        });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_uniform;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Tensor::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(i, kk) * b.at(kk, j);
+                }
+                *c.at_mut(i, j) = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = seeded_uniform(17, 13, 1);
+        let b = seeded_uniform(13, 9, 2);
+        let c = matmul(&a, &b);
+        assert!(c.max_abs_diff(&naive(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn nt_is_b_transposed() {
+        let a = seeded_uniform(11, 7, 3);
+        let b = seeded_uniform(5, 7, 4);
+        let c = matmul_nt(&a, &b);
+        assert!(c.max_abs_diff(&matmul(&a, &b.transposed())) < 1e-4);
+    }
+
+    #[test]
+    fn tn_is_a_transposed() {
+        let a = seeded_uniform(7, 11, 5);
+        let b = seeded_uniform(7, 5, 6);
+        let c = matmul_tn(&a, &b);
+        assert!(c.max_abs_diff(&matmul(&a.transposed(), &b)) < 1e-4);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let a = seeded_uniform(6, 6, 7);
+        let mut eye = Tensor::zeros(6, 6);
+        for i in 0..6 {
+            *eye.at_mut(i, i) = 1.0;
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn block_boundary_sizes() {
+        // Exercise sizes around the rayon block boundary.
+        for m in [1usize, 7, 8, 9, 16, 17] {
+            let a = seeded_uniform(m, 3, m as u64);
+            let b = seeded_uniform(3, 2, 100 + m as u64);
+            assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-4, "m={m}");
+        }
+    }
+}

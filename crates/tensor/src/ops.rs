@@ -1,0 +1,92 @@
+//! Small elementwise / rowwise helpers shared by the layer kernels.
+
+use crate::tensor::Tensor;
+
+/// SiLU (swish): `x * sigmoid(x)`.
+#[inline]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Derivative of SiLU w.r.t. its input.
+#[inline]
+pub fn silu_grad(x: f32) -> f32 {
+    let s = 1.0 / (1.0 + (-x).exp());
+    s * (1.0 + x * (1.0 - s))
+}
+
+/// Rowwise in-place softmax (numerically stable). Returns per-row
+/// log-sum-exp values, which flash-style backward passes need.
+pub fn softmax_rows(t: &mut Tensor) -> Vec<f32> {
+    let cols = t.cols();
+    let mut lses = Vec::with_capacity(t.rows());
+    for r in 0..t.rows() {
+        let row = t.row_mut(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+        lses.push(m + sum.ln());
+        let _ = cols;
+    }
+    lses
+}
+
+/// `out[r] = Σ_c a[r,c] * b[r,c]` — the `D = rowsum(dO ∘ O)` term of the
+/// flash-attention backward.
+pub fn rowwise_dot(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    assert_eq!(a.shape(), b.shape(), "rowwise_dot shape mismatch");
+    (0..a.rows())
+        .map(|r| a.row(r).iter().zip(b.row(r)).map(|(x, y)| x * y).sum())
+        .collect()
+}
+
+/// Elementwise sum of two tensors into a fresh tensor.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = a.clone();
+    out.add_assign(b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silu_matches_finite_difference() {
+        for &x in &[-3.0f32, -0.5, 0.0, 0.7, 2.5] {
+            let eps = 1e-3;
+            let fd = (silu(x + eps) - silu(x - eps)) / (2.0 * eps);
+            assert!((fd - silu_grad(x)).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_lse_consistent() {
+        let mut t = Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let orig = t.clone();
+        let lse = softmax_rows(&mut t);
+        for r in 0..2 {
+            let s: f32 = t.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            // p_ij == exp(x_ij - lse_i)
+            for c in 0..3 {
+                let expect = (orig.at(r, c) - lse[r]).exp();
+                assert!((t.at(r, c) - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn rowwise_dot_simple() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        assert_eq!(rowwise_dot(&a, &b), vec![17., 53.]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Memory-efficient RMSNorm.
+//!
+//! The paper (§5) adopts "a memory-efficient RMSNorm, which otherwise uses
+//! its output to calculate gradients": only the *input* is stashed, the
+//! normalised output is recomputed on demand during the backward pass. This
+//! module exposes exactly that contract — `forward` returns the output,
+//! `backward` takes `(input, gain, d_out)` and recomputes what it needs.
+
+use crate::tensor::Tensor;
+
+const EPS: f32 = 1e-6;
+
+/// `y[r, :] = x[r, :] / rms(x[r, :]) * gain`
+pub fn forward(x: &Tensor, gain: &[f32]) -> Tensor {
+    assert_eq!(x.cols(), gain.len(), "gain length mismatch");
+    let mut y = x.clone();
+    for r in 0..y.rows() {
+        let row = y.row_mut(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        let inv = 1.0 / (ms + EPS).sqrt();
+        for (v, g) in row.iter_mut().zip(gain) {
+            *v = *v * inv * g;
+        }
+    }
+    y
+}
+
+/// Backward from the stashed input only. Returns `(d_input, d_gain)`.
+pub fn backward(x: &Tensor, gain: &[f32], d_out: &Tensor) -> (Tensor, Vec<f32>) {
+    assert_eq!(x.shape(), d_out.shape(), "rmsnorm backward shape mismatch");
+    let h = x.cols() as f32;
+    let mut dx = Tensor::zeros(x.rows(), x.cols());
+    let mut dgain = vec![0.0f32; x.cols()];
+    for r in 0..x.rows() {
+        let xr = x.row(r);
+        let dor = d_out.row(r);
+        let ms: f32 = xr.iter().map(|v| v * v).sum::<f32>() / h;
+        let inv = 1.0 / (ms + EPS).sqrt();
+        // d_gain += d_out * x_normalised   (recompute x_norm = x * inv)
+        for c in 0..xr.len() {
+            dgain[c] += dor[c] * xr[c] * inv;
+        }
+        // dx = inv * g∘dy  -  inv^3/h * (Σ g∘dy∘x) * x
+        let dot: f32 = (0..xr.len()).map(|c| gain[c] * dor[c] * xr[c]).sum();
+        let coeff = inv * inv * inv / h * dot;
+        let dxr = dx.row_mut(r);
+        for c in 0..xr.len() {
+            dxr[c] = inv * gain[c] * dor[c] - coeff * xr[c];
+        }
+    }
+    (dx, dgain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_uniform;
+
+    #[test]
+    fn output_rows_have_unit_rms_when_gain_is_one() {
+        let x = seeded_uniform(4, 16, 11);
+        let y = forward(&x, &vec![1.0; 16]);
+        for r in 0..4 {
+            let ms: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>() / 16.0;
+            assert!((ms - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let x = seeded_uniform(3, 8, 21);
+        let gain: Vec<f32> = (0..8).map(|i| 0.8 + 0.05 * i as f32).collect();
+        let d_out = seeded_uniform(3, 8, 22);
+        let (dx, dgain) = backward(&x, &gain, &d_out);
+
+        let loss = |xx: &Tensor, gg: &[f32]| -> f64 {
+            let y = forward(xx, gg);
+            y.as_slice()
+                .iter()
+                .zip(d_out.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        // input grads
+        for idx in [0usize, 5, 13, 23] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xp, &gain) - loss(&xm, &gain)) / (2.0 * eps as f64);
+            assert!(
+                (fd - dx.as_slice()[idx] as f64).abs() < 1e-2,
+                "dx[{idx}]: fd={fd} got={}",
+                dx.as_slice()[idx]
+            );
+        }
+        // gain grads
+        for c in [0usize, 3, 7] {
+            let mut gp = gain.clone();
+            gp[c] += eps;
+            let mut gm = gain.clone();
+            gm[c] -= eps;
+            let fd = (loss(&x, &gp) - loss(&x, &gm)) / (2.0 * eps as f64);
+            assert!((fd - dgain[c] as f64).abs() < 1e-2, "dgain[{c}]");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! SwiGLU with swish recomputation.
+//!
+//! The paper (§5): "Our SwiGLU implementation recomputes the swish function
+//! instead of storing the intermediate activations." We therefore stash the
+//! two projection outputs (`gate`, `up`) and recompute `silu(gate) ∘ up` in
+//! the backward pass instead of storing the product.
+
+use crate::ops::{silu, silu_grad};
+use crate::tensor::Tensor;
+
+/// Forward: `out = silu(gate) ∘ up`. `gate` and `up` are what the caller
+/// stashes; the product is transient.
+pub fn forward(gate: &Tensor, up: &Tensor) -> Tensor {
+    assert_eq!(gate.shape(), up.shape(), "swiglu shape mismatch");
+    let mut out = Tensor::zeros(gate.rows(), gate.cols());
+    for ((o, g), u) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(gate.as_slice())
+        .zip(up.as_slice())
+    {
+        *o = silu(*g) * *u;
+    }
+    out
+}
+
+/// Backward from the stashed `(gate, up)` only. Returns `(d_gate, d_up)`.
+pub fn backward(gate: &Tensor, up: &Tensor, d_out: &Tensor) -> (Tensor, Tensor) {
+    assert_eq!(gate.shape(), d_out.shape(), "swiglu backward shape mismatch");
+    let mut dg = Tensor::zeros(gate.rows(), gate.cols());
+    let mut du = Tensor::zeros(gate.rows(), gate.cols());
+    let (gs, us, ds) = (gate.as_slice(), up.as_slice(), d_out.as_slice());
+    for i in 0..gs.len() {
+        dg.as_mut_slice()[i] = ds[i] * us[i] * silu_grad(gs[i]);
+        du.as_mut_slice()[i] = ds[i] * silu(gs[i]);
+    }
+    (dg, du)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_uniform;
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let gate = seeded_uniform(2, 6, 31);
+        let up = seeded_uniform(2, 6, 32);
+        let d_out = seeded_uniform(2, 6, 33);
+        let (dg, du) = backward(&gate, &up, &d_out);
+
+        let loss = |g: &Tensor, u: &Tensor| -> f64 {
+            forward(g, u)
+                .as_slice()
+                .iter()
+                .zip(d_out.as_slice())
+                .map(|(a, b)| (*a as f64) * (*b as f64))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for idx in [0usize, 4, 11] {
+            let mut gp = gate.clone();
+            gp.as_mut_slice()[idx] += eps;
+            let mut gm = gate.clone();
+            gm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&gp, &up) - loss(&gm, &up)) / (2.0 * eps as f64);
+            assert!((fd - dg.as_slice()[idx] as f64).abs() < 1e-2, "dg[{idx}]");
+
+            let mut upp = up.clone();
+            upp.as_mut_slice()[idx] += eps;
+            let mut upm = up.clone();
+            upm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&gate, &upp) - loss(&gate, &upm)) / (2.0 * eps as f64);
+            assert!((fd - du.as_slice()[idx] as f64).abs() < 1e-2, "du[{idx}]");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Dense row-major 2-D `f32` tensor.
+//!
+//! Deliberately minimal: the executor only needs `(rows, cols)` matrices.
+//! Shapes are checked with assertions — an out-of-shape op is a logic bug in
+//! the pipeline code, not a recoverable condition.
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zero tensor of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from an existing buffer; `data.len()` must equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the backing buffer in bytes (the unit tracked by
+    /// [`crate::memtrack::MemCounter`]).
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Immutable view of the backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Copy of rows `[start, start+len)` as a new tensor — used to slice a
+    /// microbatch of shape `(seq, hidden)` into uniform sequence slices.
+    pub fn rows_slice(&self, start: usize, len: usize) -> Tensor {
+        assert!(start + len <= self.rows, "row slice out of bounds");
+        let d = self.data[start * self.cols..(start + len) * self.cols].to_vec();
+        Tensor::from_vec(len, self.cols, d)
+    }
+
+    /// Copy `src` into rows `[start, start+src.rows())`.
+    pub fn set_rows(&mut self, start: usize, src: &Tensor) {
+        assert_eq!(self.cols, src.cols, "column mismatch");
+        assert!(start + src.rows <= self.rows, "row range out of bounds");
+        self.data[start * self.cols..(start + src.rows) * self.cols]
+            .copy_from_slice(&src.data);
+    }
+
+    /// Copy of columns `[start, start+len)` — used for head views and
+    /// vocabulary shards.
+    pub fn cols_slice(&self, start: usize, len: usize) -> Tensor {
+        assert!(start + len <= self.cols, "column slice out of bounds");
+        let mut out = Tensor::zeros(self.rows, len);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + len]);
+        }
+        out
+    }
+
+    /// Copy `src` into columns `[start, start+src.cols())`.
+    pub fn set_cols(&mut self, start: usize, src: &Tensor) {
+        assert_eq!(self.rows, src.rows, "row mismatch");
+        assert!(start + src.cols <= self.cols, "column range out of bounds");
+        for r in 0..self.rows {
+            self.row_mut(r)[start..start + src.cols].copy_from_slice(src.row(r));
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Sum of squared elements — cheap fingerprint for equivalence tests.
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum()
+    }
+
+    /// Largest absolute elementwise difference against `other`.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "compare shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_access() {
+        let mut t = Tensor::zeros(2, 3);
+        *t.at_mut(1, 2) = 5.0;
+        assert_eq!(t.at(1, 2), 5.0);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.bytes(), 24);
+    }
+
+    #[test]
+    fn row_and_col_slicing_roundtrip() {
+        let t = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let mid = t.rows_slice(1, 1);
+        assert_eq!(mid.as_slice(), &[3., 4.]);
+        let col1 = t.cols_slice(1, 1);
+        assert_eq!(col1.as_slice(), &[2., 4., 6.]);
+
+        let mut dst = Tensor::zeros(3, 2);
+        dst.set_rows(1, &mid);
+        assert_eq!(dst.at(1, 0), 3.);
+        let mut dst2 = Tensor::zeros(3, 2);
+        dst2.set_cols(1, &col1);
+        assert_eq!(dst2.at(2, 1), 6.);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.transposed().transposed(), t);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec(1, 2, vec![1., 2.]);
+        let b = Tensor::from_vec(1, 2, vec![10., 20.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6., 12.]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[12., 24.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_shape_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests on the kernel contracts the SlimPipe algorithms
+//! rely on: GEMM algebra, online-softmax merge associativity/exactness,
+//! chunked-attention equivalence under arbitrary splits, and sharded
+//! cross-entropy equivalence under arbitrary shardings.
+
+use proptest::prelude::*;
+use slimpipe_tensor::attention::{
+    backward_chunked, forward_chunked, forward_full, merge_partials, partial, HeadCfg,
+};
+use slimpipe_tensor::crossentropy::{
+    combine_stats, forward_backward, loss_from_stats, shard_stats,
+};
+use slimpipe_tensor::init::{seeded_tokens, seeded_uniform};
+use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use slimpipe_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ via the specialised orientations.
+    #[test]
+    fn gemm_transpose_identity(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1000) {
+        let a = seeded_uniform(m, k, seed);
+        let b = seeded_uniform(k, n, seed + 1);
+        let ab = matmul(&a, &b);
+        let bt_at = matmul(&b.transposed(), &a.transposed());
+        prop_assert!(ab.transposed().max_abs_diff(&bt_at) < 1e-4);
+        // nt/tn consistency with plain matmul.
+        prop_assert!(matmul_nt(&a, &b.transposed()).max_abs_diff(&ab) < 1e-4);
+        prop_assert!(matmul_tn(&a.transposed(), &b).max_abs_diff(&ab) < 1e-4);
+    }
+
+    /// Matmul distributes over addition: A·(B + C) = A·B + A·C.
+    #[test]
+    fn gemm_distributes(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..1000) {
+        let a = seeded_uniform(m, k, seed);
+        let b = seeded_uniform(k, n, seed + 1);
+        let c = seeded_uniform(k, n, seed + 2);
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = matmul(&a, &bc);
+        let mut rhs = matmul(&a, &b);
+        rhs.add_assign(&matmul(&a, &c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    /// Chunked attention equals monolithic attention for ANY chunk split.
+    #[test]
+    fn attention_split_invariance(
+        chunks in 1usize..6,
+        chunk_len in 1usize..6,
+        heads_pow in 0u32..2,
+        seed in 0u64..500,
+    ) {
+        let heads = 1usize << heads_pow;
+        let cfg = HeadCfg::new(heads, heads, 4);
+        let s = chunks * chunk_len;
+        let q = seeded_uniform(s, cfg.q_width(), seed);
+        let k = seeded_uniform(s, cfg.kv_width(), seed + 1);
+        let v = seeded_uniform(s, cfg.kv_width(), seed + 2);
+        let full = forward_full(&q, &k, &v, cfg);
+        let ks: Vec<Tensor> = (0..chunks).map(|c| k.rows_slice(c * chunk_len, chunk_len)).collect();
+        let vs: Vec<Tensor> = (0..chunks).map(|c| v.rows_slice(c * chunk_len, chunk_len)).collect();
+        let ch: Vec<(&Tensor, &Tensor)> = ks.iter().zip(vs.iter()).collect();
+        let offs: Vec<usize> = (0..chunks).map(|c| c * chunk_len).collect();
+        let got = forward_chunked(&q, &ch, &offs, cfg, 0);
+        prop_assert!(got.o.max_abs_diff(&full.o) < 1e-4);
+    }
+
+    /// Online-softmax merge is commutative and associative over disjoint
+    /// KV ranges — the property context exchange depends on.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        lq in 1usize..6,
+        lc in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let cfg = HeadCfg::new(2, 2, 4);
+        let q = seeded_uniform(lq, cfg.q_width(), seed);
+        let total = 3 * lc;
+        let k = seeded_uniform(total, cfg.kv_width(), seed + 1);
+        let v = seeded_uniform(total, cfg.kv_width(), seed + 2);
+        // Queries positioned after all keys so everything is visible.
+        let qo = total;
+        let parts: Vec<_> = (0..3)
+            .map(|c| partial(&q, &k.rows_slice(c * lc, lc), &v.rows_slice(c * lc, lc), cfg, qo, c * lc))
+            .collect();
+        let ab_c = merge_partials(&merge_partials(&parts[0], &parts[1], cfg), &parts[2], cfg);
+        let a_bc = merge_partials(&parts[0], &merge_partials(&parts[1], &parts[2], cfg), cfg);
+        let ba_c = merge_partials(&merge_partials(&parts[1], &parts[0], cfg), &parts[2], cfg);
+        prop_assert!(ab_c.o.max_abs_diff(&a_bc.o) < 1e-4);
+        prop_assert!(ab_c.o.max_abs_diff(&ba_c.o) < 1e-4);
+        // And the 3-way merge equals the monolithic partial.
+        let mono = partial(&q, &k, &v, cfg, qo, 0);
+        prop_assert!(ab_c.o.max_abs_diff(&mono.o) < 1e-4);
+    }
+
+    /// dQ/dK/dV from any chunking sum to the monolithic gradients.
+    #[test]
+    fn attention_backward_split_invariance(
+        chunks in 2usize..5,
+        chunk_len in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let cfg = HeadCfg::new(2, 1, 4);
+        let s = chunks * chunk_len;
+        let q = seeded_uniform(s, cfg.q_width(), seed);
+        let k = seeded_uniform(s, cfg.kv_width(), seed + 1);
+        let v = seeded_uniform(s, cfg.kv_width(), seed + 2);
+        let d_o = seeded_uniform(s, cfg.q_width(), seed + 3);
+        let full = forward_full(&q, &k, &v, cfg);
+        let (dq_ref, dkv_ref) =
+            backward_chunked(&q, &[(&k, &v)], &[0], &d_o, &full.o, &full.lse, cfg, 0);
+        let ks: Vec<Tensor> = (0..chunks).map(|c| k.rows_slice(c * chunk_len, chunk_len)).collect();
+        let vs: Vec<Tensor> = (0..chunks).map(|c| v.rows_slice(c * chunk_len, chunk_len)).collect();
+        let ch: Vec<(&Tensor, &Tensor)> = ks.iter().zip(vs.iter()).collect();
+        let offs: Vec<usize> = (0..chunks).map(|c| c * chunk_len).collect();
+        let fwd = forward_chunked(&q, &ch, &offs, cfg, 0);
+        let (dq, dkv) = backward_chunked(&q, &ch, &offs, &d_o, &fwd.o, &fwd.lse, cfg, 0);
+        prop_assert!(dq.max_abs_diff(&dq_ref) < 1e-3);
+        let mut dk_cat = Tensor::zeros(s, cfg.kv_width());
+        for (c, (dk, _)) in dkv.iter().enumerate() {
+            dk_cat.set_rows(c * chunk_len, dk);
+        }
+        prop_assert!(dk_cat.max_abs_diff(&dkv_ref[0].0) < 1e-3);
+    }
+
+    /// Sharded cross-entropy equals monolithic for any divisor sharding.
+    #[test]
+    fn sharded_ce_matches_monolithic(
+        rows in 1usize..8,
+        vocab_mult in 1usize..6,
+        shards in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let vocab = vocab_mult * 12; // divisible by 1..4
+        prop_assume!(vocab % shards == 0);
+        let logits = seeded_uniform(rows, vocab, seed);
+        let targets = seeded_tokens(rows, vocab, seed + 1);
+        let (ref_loss, _) = forward_backward(&logits, &targets);
+        let w = vocab / shards;
+        let stats: Vec<_> = (0..shards)
+            .map(|s| shard_stats(&logits.cols_slice(s * w, w), &targets, s * w))
+            .collect();
+        let loss = loss_from_stats(&combine_stats(&stats));
+        prop_assert!((loss - ref_loss).abs() < 1e-3);
+    }
+}

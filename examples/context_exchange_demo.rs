@@ -1,0 +1,84 @@
+//! Demonstrate attention context exchange end to end: plan a round,
+//! execute the exchanged attention across real compute-server threads, and
+//! confirm the merged result equals local computation.
+//!
+//! ```bash
+//! cargo run --release --example context_exchange_demo
+//! ```
+
+use slimpipe::core::exchange::{plan_round, steady_round_slices, theta_bound, theta_formula};
+use slimpipe::exec::comm::{spawn_server, ExchangeMap, ExchangeRt, ServerJob};
+use slimpipe::exec::layer::AttnExecutor;
+use slimpipe::tensor::attention::{forward_chunked, HeadCfg};
+use slimpipe::tensor::init::seeded_uniform;
+use slimpipe::tensor::Tensor;
+
+fn main() {
+    let (p, n, l) = (4usize, 8usize, 64usize);
+    println!("Context exchange demo: p={p} devices, n={n} slices, slice length {l}\n");
+
+    // 1. The planner's view of one steady-state round.
+    let slices = steady_round_slices(p, n, 6);
+    let plan = plan_round(&slices, l as u64);
+    println!(
+        "round slices: {:?}",
+        slices.iter().map(|s| s.unwrap()).collect::<Vec<_>>()
+    );
+    println!("balanced loads (pairs): {:?}", plan.load);
+    println!("balance ratio: {:.3}", plan.balance_ratio());
+    println!(
+        "Eq. 2: formula {:.3}, bound {:.3} (units of L*Mh)\n",
+        theta_formula(p, n),
+        theta_bound(p, n)
+    );
+
+    // 2. Execute exchanged attention for the heaviest device across real
+    //    server threads and check exactness.
+    let cfg = HeadCfg::new(4, 2, 8);
+    let map = ExchangeMap::build(p, n, l as u64);
+    let mut servers = Vec::new();
+    let mut joins = Vec::new();
+    for _ in 0..p {
+        let (h, j) = spawn_server(None);
+        servers.push(h);
+        joins.push(j);
+    }
+
+    // The device with the deepest slice this round is the heaviest.
+    let heavy = slices
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.unwrap())
+        .unwrap()
+        .0;
+    let j = slices[heavy].unwrap() as usize;
+    let q = seeded_uniform(l, 32, 1);
+    let ks: Vec<Tensor> = (0..=j).map(|c| seeded_uniform(l, 16, 10 + c as u64)).collect();
+    let vs: Vec<Tensor> = (0..=j).map(|c| seeded_uniform(l, 16, 50 + c as u64)).collect();
+    let chunks: Vec<(&Tensor, &Tensor)> = ks.iter().zip(vs.iter()).collect();
+    let offsets: Vec<usize> = (0..=j).map(|c| c * l).collect();
+
+    let remote = map.remote_chunks(heavy, j);
+    println!(
+        "device {heavy} (slice {j}) ships {} of its {} KV chunks: {:?}",
+        remote.len(),
+        j + 1,
+        remote
+    );
+
+    let mut rt = ExchangeRt { device: heavy, servers: &servers, map: &map };
+    let exchanged = rt.attn_forward(&q, &chunks, &offsets, cfg, j * l);
+    let local = forward_chunked(&q, &chunks, &offsets, cfg, j * l);
+    println!(
+        "max |exchanged - local| = {:.2e} (online-softmax merge is exact)",
+        exchanged.o.max_abs_diff(&local.o)
+    );
+
+    for s in &servers {
+        s.submit(ServerJob::Stop);
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    println!("\nRemote partial attention merged exactly — no approximation anywhere.");
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the full SlimPipe reproduction workspace.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! system inventory and per-experiment index.
+
+pub use slimpipe_cluster as cluster;
+pub use slimpipe_core as core;
+pub use slimpipe_exec as exec;
+pub use slimpipe_model as model;
+pub use slimpipe_parallel as parallel;
+pub use slimpipe_sched as sched;
+pub use slimpipe_sim as sim;
+pub use slimpipe_tensor as tensor;

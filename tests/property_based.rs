@@ -1,0 +1,128 @@
+//! Property-based tests (proptest) on the core invariants: schedule
+//! validity, slicing conservation, exchange balance, and memory accounting.
+
+use proptest::prelude::*;
+use slimpipe::core::exchange::{plan_round, steady_round_slices, theta_bound, theta_formula};
+use slimpipe::core::memory::measured_act_rel;
+use slimpipe::core::slicing::Slicing;
+use slimpipe::core::theory::{act_memory_rel, Scheme};
+use slimpipe::model::causal_pairs;
+use slimpipe::sched::validate;
+
+proptest! {
+    /// Any (p, m, n-multiple) SlimPipe schedule validates: complete,
+    /// deadlock-free, KV-ordered.
+    #[test]
+    fn slimpipe_schedules_always_validate(
+        p in 1usize..=8,
+        m in 1usize..=6,
+        mult in 1usize..=4,
+    ) {
+        let n = p * mult;
+        let sched = slimpipe::core::schedule::generate(p, m, n).unwrap();
+        prop_assert!(validate(&sched).is_ok());
+    }
+
+    /// Interleaved SlimPipe too, for any chunk count.
+    #[test]
+    fn interleaved_slimpipe_schedules_always_validate(
+        p in 1usize..=6,
+        v in 1usize..=4,
+        m in 1usize..=4,
+        mult in 1usize..=3,
+    ) {
+        let n = p * mult;
+        let sched = slimpipe::core::interleaved::generate(p, v, m, n).unwrap();
+        prop_assert!(validate(&sched).is_ok());
+    }
+
+    /// The baseline generators validate across their whole domains.
+    #[test]
+    fn baseline_schedules_always_validate(
+        p in 1usize..=8,
+        m in 1usize..=8,
+    ) {
+        prop_assert!(validate(&slimpipe::sched::gpipe::generate(p, m).unwrap()).is_ok());
+        prop_assert!(validate(&slimpipe::sched::onefoneb::generate(p, m).unwrap()).is_ok());
+        let zb = slimpipe::sched::zbv::generate_zbv(
+            p, m, slimpipe::sched::zbv::ZbCosts::default()).unwrap();
+        prop_assert!(validate(&zb).is_ok());
+    }
+
+    /// Slice pair counts always partition the sequence total, uniform or
+    /// pair-balanced.
+    #[test]
+    fn slicing_conserves_pairs(seq_mult in 1u64..=64, n in 1usize..=16) {
+        let seq = seq_mult * 16 * n as u64;
+        let u = Slicing::uniform(seq, n);
+        let total: u128 = (0..n).map(|i| u.pairs(i)).sum();
+        prop_assert_eq!(total, causal_pairs(0, seq));
+        let b = Slicing::pair_balanced(seq, n);
+        let total_b: u128 = (0..n).map(|i| b.pairs(i)).sum();
+        prop_assert_eq!(total_b, causal_pairs(0, seq));
+    }
+
+    /// The exchange planner never widens the spread beyond one KV slice,
+    /// conserves total work, and keeps diagonals local — at every round of
+    /// every geometry.
+    #[test]
+    fn exchange_plan_invariants(
+        p in 2usize..=8,
+        mult in 1usize..=4,
+        t in 0usize..32,
+        len_pow in 4u32..=10,
+    ) {
+        let n = p * mult;
+        let l = 1u64 << len_pow;
+        let slices = steady_round_slices(p, n, t % n);
+        let plan = plan_round(&slices, l);
+        let unit = (l as u128) * (l as u128);
+        prop_assert!(plan.spread() <= unit, "spread {} > {}", plan.spread(), unit);
+        let raw: u128 = slices.iter().map(|s| {
+            let j = s.unwrap() as u128;
+            j * unit + (l as u128 * (l as u128 + 1)) / 2
+        }).sum();
+        let planned: u128 = plan.load.iter().sum();
+        prop_assert_eq!(raw, planned);
+        for task in &plan.tasks {
+            if task.diagonal {
+                prop_assert_eq!(task.q_owner, task.executor);
+            }
+        }
+    }
+
+    /// Eq. 2's closed form respects its own bound everywhere.
+    #[test]
+    fn theta_respects_bound(p in 1usize..=32, mult in 1usize..=8) {
+        let n = p * mult;
+        prop_assert!(theta_formula(p, n) <= theta_bound(p, n) + 1e-12);
+        prop_assert!(theta_formula(p, n) <= 2.0);
+    }
+
+    /// Table 2 closed forms equal exact schedule walks for the slicing
+    /// schemes, for any geometry.
+    #[test]
+    fn slimpipe_memory_formula_equals_walk(
+        p in 1usize..=6,
+        m in 1usize..=4,
+        mult in 1usize..=4,
+        v in 1usize..=3,
+    ) {
+        let n = p * mult;
+        let sched = slimpipe::core::interleaved::generate(p, v, m, n).unwrap();
+        let walk = measured_act_rel(&sched);
+        let formula = act_memory_rel(Scheme::SlimPipe, p, m, n, v)
+            .min(m as f64 * n as f64 * v as f64 / (p * v * n) as f64);
+        prop_assert!((walk - formula).abs() < 1e-9, "walk {walk} vs formula {formula}");
+    }
+
+    /// Uniform slicing imbalance is exactly the (2n-1):1 arithmetic
+    /// progression the paper describes, for large slices.
+    #[test]
+    fn uniform_imbalance_approaches_2n_minus_1(n in 2usize..=12) {
+        let s = Slicing::uniform(n as u64 * 8192, n);
+        let imb = s.imbalance();
+        let expect = 2.0 * n as f64 - 1.0;
+        prop_assert!((imb - expect).abs() / expect < 0.01);
+    }
+}

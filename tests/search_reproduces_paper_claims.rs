@@ -1,0 +1,93 @@
+//! Cross-crate integration: the configuration search must reproduce the
+//! paper's qualitative end-to-end claims (§6.4) — who wins, and where the
+//! feasibility walls sit.
+
+use slimpipe::cluster::Cluster;
+use slimpipe::model::ModelConfig;
+use slimpipe::parallel::search::{best_config, SearchOptions, SearchOutcome};
+use slimpipe::parallel::SystemKind;
+
+const TOKENS: u64 = 4 << 20;
+
+#[test]
+fn deepspeed_has_no_config_at_512k_on_128_gpus() {
+    // §6.4 verbatim: batch 8 too small for DP, UP capped by 8 query groups.
+    let out = best_config(
+        &ModelConfig::llama_70b(),
+        SystemKind::DeepSpeed,
+        128,
+        512 * 1024,
+        TOKENS,
+        &Cluster::hopper_nvlink(),
+        &SearchOptions::default(),
+    );
+    assert!(matches!(out, SearchOutcome::NoConfig), "{:?}", out.mfu());
+}
+
+#[test]
+fn slimpipe_finds_configs_where_interleaving_breaks() {
+    // At 512 GPUs / 512K the microbatch count per DP rank collapses; the
+    // paper: SlimPipe keeps "quite high training efficiency with as few as
+    // 2 microbatches". SlimPipe must find a config.
+    let cluster = Cluster::hopper_nvlink();
+    let out = best_config(
+        &ModelConfig::llama_70b(),
+        SystemKind::SlimPipe,
+        512,
+        512 * 1024,
+        TOKENS,
+        &cluster,
+        &SearchOptions::default(),
+    );
+    let SearchOutcome::Found(e) = out else { panic!("SlimPipe must find a config") };
+    assert!(e.mfu > 0.2, "mfu {}", e.mfu);
+}
+
+#[test]
+fn slimpipe_beats_megatron_at_256k_on_128_gpus_llama70b() {
+    // A representative Figure 12 cell (paper annotation: 1.32x).
+    let cluster = Cluster::hopper_nvlink();
+    let model = ModelConfig::llama_70b();
+    let opts = SearchOptions::default();
+    let slim = best_config(&model, SystemKind::SlimPipe, 128, 256 * 1024, TOKENS, &cluster, &opts);
+    let mega = best_config(&model, SystemKind::MegatronLM, 128, 256 * 1024, TOKENS, &cluster, &opts);
+    let (Some(s), Some(m)) = (slim.mfu(), mega.mfu()) else {
+        panic!("both systems should find configs: {:?} {:?}", slim.mfu(), mega.mfu())
+    };
+    assert!(s > m, "SlimPipe {s:.3} must beat Megatron {m:.3}");
+}
+
+#[test]
+fn slimpipe_advantage_grows_with_context() {
+    // "SlimPipe demonstrates increasingly significant advantages when
+    // training with longer context lengths."
+    let cluster = Cluster::hopper_nvlink();
+    let model = ModelConfig::llama_70b();
+    let opts = SearchOptions::default();
+    let speedup = |seq_k: u64| -> f64 {
+        let s = best_config(&model, SystemKind::SlimPipe, 128, seq_k * 1024, TOKENS, &cluster, &opts);
+        let m = best_config(&model, SystemKind::MegatronLM, 128, seq_k * 1024, TOKENS, &cluster, &opts);
+        match (s.mfu(), m.mfu()) {
+            (Some(a), Some(b)) => a / b,
+            (Some(_), None) => f64::INFINITY, // Megatron OOM counts as a win
+            _ => 0.0,
+        }
+    };
+    let short = speedup(64);
+    let long = speedup(512);
+    assert!(long > short, "64K: {short:.3}x, 512K: {long:.3}x");
+}
+
+#[test]
+fn deepspeed_works_at_short_context_and_scale_64k() {
+    let out = best_config(
+        &ModelConfig::llama_70b(),
+        SystemKind::DeepSpeed,
+        128,
+        64 * 1024,
+        TOKENS,
+        &Cluster::hopper_nvlink(),
+        &SearchOptions::default(),
+    );
+    assert!(matches!(out, SearchOutcome::Found(_)));
+}

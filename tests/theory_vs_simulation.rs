@@ -1,0 +1,132 @@
+//! Cross-crate integration: the paper's closed-form theory (`slimpipe-core`)
+//! must agree with exact schedule walks (`slimpipe-sched` generators) and
+//! with the discrete-event simulator (`slimpipe-sim`) across a grid of
+//! operating points.
+
+use slimpipe::cluster::{Cluster, Efficiency};
+use slimpipe::core::memory::measured_act_rel;
+use slimpipe::core::theory::{act_memory_rel, bubble_fraction_ideal, eq1_accumulated, Scheme};
+use slimpipe::model::{Checkpoint, ModelConfig};
+use slimpipe::sim::cost::{CostModel, PipelineEnv};
+use slimpipe::sim::engine::simulate;
+
+fn env(model: ModelConfig, seq: u64, slim: bool) -> PipelineEnv {
+    PipelineEnv {
+        model,
+        cluster: Cluster::hopper_nvlink(),
+        eff: Efficiency::hopper(),
+        tp: 8,
+        cp: 1,
+        ep: 1,
+        seq,
+        ckpt: Checkpoint::Full,
+        exchange: slim,
+        early_kv: true,
+        vocab_parallel: slim,
+        comm_overlap: 0.5,
+    }
+}
+
+#[test]
+fn eq1_matches_schedule_walk_across_grid() {
+    for p in [2usize, 4, 8] {
+        for mult in [1usize, 2, 4] {
+            let n = p * mult;
+            let sched = slimpipe::core::schedule::generate(p, 4, n).unwrap();
+            let measured = measured_act_rel(&sched);
+            let eq1 = eq1_accumulated(p, n);
+            assert!(
+                (measured - eq1).abs() < 1e-9,
+                "p={p} n={n}: walk {measured} vs Eq.1 {eq1}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table2_activation_column_verified_by_walks() {
+    let (p, m) = (4usize, 8usize);
+    let cases: &[(Scheme, usize, usize)] =
+        &[(Scheme::GPipe, 1, 1), (Scheme::OneFOneB, 1, 1), (Scheme::TeraPipe, 8, 1)];
+    for &(s, n, v) in cases {
+        let sched = match s {
+            Scheme::GPipe => slimpipe::sched::gpipe::generate(p, m).unwrap(),
+            Scheme::OneFOneB => slimpipe::sched::onefoneb::generate(p, m).unwrap(),
+            Scheme::TeraPipe => slimpipe::sched::terapipe::generate(p, m, n).unwrap(),
+            _ => unreachable!(),
+        };
+        let theory = act_memory_rel(s, p, m, n, v);
+        let walk = measured_act_rel(&sched);
+        assert!((theory - walk).abs() < 1e-9, "{s:?}");
+    }
+}
+
+#[test]
+fn simulated_warmup_bubble_tracks_closed_form_for_1f1b() {
+    // With one uniform pass cost, 1F1B's bubble is (p-1)/(m+p-1); the
+    // closed form in Table 2 is the (p-1)/m approximation. The simulator
+    // must land between/near them.
+    let model = ModelConfig::llama_13b();
+    for (p, m) in [(4usize, 8usize), (8, 16)] {
+        let sched = slimpipe::sched::onefoneb::generate(p, m).unwrap();
+        let e = env(model.clone(), 65_536, false);
+        let r = simulate(&CostModel::new(&sched, &e));
+        let exact = (p as f64 - 1.0) / (m as f64 + p as f64 - 1.0);
+        assert!(
+            (r.bubble_fraction - exact).abs() < 0.12,
+            "p={p} m={m}: sim {} vs closed {exact}",
+            r.bubble_fraction
+        );
+    }
+}
+
+#[test]
+fn slimpipe_bubble_shrinks_superlinearly_with_slices() {
+    // §4.1.3: "the bubbles shrink super-linearly due to the causal
+    // attention mechanism" — doubling n should cut the simulated bubble by
+    // more than half at long context when exchange keeps loads balanced.
+    let model = ModelConfig::llama_13b();
+    let p = 4;
+    let mut prev: Option<f64> = None;
+    for n in [4usize, 8, 16] {
+        let sched = slimpipe::core::schedule::generate(p, 2, n).unwrap();
+        let e = env(model.clone(), 262_144, true);
+        let r = simulate(&CostModel::new(&sched, &e));
+        if let Some(pb) = prev {
+            assert!(
+                r.bubble_fraction < pb,
+                "n={n}: bubble {} did not shrink from {pb}",
+                r.bubble_fraction
+            );
+        }
+        prev = Some(r.bubble_fraction);
+    }
+    // And the ideal closed form agrees on the trend.
+    assert!(
+        bubble_fraction_ideal(Scheme::SlimPipe, p, 2, 16, 1)
+            < bubble_fraction_ideal(Scheme::SlimPipe, p, 2, 4, 1)
+    );
+}
+
+#[test]
+fn memory_ordering_holds_in_simulation_for_every_context() {
+    // Figure 14's ordering: SlimPipe < 1F1B < interleaved, at every length.
+    let model = ModelConfig::llama_13b();
+    for seq in [32u64 * 1024, 131_072, 524_288] {
+        let slim_sched = slimpipe::core::schedule::generate(4, 4, 8).unwrap();
+        let ofob = slimpipe::sched::onefoneb::generate(4, 4).unwrap();
+        let inter = slimpipe::sched::interleaved::generate(4, 2, 4).unwrap();
+        let e_slim = env(model.clone(), seq, true);
+        let e_base = env(model.clone(), seq, false);
+        let peak = |sched: &slimpipe::sched::Schedule, e: &PipelineEnv| {
+            (0..4)
+                .map(|d| slimpipe::sim::memory::device_peak_bytes(sched, e, d))
+                .fold(0.0, f64::max)
+        };
+        let slim = peak(&slim_sched, &e_slim);
+        let base = peak(&ofob, &e_base);
+        let int = peak(&inter, &e_base);
+        assert!(slim < base, "seq={seq}: slim {slim} vs 1f1b {base}");
+        assert!(base < int, "seq={seq}: 1f1b {base} vs interleaved {int}");
+    }
+}
