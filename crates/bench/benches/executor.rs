@@ -1,10 +1,15 @@
 //! Executor benchmarks: real threaded pipeline training steps under each
-//! scheme, with the feature toggles on and off.
+//! scheme, with the feature toggles on and off, plus the end-to-end effect
+//! of the tensor buffer pool (cold vs. warm training steps).
+//!
+//! `cargo bench --bench executor` writes `BENCH_executor.json`, the
+//! executor-level perf snapshot later PRs regress against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slimpipe_exec::model::ExecConfig;
 use slimpipe_exec::schedule::PipelineKind;
 use slimpipe_exec::train::{run_pipeline, run_reference};
+use slimpipe_tensor::pool;
 use std::hint::black_box;
 
 fn cfg() -> ExecConfig {
@@ -61,5 +66,37 @@ fn bench_feature_toggles(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_reference, bench_pipelines, bench_feature_toggles);
+/// The pool's end-to-end effect: identical training steps with the pool
+/// emptied before every iteration (every kernel allocation is a fresh
+/// malloc) vs. left warm (steady-state, allocation-free).
+fn bench_pool_cold_vs_warm(c: &mut Criterion) {
+    let cfg = ExecConfig {
+        stages: 1,
+        slices: 4,
+        microbatches: 2,
+        ..ExecConfig::small()
+    };
+    let mut g = c.benchmark_group("executor_pool");
+    g.sample_size(10);
+    g.bench_function("step_cold_pool", |b| {
+        b.iter(|| {
+            pool::clear();
+            black_box(run_reference(&cfg, 1, 0.1))
+        })
+    });
+    // Warm the pool once, then measure steady-state steps.
+    let _ = run_reference(&cfg, 1, 0.1);
+    g.bench_function("step_warm_pool", |b| {
+        b.iter(|| black_box(run_reference(&cfg, 1, 0.1)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reference,
+    bench_pipelines,
+    bench_feature_toggles,
+    bench_pool_cold_vs_warm,
+);
 criterion_main!(benches);

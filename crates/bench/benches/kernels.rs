@@ -1,6 +1,17 @@
 //! Kernel micro-benchmarks: the tensor substrate's hot paths — GEMM
-//! orientations, chunked attention forward/backward, online-softmax
-//! merging, and the sharded cross-entropy.
+//! orientations (tiled vs. the seed's i-k-j loops), chunked attention
+//! forward/backward and its thread scaling, online-softmax merging, the
+//! sharded cross-entropy, and the buffer pool.
+//!
+//! Running `cargo bench --bench kernels` writes `BENCH_kernels.json` — the
+//! perf snapshot later PRs regress against. The headline series:
+//!
+//! * `matmul/seed_ikj/{512,1024}` vs `matmul/tiled/{512,1024}` — the tiled
+//!   micro-kernel must stay ≥ 2× ahead of the seed kernel;
+//! * `attention_scaling/fwd_threads_{1,max}` — (head, q-block) parallel
+//!   forward; on multi-core hosts the `max` series must beat `1`;
+//! * `pool/take_recycle` vs `pool/fresh_alloc` — the steady-state
+//!   allocation the pool removes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slimpipe_tensor::attention::{
@@ -9,24 +20,103 @@ use slimpipe_tensor::attention::{
 use slimpipe_tensor::crossentropy::{combine_stats, forward_backward, shard_stats};
 use slimpipe_tensor::init::{seeded_tokens, seeded_uniform};
 use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use slimpipe_tensor::Tensor;
+use slimpipe_tensor::{pool, Tensor};
 use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
+// ---- the seed kernels (pre-tiling), kept verbatim as the regression
+// baseline: sequential i-k-j with the dense-data `== 0.0` branch ----
+
+fn seed_ikj(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor::zeros(m, n);
+    let bs = b.as_slice();
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let aik = a_row[kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bs[kk * n..(kk + 1) * n];
+            for (o, bb) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bb;
+            }
+        }
+    }
+    c
+}
+
+fn seed_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut c = Tensor::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a_row[kk] * b_row[kk];
+            }
+            *o = acc;
+        }
+    }
+    c
+}
+
+fn seed_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor::zeros(m, n);
+    let bs = b.as_slice();
+    for i in 0..m {
+        for kk in 0..k {
+            let aki = a.at(kk, i);
+            if aki == 0.0 {
+                continue;
+            }
+            let b_row = &bs[kk * n..(kk + 1) * n];
+            let out_row = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+            for (o, bb) in out_row.iter_mut().zip(b_row) {
+                *o += aki * bb;
+            }
+        }
+    }
+    c
+}
+
+/// The acceptance series: tiled vs. seed at the paper-relevant sizes.
+fn bench_matmul_vs_seed(c: &mut Criterion) {
     let mut g = c.benchmark_group("matmul");
-    for &n in &[64usize, 128, 256] {
+    for &n in &[256usize, 512, 1024] {
         let a = seeded_uniform(n, n, 1);
         let b = seeded_uniform(n, n, 2);
-        g.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
+        g.bench_with_input(BenchmarkId::new("seed_ikj", n), &n, |bch, _| {
+            bch.iter(|| black_box(seed_ikj(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("tiled", n), &n, |bch, _| {
             bch.iter(|| black_box(matmul(&a, &b)))
         });
-        g.bench_with_input(BenchmarkId::new("nt", n), &n, |bch, _| {
-            bch.iter(|| black_box(matmul_nt(&a, &b)))
-        });
-        g.bench_with_input(BenchmarkId::new("tn", n), &n, |bch, _| {
-            bch.iter(|| black_box(matmul_tn(&a, &b)))
-        });
     }
+    // The backward orientations at the mid size.
+    let n = 512usize;
+    let a = seeded_uniform(n, n, 1);
+    let b = seeded_uniform(n, n, 2);
+    g.bench_with_input(BenchmarkId::new("seed_nt", n), &n, |bch, _| {
+        bch.iter(|| black_box(seed_nt(&a, &b)))
+    });
+    g.bench_with_input(BenchmarkId::new("tiled_nt", n), &n, |bch, _| {
+        bch.iter(|| black_box(matmul_nt(&a, &b)))
+    });
+    g.bench_with_input(BenchmarkId::new("seed_tn", n), &n, |bch, _| {
+        bch.iter(|| black_box(seed_tn(&a, &b)))
+    });
+    g.bench_with_input(BenchmarkId::new("tiled_tn", n), &n, |bch, _| {
+        bch.iter(|| black_box(matmul_tn(&a, &b)))
+    });
     g.finish();
 }
 
@@ -59,6 +149,27 @@ fn bench_attention(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+}
+
+/// Thread scaling of the (head, q-block)-parallel forward at 8 heads.
+/// `fwd_threads_1` pins the kernel to one thread; `fwd_threads_max` uses
+/// every available core (on a single-core host the two coincide — the
+/// snapshot's `threads` field records which regime was measured).
+fn bench_attention_scaling(c: &mut Criterion) {
+    let cfg = HeadCfg::new(8, 8, 16);
+    let s = 256;
+    let q = seeded_uniform(s, cfg.q_width(), 7);
+    let k = seeded_uniform(s, cfg.kv_width(), 8);
+    let v = seeded_uniform(s, cfg.kv_width(), 9);
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut g = c.benchmark_group("attention_scaling");
+    g.bench_function("fwd_threads_1", |b| {
+        b.iter(|| rayon::with_num_threads(1, || black_box(forward_full(&q, &k, &v, cfg))))
+    });
+    g.bench_function("fwd_threads_max", |b| {
+        b.iter(|| rayon::with_num_threads(max, || black_box(forward_full(&q, &k, &v, cfg))))
+    });
     g.finish();
 }
 
@@ -95,11 +206,36 @@ fn bench_crossentropy(c: &mut Criterion) {
     g.finish();
 }
 
+/// What the pool buys per buffer: a warm take+recycle against a fresh
+/// `vec![0.0; n]` allocation of the same size.
+fn bench_pool(c: &mut Criterion) {
+    let len = 512 * 512;
+    let mut g = c.benchmark_group("pool");
+    // Prime the size class.
+    pool::recycle(vec![0.0f32; len]);
+    g.bench_function("take_recycle", |b| {
+        b.iter(|| {
+            let v = pool::take_raw(len);
+            pool::recycle(black_box(v));
+        })
+    });
+    g.bench_function("fresh_alloc", |b| {
+        b.iter(|| {
+            let v = vec![0.0f32; len];
+            black_box(&v);
+            drop(v);
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
-    bench_matmul,
+    bench_matmul_vs_seed,
     bench_attention,
+    bench_attention_scaling,
     bench_online_softmax_merge,
-    bench_crossentropy
+    bench_crossentropy,
+    bench_pool,
 );
 criterion_main!(benches);

@@ -24,7 +24,10 @@ fn bench_generators(c: &mut Criterion) {
 fn bench_validation(c: &mut Criterion) {
     let sched = slimpipe_core::interleaved::generate(8, 2, 16, 32).unwrap();
     c.bench_function("validate_slimpipe_p8_m16_n32_v2", |b| {
-        b.iter(|| black_box(slimpipe_sched::validate(&sched).unwrap()))
+        b.iter(|| {
+            slimpipe_sched::validate(&sched).unwrap();
+            black_box(())
+        })
     });
 }
 

@@ -35,7 +35,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for p in [2usize, 4, 5, 8, 10] {
-        if model.layers % p != 0 {
+        if !model.layers.is_multiple_of(p) {
             continue;
         }
         let v = model.layers / p; // maximum interleaving stages

@@ -122,6 +122,7 @@ fn full_pairs(l: u64) -> u128 {
 /// needs the just-produced KV and the causal mask), the earliest chunks
 /// move first (early-KV-exchange), and a move happens only while it
 /// strictly reduces the max-min spread.
+#[allow(clippy::while_let_loop)] // two let-else exits; while-let fits only one
 pub fn plan_round(slices: &[Option<u32>], slice_len: u64) -> ExchangePlan {
     let p = slices.len();
     let mut tasks: Vec<ChunkTask> = Vec::new();

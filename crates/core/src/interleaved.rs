@@ -18,7 +18,7 @@ pub fn generate(p: usize, v: usize, m: usize, n: usize) -> Result<Schedule, Sche
     if p == 0 || v == 0 || m == 0 || n == 0 {
         return Err(ScheduleError::Infeasible("p, v, m, n must be positive".into()));
     }
-    if n % p != 0 {
+    if !n.is_multiple_of(p) {
         return Err(ScheduleError::Infeasible(format!(
             "SlimPipe requires the slice count ({n}) to be a multiple of the \
              pipeline size ({p})"

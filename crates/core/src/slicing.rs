@@ -27,7 +27,7 @@ impl Slicing {
     pub fn uniform(seq: u64, n: usize) -> Self {
         assert!(n > 0 && seq > 0, "need positive seq and n");
         assert!(
-            seq % n as u64 == 0,
+            seq.is_multiple_of(n as u64),
             "uniform slicing requires n ({n}) to divide seq ({seq})"
         );
         let l = seq / n as u64;

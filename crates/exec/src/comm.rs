@@ -20,8 +20,9 @@ use crate::model::ExecConfig;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use slimpipe_core::exchange::{plan_round, steady_round_slices};
 use slimpipe_tensor::attention::{
-    self, backward_chunk, d_rows, merge_partials, AttnPartial, HeadCfg,
+    self, backward_chunk, d_rows, fold_partial, AttnPartial, HeadCfg,
 };
+use slimpipe_tensor::pool;
 use slimpipe_tensor::crossentropy::{combine_stats, shard_backward, shard_stats, ShardStats};
 use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
 use slimpipe_tensor::Tensor;
@@ -119,20 +120,25 @@ pub fn spawn_server(shard: Option<VocabShard>) -> (ServerHandle, JoinHandle<Opti
                 ServerJob::VocabFwd { normed, targets, reply } => {
                     let s = shard.as_ref().expect("vocab job on shardless server");
                     let logits = matmul(&normed, &s.w);
-                    let _ = reply.send(shard_stats(&logits, &targets, s.offset));
+                    let stats = shard_stats(&logits, &targets, s.offset);
+                    logits.recycle();
+                    let _ = reply.send(stats);
                 }
                 ServerJob::VocabBwd { normed, targets, lse, scale, reply } => {
                     let s = shard.as_mut().expect("vocab job on shardless server");
                     let logits = matmul(&normed, &s.w);
                     let mut d_logits = shard_backward(&logits, &targets, s.offset, &lse);
+                    logits.recycle();
                     d_logits.scale(scale);
-                    s.grad.add_assign(&matmul_tn(&normed, &d_logits));
-                    let _ = reply.send(matmul_nt(&d_logits, &s.w));
+                    s.grad.add_assign_recycle(matmul_tn(&normed, &d_logits));
+                    let d_hidden = matmul_nt(&d_logits, &s.w);
+                    d_logits.recycle();
+                    let _ = reply.send(d_hidden);
                 }
                 ServerJob::SgdStep { lr, reply } => {
                     if let Some(s) = shard.as_mut() {
                         s.w.axpy(-lr, &s.grad);
-                        s.grad.scale(0.0);
+                        s.grad.fill(0.0);
                     }
                     let _ = reply.send(());
                 }
@@ -240,17 +246,11 @@ impl crate::layer::AttnExecutor for ExchangeRt<'_> {
         for c in local {
             let p =
                 attention::partial(q, chunks[c].0, chunks[c].1, cfg, q_offset, offsets[c]);
-            acc = Some(match acc {
-                None => p,
-                Some(prev) => merge_partials(&prev, &p, cfg),
-            });
+            fold_partial(&mut acc, p, cfg);
         }
         for _ in 0..remote {
             let p = rrx.recv().expect("exchange server died");
-            acc = Some(match acc {
-                None => p,
-                Some(prev) => merge_partials(&prev, &p, cfg),
-            });
+            fold_partial(&mut acc, p, cfg);
         }
         acc.expect("at least the diagonal chunk is local")
     }
@@ -270,9 +270,10 @@ impl crate::layer::AttnExecutor for ExchangeRt<'_> {
         let d = d_rows(d_o, o, cfg);
         // Dispatch all remote chunk jobs first, each with its own reply
         // channel, then compute the local chunks while peers work.
+        #[allow(clippy::type_complexity)]
         let mut pending: Vec<(usize, Receiver<(Tensor, Tensor, Tensor)>)> = Vec::new();
         let mut results: Vec<Option<(Tensor, Tensor)>> = vec![None; chunks.len()];
-        let mut dq = Tensor::zeros(q.rows(), cfg.q_width());
+        let mut dq = Tensor::zeros_pooled(q.rows(), cfg.q_width());
         for c in 0..chunks.len() {
             let exec = self.map.executor_of(self.device, slice, c);
             if exec != self.device {
@@ -297,15 +298,16 @@ impl crate::layer::AttnExecutor for ExchangeRt<'_> {
                 let (dq_c, dk, dv) = backward_chunk(
                     q, chunks[c].0, chunks[c].1, d_o, lse, &d, cfg, q_offset, offsets[c],
                 );
-                dq.add_assign(&dq_c);
+                dq.add_assign_recycle(dq_c);
                 results[c] = Some((dk, dv));
             }
         }
         for (c, rx) in pending {
             let (dq_c, dk, dv) = rx.recv().expect("exchange server died");
-            dq.add_assign(&dq_c);
+            dq.add_assign_recycle(dq_c);
             results[c] = Some((dk, dv));
         }
+        pool::recycle(d);
         (
             dq,
             results.into_iter().map(|r| r.expect("chunk computed")).collect(),
@@ -355,9 +357,9 @@ impl VocabParallel<'_> {
                 reply: tx.clone(),
             });
         }
-        let mut d = Tensor::zeros(normed.rows(), normed.cols());
+        let mut d = Tensor::zeros_pooled(normed.rows(), normed.cols());
         for _ in 0..self.servers.len() {
-            d.add_assign(&rx.recv().expect("vocab server died"));
+            d.add_assign_recycle(rx.recv().expect("vocab server died"));
         }
         d
     }
@@ -368,7 +370,7 @@ impl VocabParallel<'_> {
 pub fn build_vocab_shards(cfg: &ExecConfig) -> Vec<VocabShard> {
     let full = cfg.build_output(); // (hidden, vocab)
     let p = cfg.stages;
-    assert!(cfg.vocab % p == 0, "vocab must divide by stages for sharding");
+    assert!(cfg.vocab.is_multiple_of(p), "vocab must divide by stages for sharding");
     let w = cfg.vocab / p;
     (0..p)
         .map(|s| VocabShard {

@@ -13,12 +13,20 @@
 //! RMSNorm outputs and the SwiGLU product are recomputed in the backward
 //! pass (the paper's §5 activation savings) — the stash holds exactly the
 //! components `slimpipe_model`'s `ActBreakdown` documents.
+//!
+//! Buffer discipline: the forward takes its input *by value* and stashes it
+//! (no clones anywhere on the residual stream), the backward consumes its
+//! upstream gradient and the slice stash, and every transient — recomputed
+//! norms, SwiGLU products, per-chunk `dK`/`dV`, drained accumulator slots,
+//! released KV chunks — is returned to the `slimpipe_tensor::pool`. After
+//! one warm-up iteration a training step performs zero kernel-path heap
+//! allocations (asserted in `tests/pool_steady_state.rs`).
 
 use crate::model::ExecConfig;
-use slimpipe_tensor::attention::{self, AttnPartial, HeadCfg};
+use slimpipe_tensor::attention::{AttnPartial, HeadCfg};
 use slimpipe_tensor::init::seeded_xavier;
 use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use slimpipe_tensor::{rmsnorm, swiglu, Tensor};
+use slimpipe_tensor::{attention, pool, rmsnorm, swiglu, Tensor};
 
 /// Weights of one layer.
 #[derive(Clone, Debug)]
@@ -100,6 +108,22 @@ impl LayerGrads {
         }
     }
 
+    /// Zero every accumulator in place — no reallocation, so the optimizer
+    /// step stays off the allocator in steady state. `fill`, not
+    /// `scale(0.0)`: a NaN/Inf that entered an accumulator must not
+    /// survive the reset.
+    pub fn reset(&mut self) {
+        self.wq.fill(0.0);
+        self.wk.fill(0.0);
+        self.wv.fill(0.0);
+        self.wo.fill(0.0);
+        self.w_gate.fill(0.0);
+        self.w_up.fill(0.0);
+        self.w_down.fill(0.0);
+        self.norm1.fill(0.0);
+        self.norm2.fill(0.0);
+    }
+
     /// Flat view for fingerprinting / comparisons.
     pub fn tensors(&self) -> Vec<(&'static str, &Tensor)> {
         vec![
@@ -139,16 +163,21 @@ impl KvCache {
             .sum()
     }
 
-    /// Release chunk `c` (after slice `c`'s backward). Returns freed bytes.
-    /// Once every chunk is gone the cache resets so the next microbatch
-    /// reuses the slots — §5: "These chunks will be precisely reused
-    /// between two adjacent microbatches in the pipeline."
+    /// Release chunk `c` (after slice `c`'s backward), returning its
+    /// buffers to the pool. Returns freed bytes. Once every chunk is gone
+    /// the cache resets so the next microbatch reuses the slots — §5:
+    /// "These chunks will be precisely reused between two adjacent
+    /// microbatches in the pipeline."
     pub fn release(&mut self, c: usize) -> u64 {
-        let freed = self.chunks[c]
-            .as_ref()
-            .map(|(k, v)| k.bytes() + v.bytes())
-            .unwrap_or(0);
-        self.chunks[c] = None;
+        let freed = match self.chunks[c].take() {
+            Some((k, v)) => {
+                let b = k.bytes() + v.bytes();
+                k.recycle();
+                v.recycle();
+                b
+            }
+            None => 0,
+        };
         if self.chunks.iter().all(Option::is_none) {
             self.chunks.clear();
             self.offsets.clear();
@@ -184,13 +213,15 @@ impl DkvAccum {
         }
     }
 
-    pub fn add(&mut self, c: usize, dk: &Tensor, dv: &Tensor) {
+    /// Fold a later slice's contribution into chunk `c`'s slot, consuming
+    /// the incoming tensors (recycled when the slot already exists).
+    pub fn add(&mut self, c: usize, dk: Tensor, dv: Tensor) {
         match &mut self.slots[c] {
             Some((ak, av)) => {
-                ak.add_assign(dk);
-                av.add_assign(dv);
+                ak.add_assign_recycle(dk);
+                av.add_assign_recycle(dv);
             }
-            slot @ None => *slot = Some((dk.clone(), dv.clone())),
+            slot @ None => *slot = Some((dk, dv)),
         }
     }
 
@@ -229,6 +260,18 @@ impl SliceCache {
             + self.resid_mid.bytes()
             + self.gate.bytes()
             + self.up.bytes()
+    }
+
+    /// Return every stashed buffer to the pool (after the backward consumed
+    /// the stash).
+    pub fn recycle(self) {
+        self.x_in.recycle();
+        self.q.recycle();
+        self.attn_out.recycle();
+        pool::recycle(self.lse);
+        self.resid_mid.recycle();
+        self.gate.recycle();
+        self.up.recycle();
     }
 }
 
@@ -292,36 +335,41 @@ impl AttnExecutor for LocalAttn {
     }
 }
 
-/// Forward one slice through one layer. Appends to `kv` and returns
-/// `(output, stash)`.
+/// Forward one slice through one layer. Consumes `x` (it becomes the
+/// stash's residual input), appends to `kv`, and returns `(output, stash)`.
 pub fn layer_forward(
     p: &LayerParams,
     cfg: HeadCfg,
-    x: &Tensor,
+    x: Tensor,
     kv: &mut KvCache,
     slice: usize,
     q_offset: usize,
     attn: &mut dyn AttnExecutor,
 ) -> (Tensor, SliceCache) {
-    let normed1 = rmsnorm::forward(x, &p.norm1);
+    let normed1 = rmsnorm::forward(&x, &p.norm1);
     let q = matmul(&normed1, &p.wq);
     let k = matmul(&normed1, &p.wk);
     let v = matmul(&normed1, &p.wv);
+    normed1.recycle();
     kv.push(k, v, q_offset);
-    let (chunks, offsets) = kv.visible(slice);
-    let part = attn.attn_forward(&q, &chunks, &offsets, cfg, q_offset);
-    let attn_proj = matmul(&part.o, &p.wo);
-    let mut resid_mid = x.clone();
-    resid_mid.add_assign(&attn_proj);
+    let part = {
+        let (chunks, offsets) = kv.visible(slice);
+        attn.attn_forward(&q, &chunks, &offsets, cfg, q_offset)
+    };
+    // resid_mid = x + attn_proj, built in the projection's own buffer.
+    let mut resid_mid = matmul(&part.o, &p.wo);
+    resid_mid.add_assign(&x);
     let normed2 = rmsnorm::forward(&resid_mid, &p.norm2);
     let gate = matmul(&normed2, &p.w_gate);
     let up = matmul(&normed2, &p.w_up);
+    normed2.recycle();
     let act = swiglu::forward(&gate, &up);
-    let mlp = matmul(&act, &p.w_down);
-    let mut y = resid_mid.clone();
-    y.add_assign(&mlp);
+    // y = resid_mid + mlp, built in the down-projection's own buffer.
+    let mut y = matmul(&act, &p.w_down);
+    act.recycle();
+    y.add_assign(&resid_mid);
     let cache = SliceCache {
-        x_in: x.clone(),
+        x_in: x,
         q,
         attn_out: part.o,
         lse: part.lse,
@@ -333,14 +381,14 @@ pub fn layer_forward(
 }
 
 /// Backward one slice through one layer (must run in LIFO slice order).
-/// Returns `d_x`.
+/// Consumes the upstream gradient and the slice stash; returns `d_x`.
 #[allow(clippy::too_many_arguments)]
 pub fn layer_backward(
     p: &LayerParams,
     g: &mut LayerGrads,
     cfg: HeadCfg,
-    cache: &SliceCache,
-    d_y: &Tensor,
+    cache: SliceCache,
+    d_y: Tensor,
     kv: &mut KvCache,
     dkv: &mut DkvAccum,
     slice: usize,
@@ -351,36 +399,46 @@ pub fn layer_backward(
     // ---- MLP path (recompute normed2 and the SwiGLU product) ----
     let normed2 = rmsnorm::forward(&cache.resid_mid, &p.norm2);
     let act = swiglu::forward(&cache.gate, &cache.up);
-    g.w_down.add_assign(&matmul_tn(&act, d_y));
-    let d_act = matmul_nt(d_y, &p.w_down);
+    g.w_down.add_assign_recycle(matmul_tn(&act, &d_y));
+    act.recycle();
+    let d_act = matmul_nt(&d_y, &p.w_down);
     let (d_gate, d_up) = swiglu::backward(&cache.gate, &cache.up, &d_act);
-    g.w_gate.add_assign(&matmul_tn(&normed2, &d_gate));
-    g.w_up.add_assign(&matmul_tn(&normed2, &d_up));
+    d_act.recycle();
+    g.w_gate.add_assign_recycle(matmul_tn(&normed2, &d_gate));
+    g.w_up.add_assign_recycle(matmul_tn(&normed2, &d_up));
+    normed2.recycle();
     let mut d_normed2 = matmul_nt(&d_gate, &p.w_gate);
-    d_normed2.add_assign(&matmul_nt(&d_up, &p.w_up));
+    d_normed2.add_assign_recycle(matmul_nt(&d_up, &p.w_up));
+    d_gate.recycle();
+    d_up.recycle();
     let (d_resid_from_norm, d_norm2) = rmsnorm::backward(&cache.resid_mid, &p.norm2, &d_normed2);
+    d_normed2.recycle();
     for (a, b) in g.norm2.iter_mut().zip(&d_norm2) {
         *a += b;
     }
-    let mut d_resid_mid = d_y.clone();
-    d_resid_mid.add_assign(&d_resid_from_norm);
+    pool::recycle(d_norm2);
+    let mut d_resid_mid = d_y;
+    d_resid_mid.add_assign_recycle(d_resid_from_norm);
 
     // ---- attention output projection ----
-    g.wo.add_assign(&matmul_tn(&cache.attn_out, &d_resid_mid));
+    g.wo.add_assign_recycle(matmul_tn(&cache.attn_out, &d_resid_mid));
     let d_o = matmul_nt(&d_resid_mid, &p.wo);
 
     // ---- chunked attention backward ----
-    let (chunks, offsets) = kv.visible(slice);
-    let (d_q, per_chunk) = attn.attn_backward(
-        &cache.q,
-        &chunks,
-        &offsets,
-        &d_o,
-        &cache.attn_out,
-        &cache.lse,
-        cfg,
-        q_offset,
-    );
+    let (d_q, per_chunk) = {
+        let (chunks, offsets) = kv.visible(slice);
+        attn.attn_backward(
+            &cache.q,
+            &chunks,
+            &offsets,
+            &d_o,
+            &cache.attn_out,
+            &cache.lse,
+            cfg,
+            q_offset,
+        )
+    };
+    d_o.recycle();
     // Park contributions for earlier chunks; combine our own (diagonal)
     // chunk with what later slices already deposited.
     let mut d_k_own = None;
@@ -390,30 +448,37 @@ pub fn layer_backward(
             d_k_own = Some(dk);
             d_v_own = Some(dv);
         } else {
-            dkv.add(c, &dk, &dv);
+            dkv.add(c, dk, dv);
         }
     }
     let (mut d_k, mut d_v) = (d_k_own.expect("diagonal chunk"), d_v_own.expect("diagonal"));
     if let Some((ak, av)) = dkv.take(slice) {
-        d_k.add_assign(&ak);
-        d_v.add_assign(&av);
+        d_k.add_assign_recycle(ak);
+        d_v.add_assign_recycle(av);
     }
     kv.release(slice);
 
     // ---- QKV projections (recompute normed1 from the stashed input) ----
     let normed1 = rmsnorm::forward(&cache.x_in, &p.norm1);
-    g.wq.add_assign(&matmul_tn(&normed1, &d_q));
-    g.wk.add_assign(&matmul_tn(&normed1, &d_k));
-    g.wv.add_assign(&matmul_tn(&normed1, &d_v));
+    g.wq.add_assign_recycle(matmul_tn(&normed1, &d_q));
+    g.wk.add_assign_recycle(matmul_tn(&normed1, &d_k));
+    g.wv.add_assign_recycle(matmul_tn(&normed1, &d_v));
+    normed1.recycle();
     let mut d_normed1 = matmul_nt(&d_q, &p.wq);
-    d_normed1.add_assign(&matmul_nt(&d_k, &p.wk));
-    d_normed1.add_assign(&matmul_nt(&d_v, &p.wv));
+    d_normed1.add_assign_recycle(matmul_nt(&d_k, &p.wk));
+    d_normed1.add_assign_recycle(matmul_nt(&d_v, &p.wv));
+    d_q.recycle();
+    d_k.recycle();
+    d_v.recycle();
     let (d_x_from_norm, d_norm1) = rmsnorm::backward(&cache.x_in, &p.norm1, &d_normed1);
+    d_normed1.recycle();
     for (a, b) in g.norm1.iter_mut().zip(&d_norm1) {
         *a += b;
     }
+    pool::recycle(d_norm1);
     let mut d_x = d_resid_mid;
-    d_x.add_assign(&d_x_from_norm);
+    d_x.add_assign_recycle(d_x_from_norm);
+    cache.recycle();
     d_x
 }
 
@@ -437,11 +502,11 @@ mod tests {
         // Monolithic.
         let mut kv1 = KvCache::default();
         let (y_ref, cache_ref) =
-            layer_forward(&p, hc, &x, &mut kv1, 0, 0, &mut LocalAttn);
+            layer_forward(&p, hc, x.clone(), &mut kv1, 0, 0, &mut LocalAttn);
         let mut g_ref = LayerGrads::zeros(&cfg);
         let mut dkv1 = DkvAccum::default();
         let dx_ref = layer_backward(
-            &p, &mut g_ref, hc, &cache_ref, &d_y, &mut kv1, &mut dkv1, 0, 0,
+            &p, &mut g_ref, hc, cache_ref, d_y.clone(), &mut kv1, &mut dkv1, 0, 0,
             &mut LocalAttn,
         );
 
@@ -452,7 +517,7 @@ mod tests {
         let mut y_cat = Tensor::zeros(cfg.seq, cfg.hidden());
         for j in 0..cfg.slices {
             let xs = x.rows_slice(j * l, l);
-            let (y, c) = layer_forward(&p, hc, &xs, &mut kv, j, j * l, &mut LocalAttn);
+            let (y, c) = layer_forward(&p, hc, xs, &mut kv, j, j * l, &mut LocalAttn);
             y_cat.set_rows(j * l, &y);
             caches.push(c);
         }
@@ -464,8 +529,9 @@ mod tests {
         let mut dx_cat = Tensor::zeros(cfg.seq, cfg.hidden());
         for j in (0..cfg.slices).rev() {
             let dys = d_y.rows_slice(j * l, l);
+            let cache = caches.pop().expect("LIFO stash");
             let dx = layer_backward(
-                &p, &mut g, hc, &caches[j], &dys, &mut kv, &mut dkv, j, j * l,
+                &p, &mut g, hc, cache, dys, &mut kv, &mut dkv, j, j * l,
                 &mut LocalAttn,
             );
             dx_cat.set_rows(j * l, &dx);
@@ -487,7 +553,7 @@ mod tests {
         let mut caches = Vec::new();
         for j in 0..cfg.slices {
             let xs = x.rows_slice(j * l, l);
-            let (_, c) = layer_forward(&p, hc, &xs, &mut kv, j, j * l, &mut LocalAttn);
+            let (_, c) = layer_forward(&p, hc, xs, &mut kv, j, j * l, &mut LocalAttn);
             caches.push(c);
         }
         let full = kv.bytes();
@@ -495,10 +561,11 @@ mod tests {
         let mut g = LayerGrads::zeros(&cfg);
         let mut dkv = DkvAccum::default();
         dkv.ensure(cfg.slices);
-        let d_y = seeded_uniform(l, cfg.hidden(), 103);
         for j in (0..cfg.slices).rev() {
+            let d_y = seeded_uniform(l, cfg.hidden(), 103);
+            let cache = caches.pop().expect("LIFO stash");
             layer_backward(
-                &p, &mut g, hc, &caches[j], &d_y, &mut kv, &mut dkv, j, j * l,
+                &p, &mut g, hc, cache, d_y, &mut kv, &mut dkv, j, j * l,
                 &mut LocalAttn,
             );
             // Chunk j gone; chunks 0..j still resident.
@@ -528,5 +595,16 @@ mod tests {
         p.sgd_step(&g, 0.1);
         assert!((p.wq.at(0, 0) - (before.at(0, 0) - 0.1)).abs() < 1e-6);
         assert_eq!(p.wq.at(1, 1), before.at(1, 1));
+    }
+
+    #[test]
+    fn grads_reset_in_place() {
+        let cfg = ExecConfig::small();
+        let mut g = LayerGrads::zeros(&cfg);
+        *g.wq.at_mut(0, 0) = 3.0;
+        g.norm1[1] = 2.0;
+        g.reset();
+        assert_eq!(g.wq.sq_norm(), 0.0);
+        assert!(g.norm1.iter().all(|&x| x == 0.0));
     }
 }

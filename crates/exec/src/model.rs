@@ -63,12 +63,12 @@ impl ExecConfig {
     }
 
     pub fn slice_len(&self) -> usize {
-        assert!(self.seq % self.slices == 0, "slices must divide seq");
+        assert!(self.seq.is_multiple_of(self.slices), "slices must divide seq");
         self.seq / self.slices
     }
 
     pub fn layers_per_stage(&self) -> usize {
-        assert!(self.layers % self.stages == 0, "stages must divide layers");
+        assert!(self.layers.is_multiple_of(self.stages), "stages must divide layers");
         self.layers / self.stages
     }
 

@@ -17,9 +17,7 @@
 //! with byte-exact communication meters, and both are verified to equal
 //! monolithic attention.
 
-use slimpipe_tensor::attention::{
-    forward_chunked, merge_partials, AttnPartial, HeadCfg,
-};
+use slimpipe_tensor::attention::{fold_partial, forward_chunked, AttnPartial, HeadCfg};
 use slimpipe_tensor::Tensor;
 
 /// One CP rank's resident state: its query shard for the current slice and
@@ -61,10 +59,7 @@ pub fn ring_classic(ranks: &[CpRank], cfg: HeadCfg) -> CpResult {
                     comm += kv_bytes(k, v);
                 }
                 let p = forward_chunked(q, &[(k, v)], &[*off], cfg, ranks[me].q_offset);
-                acc = Some(match acc {
-                    None => p,
-                    Some(prev) => merge_partials(&prev, &p, cfg),
-                });
+                fold_partial(&mut acc, p, cfg);
             }
         }
         outputs.push(acc.expect("at least the local shard"));
@@ -94,10 +89,7 @@ pub fn ring_commutated(ranks: &[CpRank], cfg: HeadCfg) -> CpResult {
             // The host applies its *resident* KV shards — no KV movement.
             for (k, v, off) in &ranks[host].kv {
                 let p = forward_chunked(q, &[(k, v)], &[*off], cfg, ranks[me].q_offset);
-                acc = Some(match acc {
-                    None => p,
-                    Some(prev) => merge_partials(&prev, &p, cfg),
-                });
+                fold_partial(&mut acc, p, cfg);
             }
         }
         // Final (O, lse) returns home.
@@ -120,7 +112,7 @@ pub fn build_scenario(
     seed: u64,
 ) -> (Vec<CpRank>, Tensor, Tensor, Tensor) {
     use slimpipe_tensor::init::seeded_uniform;
-    assert!(slice_len % c == 0, "CP must divide the slice length");
+    assert!(slice_len.is_multiple_of(c), "CP must divide the slice length");
     let total = (j + 1) * slice_len;
     let q_full = seeded_uniform(slice_len, cfg.q_width(), seed);
     let k_full = seeded_uniform(total, cfg.kv_width(), seed + 1);

@@ -16,7 +16,7 @@ use crate::layer::{
 use crate::model::ExecConfig;
 use slimpipe_tensor::crossentropy;
 use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use slimpipe_tensor::{embedding, rmsnorm, MemCounter, Tensor};
+use slimpipe_tensor::{embedding, pool, rmsnorm, MemCounter, Tensor};
 use std::collections::HashMap;
 
 /// Loss-head stash for one in-flight unit on the last stage.
@@ -160,7 +160,7 @@ impl Stage {
         let mut caches = Vec::with_capacity(self.layers.len());
         for (li, layer) in self.layers.iter().enumerate() {
             let (y, cache) =
-                layer_forward(layer, hc, &cur, &mut kv[li], slice as usize, q_offset, attn);
+                layer_forward(layer, hc, cur, &mut kv[li], slice as usize, q_offset, attn);
             cur = y;
             caches.push(cache);
         }
@@ -192,9 +192,11 @@ impl Stage {
             let (w, _) = self.out_proj.as_ref().expect("classic head has out_proj");
             let logits = matmul(&normed, w);
             let (loss, mut d_logits) = crossentropy::forward_backward(&logits, targets);
+            logits.recycle();
             d_logits.scale(self.loss_scale());
             (loss, HeadCache::Classic { hidden_in: cur, d_logits })
         };
+        normed.recycle();
         self.mem.alloc(head_cache.bytes());
         self.head_stash.insert((mb, slice), head_cache);
         StageOutput::Loss(loss * self.loss_scale() as f64)
@@ -222,8 +224,10 @@ impl Stage {
                 HeadCache::Classic { hidden_in, d_logits } => {
                     let (w, wg) = self.out_proj.as_mut().expect("classic head");
                     let normed = rmsnorm::forward(&hidden_in, norm_gain);
-                    wg.add_assign(&matmul_tn(&normed, &d_logits));
+                    wg.add_assign_recycle(matmul_tn(&normed, &d_logits));
+                    normed.recycle();
                     let d_normed = matmul_nt(&d_logits, w);
+                    d_logits.recycle();
                     (hidden_in, d_normed)
                 }
                 HeadCache::VocabParallel { hidden_in, lse } => {
@@ -232,13 +236,17 @@ impl Stage {
                     let targets = targets.expect("last stage needs targets");
                     let scale = 1.0 / (self.cfg.microbatches * self.cfg.seq) as f32;
                     let d_normed = vp.loss_backward(&normed, targets, &lse, scale);
+                    normed.recycle();
                     (hidden_in, d_normed)
                 }
             };
             let (d_hidden, d_gain) = rmsnorm::backward(&hidden_in, norm_gain, &d_normed);
+            d_normed.recycle();
+            hidden_in.recycle();
             for (a, b) in norm_grad.iter_mut().zip(&d_gain) {
                 *a += b;
             }
+            pool::recycle(d_gain);
             d_hidden
         } else {
             d_from_downstream.expect("non-last stage needs downstream gradient")
@@ -250,7 +258,7 @@ impl Stage {
             }
             eng.note_consumed((mb, slice));
         }
-        let caches = self.stash.remove(&(mb, slice)).expect("forward stash missing");
+        let mut caches = self.stash.remove(&(mb, slice)).expect("forward stash missing");
         self.mem.free(caches.iter().map(|c| c.bytes()).sum());
         let kv = self.kv.get_mut(&mb).expect("kv cache missing");
         let dkv = self
@@ -260,13 +268,14 @@ impl Stage {
         let hc = self.cfg.head_cfg();
         let q_offset = slice as usize * self.cfg.slice_len();
         for li in (0..self.layers.len()).rev() {
+            let cache = caches.pop().expect("one stash per layer");
             let kv_before = kv[li].bytes() + dkv[li].bytes();
             d_y = layer_backward(
                 &self.layers[li],
                 &mut self.grads[li],
                 hc,
-                &caches[li],
-                &d_y,
+                cache,
+                d_y,
                 &mut kv[li],
                 &mut dkv[li],
                 slice as usize,
@@ -285,27 +294,29 @@ impl Stage {
             let toks = self.tokens.remove(&(mb, slice)).expect("tokens missing");
             let (_, table_grad) = self.embed.as_mut().expect("stage 0 owns the embedding");
             embedding::backward(&toks, &d_y, table_grad);
+            d_y.recycle();
             None
         } else {
             Some(d_y)
         }
     }
 
-    /// Apply one SGD step on everything this stage owns and clear grads.
+    /// Apply one SGD step on everything this stage owns and clear grads
+    /// (in place — the optimizer allocates nothing in steady state).
     pub fn sgd_step(&mut self, lr: f32) {
         for (layer, g) in self.layers.iter_mut().zip(&self.grads) {
             layer.sgd_step(g, lr);
         }
         for g in &mut self.grads {
-            *g = LayerGrads::zeros(&self.cfg);
+            g.reset();
         }
         if let Some((t, g)) = &mut self.embed {
             t.axpy(-lr, g);
-            g.scale(0.0);
+            g.fill(0.0);
         }
         if let Some((w, g)) = &mut self.out_proj {
             w.axpy(-lr, g);
-            g.scale(0.0);
+            g.fill(0.0);
         }
         if let Some((gain, g)) = &mut self.final_norm {
             for (p, d) in gain.iter_mut().zip(g.iter()) {

@@ -1,0 +1,61 @@
+//! The tentpole guarantee of the buffer pool: after one warm-up iteration,
+//! a training step performs **zero kernel-path heap allocations** — every
+//! tensor a kernel takes comes from the pool, and the executor recycles
+//! every tensor it consumes, so takes and returns balance exactly across an
+//! iteration.
+//!
+//! Single test function on purpose: the pool is process-global, so the
+//! counter assertions need this binary's tests to run without interleaving
+//! pool users (integration-test binaries are separate processes, so other
+//! test files don't interfere).
+
+use slimpipe_exec::model::ExecConfig;
+use slimpipe_exec::train::run_reference;
+use slimpipe_tensor::pool;
+
+#[test]
+fn steady_state_step_is_allocation_free_and_pooling_preserves_numerics() {
+    let cfg = ExecConfig {
+        stages: 1,
+        slices: 4,
+        microbatches: 2,
+        ..ExecConfig::small()
+    };
+
+    // ---- cold run: populates the pool and fixes the reference numerics ----
+    pool::clear();
+    pool::reset_stats();
+    let cold = run_reference(&cfg, 2, 0.3);
+    let warm_stats = pool::stats();
+    assert!(warm_stats.misses > 0, "cold run must have allocated something");
+    assert!(
+        warm_stats.recycles > 0,
+        "executor must return consumed buffers to the pool"
+    );
+
+    // ---- warm run: same op sequence, zero fresh allocations ----
+    let warm = run_reference(&cfg, 2, 0.3);
+    let after = pool::stats();
+    assert_eq!(
+        after.misses, warm_stats.misses,
+        "steady-state training steps must not allocate in kernels \
+         (hits {} -> {}, recycles {} -> {})",
+        warm_stats.hits, after.hits, warm_stats.recycles, after.recycles
+    );
+    assert!(after.hits > warm_stats.hits, "warm run must be served by the pool");
+
+    // ---- pooling must not change the numbers: recycled buffers are either
+    // zeroed on take or fully overwritten, so a warm run is bit-identical ----
+    assert_eq!(cold.losses, warm.losses, "losses must be bit-identical");
+    for (a, b) in cold.layer_grads.iter().zip(&warm.layer_grads) {
+        for ((name, ga), (_, gb)) in a.tensors().iter().zip(b.tensors().iter()) {
+            assert_eq!(
+                ga.max_abs_diff(gb),
+                0.0,
+                "grad {name} differs between cold and warm pool"
+            );
+        }
+    }
+    assert_eq!(cold.embed_grad.max_abs_diff(&warm.embed_grad), 0.0);
+    assert_eq!(cold.out_grad.max_abs_diff(&warm.out_grad), 0.0);
+}

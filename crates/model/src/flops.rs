@@ -21,7 +21,7 @@ pub fn causal_pairs(q_start: u64, q_len: u64) -> u128 {
 /// Pairs attended by slice `i` of `n` uniform slices of a `seq`-token
 /// sequence.
 pub fn slice_pairs(seq: u64, n: u64, i: u64) -> u128 {
-    assert!(seq % n == 0, "uniform slicing requires n | seq");
+    assert!(seq.is_multiple_of(n), "uniform slicing requires n | seq");
     assert!(i < n, "slice index out of range");
     let l = seq / n;
     causal_pairs(i * l, l)

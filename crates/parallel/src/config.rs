@@ -109,11 +109,11 @@ impl ParallelConfig {
     /// Microbatches per DP rank per iteration for a fixed token budget:
     /// each microbatch is one sequence of `seq` tokens.
     pub fn microbatches(&self, tokens_per_iter: u64, seq: u64) -> Option<usize> {
-        if tokens_per_iter % seq != 0 {
+        if !tokens_per_iter.is_multiple_of(seq) {
             return None;
         }
         let batch = tokens_per_iter / seq;
-        if batch % self.dp as u64 != 0 {
+        if !batch.is_multiple_of(self.dp as u64) {
             return None;
         }
         let m = batch / self.dp as u64;
@@ -128,13 +128,13 @@ impl ParallelConfig {
             _ => 1,
         };
         self.tp <= gpus_per_node
-            && model.heads % self.tp == 0
-            && model.query_groups % self.tp == 0
-            && model.layers % (self.pp * v) == 0
+            && model.heads.is_multiple_of(self.tp)
+            && model.query_groups.is_multiple_of(self.tp)
+            && model.layers.is_multiple_of(self.pp * v)
             && (self.ep == 1
                 || (model.is_moe()
-                    && model.expert_count() % self.ep == 0
-                    && (self.cp * self.dp) % self.ep == 0))
+                    && model.expert_count().is_multiple_of(self.ep)
+                    && (self.cp * self.dp).is_multiple_of(self.ep)))
             && match self.scheme {
                 SchemeKind::SlimPipe { n, .. } => n % self.pp == 0,
                 SchemeKind::TeraPipe { n } => n >= 1,

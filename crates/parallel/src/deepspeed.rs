@@ -33,17 +33,17 @@ pub fn estimate_deepspeed(
 ) -> Result<Estimate, EstimateError> {
     let gpus = u * d;
     // --- feasibility (the paper's §6.4 constraints) ---
-    if model.heads % u != 0 || u > model.query_groups {
+    if !model.heads.is_multiple_of(u) || u > model.query_groups {
         return Err(EstimateError::Invalid(format!(
             "Ulysses degree {u} exceeds query groups ({})",
             model.query_groups
         )));
     }
-    if tokens_per_iter % seq != 0 {
+    if !tokens_per_iter.is_multiple_of(seq) {
         return Err(EstimateError::Invalid("seq does not divide token budget".into()));
     }
     let batch = tokens_per_iter / seq;
-    if batch % d as u64 != 0 || batch < d as u64 {
+    if !batch.is_multiple_of(d as u64) || batch < d as u64 {
         return Err(EstimateError::Invalid(format!(
             "batch {batch} is not enough for DP size {d}"
         )));

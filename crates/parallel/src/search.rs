@@ -47,7 +47,7 @@ impl Default for SearchOptions {
 }
 
 fn divisors_of(x: usize, cap: usize) -> Vec<usize> {
-    (1..=cap.min(x)).filter(|k| x % k == 0).collect()
+    (1..=cap.min(x)).filter(|k| x.is_multiple_of(*k)).collect()
 }
 
 /// Enumerate candidate configurations for a pipeline-based system.
@@ -63,7 +63,7 @@ pub fn candidate_configs(
     let node = cluster.gpus_per_node;
     let tps: Vec<usize> = divisors_of(model.query_groups.min(model.heads), node)
         .into_iter()
-        .filter(|&t| model.heads % t == 0 && t <= node)
+        .filter(|&t| model.heads.is_multiple_of(t) && t <= node)
         .collect();
     let eps: Vec<usize> = if model.is_moe() {
         vec![1, model.expert_count()]
@@ -72,28 +72,28 @@ pub fn candidate_configs(
     };
     for &tp in &tps {
         for cp in [1usize, 2, 4, 8, 16] {
-            if seq % cp as u64 != 0 || tp * cp > gpus {
+            if !seq.is_multiple_of(cp as u64) || tp * cp > gpus {
                 continue;
             }
             let inner = tp * cp;
-            if inner > gpus || gpus % inner != 0 {
+            if inner > gpus || !gpus.is_multiple_of(inner) {
                 continue;
             }
             for pp in divisors_of(gpus / inner, 64) {
-                if model.layers % pp != 0 {
+                if !model.layers.is_multiple_of(pp) {
                     continue;
                 }
                 let dp = gpus / (inner * pp);
                 for &ep in &eps {
                     // Experts shard across the cp·dp ranks.
-                    if ep > 1 && (cp * dp) % ep != 0 {
+                    if ep > 1 && !(cp * dp).is_multiple_of(ep) {
                         continue;
                     }
                     let schemes: Vec<SchemeKind> = match system {
                         SystemKind::MegatronLM => {
                             let mut s = vec![SchemeKind::OneFOneB];
                             for v in [2usize, 4, 5, 8] {
-                                if model.layers % (pp * v) == 0 {
+                                if model.layers.is_multiple_of(pp * v) {
                                     s.push(SchemeKind::Interleaved { v });
                                 }
                             }
@@ -103,11 +103,11 @@ pub fn candidate_configs(
                             let mut s = Vec::new();
                             for mult in [1usize, 2, 4] {
                                 let n = pp * mult;
-                                if seq % n as u64 != 0 {
+                                if !seq.is_multiple_of(n as u64) {
                                     continue;
                                 }
                                 for v in [1usize, 2, 4, 5] {
-                                    if model.layers % (pp * v) == 0 {
+                                    if model.layers.is_multiple_of(pp * v) {
                                         s.push(SchemeKind::SlimPipe { n, v });
                                     }
                                 }
@@ -154,7 +154,7 @@ pub fn best_config(
 
     if system == SystemKind::DeepSpeed {
         for u in [1usize, 2, 4, 8, 16, 32] {
-            if gpus % u != 0 {
+            if !gpus.is_multiple_of(u) {
                 continue;
             }
             let d = gpus / u;

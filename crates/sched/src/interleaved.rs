@@ -37,7 +37,7 @@ pub fn generate(p: usize, v: usize, m: usize) -> Result<Schedule, ScheduleError>
     if p == 0 || v == 0 || m == 0 {
         return Err(ScheduleError::Infeasible("p, v, m must be positive".into()));
     }
-    if v > 1 && m % p != 0 {
+    if v > 1 && !m.is_multiple_of(p) {
         return Err(ScheduleError::Infeasible(format!(
             "interleaved 1F1B requires microbatches ({m}) to be a multiple of \
              the pipeline size ({p})"

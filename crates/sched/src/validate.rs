@@ -55,6 +55,7 @@ pub fn deps_satisfied(
 
 /// Validate `sched`; returns a human-readable description of the first
 /// violation found.
+#[allow(clippy::needless_range_loop)] // `d` indexes ops and program counters together
 pub fn validate(sched: &Schedule) -> Result<(), String> {
     // --- shape ---
     if sched.ops.len() != sched.devices {

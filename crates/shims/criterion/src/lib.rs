@@ -1,0 +1,332 @@
+//! Workspace-local shim for the subset of `criterion` this repository uses.
+//!
+//! Semantics: each `Bencher::iter` target is warmed up, then timed over a
+//! few samples of auto-calibrated batch size; the median per-iteration time
+//! is printed and collected. When the whole binary finishes, the harness
+//! writes a `BENCH_<bench-name>.json` perf snapshot (into
+//! `$BENCH_SNAPSHOT_DIR`, default the working directory — the workspace
+//! root under `cargo bench`) so successive PRs have a perf trajectory to
+//! regress against.
+//!
+//! `--test` (as passed by `cargo bench -- --test`) runs every benchmark
+//! body exactly once and skips both timing and the snapshot — the CI smoke
+//! mode. `--quick` keeps timing but caps sample time for fast local runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `group/function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// One measured benchmark.
+struct Entry {
+    id: String,
+    ns_per_iter: f64,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+/// Harness configuration + collected results.
+#[derive(Default)]
+pub struct Criterion {
+    entries: Vec<Entry>,
+    test_mode: bool,
+    quick: bool,
+    filter: Option<String>,
+}
+
+
+impl Criterion {
+    /// Parse the argv cargo forwards to bench binaries.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--quick" => c.quick = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => c.filter = Some(a.to_string()),
+            }
+        }
+        c
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { harness: self, name: name.into() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    fn skipped(&self, id: &str) -> bool {
+        matches!(&self.filter, Some(f) if !id.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if self.skipped(&id) {
+            return;
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_budget: if self.quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(120)
+            },
+            samples: if self.quick { 3 } else { 5 },
+            measured: None,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        if let Some((ns, iters, samples)) = b.measured {
+            println!("{id:<48} {:>12}/iter  ({iters} iters x {samples} samples)", fmt_ns(ns));
+            self.entries.push(Entry { id, ns_per_iter: ns, iters_per_sample: iters, samples });
+        }
+    }
+
+    /// Write the JSON snapshot. Called by `criterion_main!` at exit.
+    pub fn final_summary(&self) {
+        if self.test_mode || self.entries.is_empty() {
+            return;
+        }
+        if self.filter.is_some() {
+            // A filtered run measured a subset; overwriting the snapshot
+            // would silently clobber the full baseline.
+            println!("\n(filtered run: perf snapshot not written)");
+            return;
+        }
+        let name = bench_name();
+        let dir = std::env::var("BENCH_SNAPSHOT_DIR").unwrap_or_else(|_| workspace_root());
+        let path = format!("{dir}/BENCH_{name}.json");
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{name}\",\n"));
+        out.push_str(&format!("  \"threads\": {},\n", available_threads()));
+        out.push_str("  \"results\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+                e.id,
+                e.ns_per_iter,
+                e.iters_per_sample,
+                e.samples,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(&path, out) {
+            Ok(()) => println!("\nperf snapshot written to {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Nearest ancestor of the cwd whose `Cargo.toml` declares `[workspace]` —
+/// cargo runs bench binaries from the *package* dir, but snapshots belong
+/// at the workspace root. Falls back to the cwd.
+fn workspace_root() -> String {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return dir.display().to_string();
+            }
+        }
+        if !dir.pop() {
+            return ".".into();
+        }
+    }
+}
+
+/// Bench-binary stem with cargo's trailing `-<hash>` removed.
+fn bench_name() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash))
+            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Benchmark group — a named prefix plus per-group knobs.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim auto-calibrates instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.harness.run_one(full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.harness.run_one(full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the target.
+pub struct Bencher {
+    test_mode: bool,
+    sample_budget: Duration,
+    samples: usize,
+    measured: Option<(f64, u64, usize)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up + calibration: estimate one iteration's cost.
+        let t0 = Instant::now();
+        black_box(f());
+        let mut est = t0.elapsed();
+        if est < Duration::from_micros(5) {
+            // Too fast to trust one call; refine over a small batch.
+            let t0 = Instant::now();
+            for _ in 0..64 {
+                black_box(f());
+            }
+            est = t0.elapsed() / 64;
+        }
+        let est_ns = est.as_nanos().max(1);
+        let iters = (self.sample_budget.as_nanos() / est_ns).clamp(1, 1_000_000) as u64;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        self.measured = Some((median, iters, self.samples));
+    }
+}
+
+/// Define `fn $group(c: &mut Criterion)` running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running every group and writing the snapshot.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion { quick: true, ..Criterion::default() };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..100u64 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                s
+            })
+        });
+        assert_eq!(c.entries.len(), 1);
+        assert!(c.entries[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_recording() {
+        let mut c = Criterion { test_mode: true, ..Criterion::default() };
+        let mut runs = 0;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 1);
+        assert!(c.entries.is_empty());
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion { quick: true, ..Criterion::default() };
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 32), &32usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert_eq!(c.entries[0].id, "g/f/32");
+    }
+}

@@ -1,0 +1,194 @@
+//! Workspace-local shim for the subset of `proptest` this repository uses:
+//! the `proptest! { ... }` macro over integer-range strategies, with
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`.
+//!
+//! Differences from real proptest: inputs are sampled from a fixed
+//! deterministic seed derived from the test's module path + name (so runs
+//! are reproducible and CI-stable), and failing cases are reported with
+//! their sampled inputs but not shrunk.
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// FNV-1a, used to derive a per-test deterministic seed.
+#[doc(hidden)]
+pub fn __fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+pub mod prelude {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Value generator — integer ranges are the only strategies the repo
+    /// uses.
+    pub trait Strategy {
+        type Value: std::fmt::Debug + Clone;
+        fn pick(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u32, u64, usize, i64);
+}
+
+/// The `proptest! { ... }` block macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::prelude::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::prelude::ProptestConfig = $cfg;
+            let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                $crate::__fnv(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::prelude::Strategy::pick(&($strat), &mut __rng);)*
+                let __inputs = format!(
+                    concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)*),
+                    __case $(, $arg)*
+                );
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    #[allow(unreachable_code)]
+                    let __flow: ::std::ops::ControlFlow<()> = {
+                        $body
+                        ::std::ops::ControlFlow::Continue(())
+                    };
+                    __flow
+                }));
+                match __outcome {
+                    Ok(_) => {}
+                    Err(payload) => {
+                        eprintln!("proptest failure in {} at {}", stringify!($name), __inputs);
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case when its sampled inputs don't satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Sampled values stay inside their strategies' ranges.
+        #[test]
+        fn ranges_are_respected(a in 1usize..10, b in 0u64..=5, c in 3u32..4) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b <= 5);
+            prop_assert_eq!(c, 3);
+        }
+
+        /// prop_assume skips cases without failing them.
+        #[test]
+        fn assume_filters(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        /// A block without an explicit config uses the default.
+        #[test]
+        fn default_config_works(x in 0u32..7) {
+            prop_assert!(x < 7);
+        }
+    }
+
+    #[test]
+    fn determinism_across_processes() {
+        // The seed depends only on the test path, so two fresh RNGs built
+        // the same way sample identically.
+        use rand::{Rng, SeedableRng};
+        let seed = crate::__fnv("some::test::path");
+        let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+}

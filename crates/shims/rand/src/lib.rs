@@ -1,0 +1,169 @@
+//! Workspace-local shim for the subset of `rand` 0.9 this repository uses:
+//! `StdRng::seed_from_u64`, `Rng::random::<f32>()`, and
+//! `Rng::random_range(Range<uN>)`.
+//!
+//! The generator is SplitMix64 — not cryptographic, but statistically fine
+//! for seeding test tensors, and deterministic across platforms, which is
+//! the property the executor's equivalence harness actually depends on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::random`].
+pub trait StandardValue {
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl StandardValue for f32 {
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        // 24 high-quality mantissa bits -> uniform [0, 1).
+        ((raw >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardValue for f64 {
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        ((raw >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for u32 {
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl StandardValue for u64 {
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample(self, raw: u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, raw: u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (((raw as u128 * span) >> 64) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, raw: u64) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range");
+                let span = (e - s) as u128 + 1;
+                s + (((raw as u128 * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize, i64);
+
+/// The user-facing generator trait, mirroring `rand::Rng`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    #[inline]
+    fn random<T: StandardValue>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    #[inline]
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64 — the stand-in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix once so nearby seeds diverge immediately.
+            let mut rng = StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f32_is_unit_interval_and_spread() {
+        let mut r = StdRng::seed_from_u64(1);
+        let vals: Vec<f32> = (0..1000).map(|_| r.random::<f32>()).collect();
+        assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = r.random_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = r.random_range(5usize..=9);
+            assert!((5..=9).contains(&y));
+        }
+        // All values of a small range get hit.
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.random_range(0u32..4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,225 @@
+//! Workspace-local shim for the subset of `rayon` this repository uses.
+//!
+//! The build environment has no access to a crate registry, so this crate
+//! provides the same surface the kernels program against: indexed parallel
+//! iteration over ranges and mutable chunk iteration over slices. Work is
+//! distributed over scoped OS threads with an atomic work-stealing index;
+//! when the effective thread count is 1 (the default tracks
+//! `available_parallelism`, overridable with `RAYON_NUM_THREADS` or
+//! [`with_num_threads`]) everything degenerates to the sequential loop with
+//! zero synchronisation overhead.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Per-thread override installed by [`with_num_threads`]; 0 = none.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Effective worker count: `with_num_threads` override, else the
+/// `RAYON_NUM_THREADS` environment variable, else available parallelism.
+pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `f` with the calling thread's pool size pinned to `n` — used by
+/// benchmarks to measure thread scaling and by tests to force the parallel
+/// code paths on single-core machines. Nested parallel calls made by `f`
+/// on *this* thread observe the override.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(n));
+    let out = f();
+    THREAD_OVERRIDE.with(|c| c.set(prev));
+    out
+}
+
+/// Core driver: invoke `f(i)` for every `i in 0..n`, fanned out over scoped
+/// threads with an atomic grab-next index.
+fn run_indexed<F: Fn(usize) + Sync>(n: usize, f: F) {
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Accepted for API compatibility; the shim always hands out single
+    /// indices, so the hint is a no-op.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let start = self.range.start;
+        let n = self.range.end.saturating_sub(start);
+        run_indexed(n, |i| f(start + i));
+    }
+}
+
+/// Parallel mutable chunk iterator over a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+/// [`ParChunksMut`] with indices attached.
+pub struct EnumChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+fn run_chunks<T: Send, F: Fn(usize, &mut [T]) + Sync>(slice: &mut [T], size: usize, f: F) {
+    assert!(size > 0, "chunk size must be positive");
+    // Sequential path allocates nothing — check before materialising the
+    // work list.
+    if current_num_threads() <= 1 || slice.len() <= size {
+        for (i, c) in slice.chunks_mut(size).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let chunks: Vec<(usize, &mut [T])> = slice.chunks_mut(size).enumerate().collect();
+    let n = chunks.len();
+    let threads = current_num_threads().min(n);
+    let work = Mutex::new(chunks.into_iter());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let item = work.lock().unwrap().next();
+                match item {
+                    Some((i, c)) => f(i, c),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut { slice: self.slice, size: self.size }
+    }
+
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        run_chunks(self.slice, self.size, |_, c| f(c));
+    }
+}
+
+impl<T: Send> EnumChunksMut<'_, T> {
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        run_chunks(self.slice, self.size, |i, c| f((i, c)));
+    }
+}
+
+pub mod iter {
+    pub use super::{EnumChunksMut, ParChunksMut, ParRange};
+}
+
+pub mod slice {
+    pub use super::prelude::ParallelSliceMut;
+}
+
+pub mod prelude {
+    use super::*;
+
+    /// `into_par_iter()` for ranges.
+    pub trait IntoParallelIterator {
+        type Iter;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    /// `par_chunks_mut()` for slices.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut { slice: self, size }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn range_for_each_visits_everything() {
+        let sum = AtomicU64::new(0);
+        with_num_threads(4, || {
+            (0..100usize).into_par_iter().for_each(|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn chunks_cover_the_slice_disjointly() {
+        let mut v = [0u32; 37];
+        with_num_threads(4, || {
+            v.par_chunks_mut(5).enumerate().for_each(|(i, c)| {
+                for x in c.iter_mut() {
+                    *x += 1 + i as u32;
+                }
+            });
+        });
+        // Every element written exactly once, by its own chunk's task.
+        for (j, x) in v.iter().enumerate() {
+            assert_eq!(*x, 1 + (j / 5) as u32, "index {j}");
+        }
+    }
+
+    #[test]
+    fn override_nests_and_restores() {
+        with_num_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_num_threads(1, || assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+}

@@ -21,8 +21,29 @@
 //!
 //! Supports grouped-query attention (GQA): `n_heads` query heads share
 //! `n_kv_heads` key/value heads.
+//!
+//! **Execution model.** The forward is a single-pass online softmax (one
+//! score evaluation per `(q, k)` pair — the two-pass max/accumulate split
+//! is gone) parallelized over `(head, q-block)` tasks: each task owns a
+//! disjoint `(row-range × head-band)` region of the output and a disjoint
+//! `lse` range, handed out through [`SyncSliceMut`]. The backward
+//! parallelizes over KV-head groups (a group's `dK`/`dV` column band plus
+//! its query heads' `dQ` bands are disjoint across groups, even under
+//! GQA). All outputs and scratch come from the [`crate::pool`]; workers
+//! never touch the pool — scratch is taken and recycled on the calling
+//! thread — so pool counters stay deterministic. Below
+//! [`PAR_ATTN_WORK`] everything runs inline on the caller.
 
+use crate::pool;
+use crate::shared::SyncSliceMut;
 use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Rows per forward q-block task.
+const Q_BLOCK: usize = 64;
+
+/// Approximate multiply-add count under which attention stays sequential.
+const PAR_ATTN_WORK: usize = 1 << 17;
 
 /// Per-(head, query-row) log-sum-exp saved by the forward pass.
 /// Layout: `lse[h * rows + i]`.
@@ -43,6 +64,14 @@ pub struct AttnPartial {
     pub lse: Vec<f32>,
 }
 
+impl AttnPartial {
+    /// Return both buffers to the [`crate::pool`].
+    pub fn recycle(self) {
+        self.o.recycle();
+        pool::recycle(self.lse);
+    }
+}
+
 /// Head geometry shared by every entry point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HeadCfg {
@@ -53,7 +82,7 @@ pub struct HeadCfg {
 
 impl HeadCfg {
     pub fn new(n_heads: usize, n_kv_heads: usize, head_dim: usize) -> Self {
-        assert!(n_heads % n_kv_heads == 0, "GQA requires n_kv_heads | n_heads");
+        assert!(n_heads.is_multiple_of(n_kv_heads), "GQA requires n_kv_heads | n_heads");
         Self { n_heads, n_kv_heads, head_dim }
     }
 
@@ -78,6 +107,81 @@ impl HeadCfg {
     }
 }
 
+#[inline(always)]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// One forward task: head `h`, query rows `[i0, i0 + rows)`, single-pass
+/// online softmax against the visible keys of one chunk.
+#[allow(clippy::too_many_arguments)]
+fn partial_rows(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    cfg: HeadCfg,
+    q_offset: usize,
+    kv_offset: usize,
+    h: usize,
+    i0: usize,
+    o_rows: &SyncSliceMut<'_, f32>,
+    lse_rows: &mut [f32],
+    acc: &mut [f32],
+) {
+    let dh = cfg.head_dim;
+    let lc = k.rows();
+    let scale = cfg.scale();
+    let kvh = cfg.kv_head_of(h);
+    let qc0 = h * dh;
+    let kc0 = kvh * dh;
+    let width = cfg.q_width();
+    for (li, lse_out) in lse_rows.iter_mut().enumerate() {
+        let i = i0 + li;
+        let gi = q_offset + i;
+        let visible = (gi + 1).saturating_sub(kv_offset).min(lc);
+        if visible == 0 {
+            *lse_out = f32::NEG_INFINITY; // o row is pre-zeroed
+            continue;
+        }
+        let qi = &q.row(i)[qc0..qc0 + dh];
+        let mut m = f32::NEG_INFINITY;
+        let mut sum = 0.0f32;
+        acc.fill(0.0);
+        for j in 0..visible {
+            let kj = &k.row(j)[kc0..kc0 + dh];
+            let s = dot(qi, kj) * scale;
+            if s > m {
+                // Rescale the running accumulator to the new max
+                // (exp(-inf) = 0 covers the first visible key).
+                let corr = (m - s).exp();
+                sum *= corr;
+                for a in acc.iter_mut() {
+                    *a *= corr;
+                }
+                m = s;
+            }
+            let w = (s - m).exp();
+            sum += w;
+            let vj = &v.row(j)[kc0..kc0 + dh];
+            for (a, vv) in acc.iter_mut().zip(vj) {
+                *a += w * vv;
+            }
+        }
+        let inv = 1.0 / sum;
+        // Safety: task regions — (row, head-band) pairs — are pairwise
+        // disjoint by construction of the (head, q-block) partition.
+        let orow = unsafe { o_rows.range_mut(i * width + qc0, dh) };
+        for (oo, a) in orow.iter_mut().zip(acc.iter()) {
+            *oo = a * inv;
+        }
+        *lse_out = m + sum.ln();
+    }
+}
+
 /// Attention of `q` (rows at global positions `q_offset..`) against a single
 /// KV chunk whose first row sits at global position `kv_offset`. Causal
 /// masking is positional: query `i` sees key `j` iff `j <= i` globally.
@@ -96,81 +200,110 @@ pub fn partial(
 
     let (lq, dh) = (q.rows(), cfg.head_dim);
     let lc = k.rows();
-    let scale = cfg.scale();
-    let mut o = Tensor::zeros(lq, cfg.q_width());
-    let mut lse = vec![f32::NEG_INFINITY; cfg.n_heads * lq];
+    let mut o = Tensor::zeros_pooled(lq, cfg.q_width());
+    let mut lse = pool::take_raw(cfg.n_heads * lq);
 
-    for h in 0..cfg.n_heads {
-        let kvh = cfg.kv_head_of(h);
-        let qc0 = h * dh;
-        let kc0 = kvh * dh;
-        for i in 0..lq {
-            let gi = q_offset + i;
-            let qi = &q.row(i)[qc0..qc0 + dh];
-            // Pass 1: max score among visible keys.
-            let mut m = f32::NEG_INFINITY;
-            let visible = (gi + 1).saturating_sub(kv_offset).min(lc);
-            for j in 0..visible {
-                let kj = &k.row(j)[kc0..kc0 + dh];
-                let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
-                m = m.max(s);
+    let n_qblocks = lq.div_ceil(Q_BLOCK).max(1);
+    let n_tasks = cfg.n_heads * n_qblocks;
+    let work = cfg.n_heads * lq * lc * dh;
+    let parallel = work >= PAR_ATTN_WORK && n_tasks > 1 && rayon::current_num_threads() > 1;
+
+    // All scratch on the calling thread; workers only receive views.
+    let mut scratch = pool::take_raw(n_tasks * dh);
+    {
+        let o_view = SyncSliceMut::new(o.as_mut_slice());
+        let scratch_view = SyncSliceMut::new(&mut scratch);
+        let run_task = |t: usize, lse_range: &mut [f32]| {
+            let (h, qb) = (t / n_qblocks, t % n_qblocks);
+            let i0 = qb * Q_BLOCK;
+            // Safety: one exclusive scratch band per task index.
+            let acc = unsafe { scratch_view.range_mut(t * dh, dh) };
+            partial_rows(
+                q, k, v, cfg, q_offset, kv_offset, h, i0, &o_view, lse_range, acc,
+            );
+        };
+        // lse is head-major, so a task's range `[h*lq + i0, +rows)` is
+        // contiguous; hand the ranges out through a second view.
+        let lse_view = SyncSliceMut::new(&mut lse);
+        let task_lse = |t: usize| {
+            let (h, qb) = (t / n_qblocks, t % n_qblocks);
+            let i0 = qb * Q_BLOCK;
+            let rows = (lq - i0).min(Q_BLOCK);
+            // Safety: disjoint (head, q-block) lse ranges per task.
+            unsafe { lse_view.range_mut(h * lq + i0, rows) }
+        };
+        if parallel {
+            (0..n_tasks).into_par_iter().for_each(|t| run_task(t, task_lse(t)));
+        } else {
+            for t in 0..n_tasks {
+                run_task(t, task_lse(t));
             }
-            if visible == 0 {
-                continue; // no mass; lse stays -inf, o stays 0
-            }
-            // Pass 2: accumulate exp-weighted values.
-            let mut sum = 0.0f32;
-            let mut acc = vec![0.0f32; dh];
-            for j in 0..visible {
-                let kj = &k.row(j)[kc0..kc0 + dh];
-                let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
-                let w = (s - m).exp();
-                sum += w;
-                let vj = &v.row(j)[kc0..kc0 + dh];
-                for (a, vv) in acc.iter_mut().zip(vj) {
-                    *a += w * vv;
-                }
-            }
-            let inv = 1.0 / sum;
-            let orow = &mut o.row_mut(i)[qc0..qc0 + dh];
-            for (oo, a) in orow.iter_mut().zip(&acc) {
-                *oo = a * inv;
-            }
-            lse[h * lq + i] = m + sum.ln();
         }
     }
+    pool::recycle(scratch);
     AttnPartial { o, lse }
 }
 
 /// Merge two partials over disjoint KV ranges into the partial over their
 /// union (exact online-softmax combination).
 pub fn merge_partials(a: &AttnPartial, b: &AttnPartial, cfg: HeadCfg) -> AttnPartial {
+    let mut out = AttnPartial {
+        o: a.o.copy_pooled(),
+        lse: {
+            let mut l = pool::take_raw(a.lse.len());
+            l.copy_from_slice(&a.lse);
+            l
+        },
+    };
+    merge_partials_into(&mut out, b, cfg);
+    out
+}
+
+/// Fold `b` into the accumulator `a` in place — identical arithmetic to
+/// [`merge_partials`], without allocating. This is what the chunk loops use
+/// so a whole forward keeps exactly one accumulator.
+pub fn merge_partials_into(a: &mut AttnPartial, b: &AttnPartial, cfg: HeadCfg) {
     assert_eq!(a.o.shape(), b.o.shape(), "merge shape mismatch");
     let (lq, dh) = (a.o.rows(), cfg.head_dim);
-    let mut o = Tensor::zeros(lq, cfg.q_width());
-    let mut lse = vec![f32::NEG_INFINITY; cfg.n_heads * lq];
     for h in 0..cfg.n_heads {
         let c0 = h * dh;
         for i in 0..lq {
-            let (la, lb) = (a.lse[h * lq + i], b.lse[h * lq + i]);
             let idx = h * lq + i;
-            if la == f32::NEG_INFINITY && lb == f32::NEG_INFINITY {
+            let (la, lb) = (a.lse[idx], b.lse[idx]);
+            if lb == f32::NEG_INFINITY {
+                continue; // nothing to fold in; a's entry stands
+            }
+            if la == f32::NEG_INFINITY {
+                a.lse[idx] = lb;
+                let arow = &mut a.o.row_mut(i)[c0..c0 + dh];
+                arow.copy_from_slice(&b.o.row(i)[c0..c0 + dh]);
                 continue;
             }
             let m = la.max(lb);
             let (wa, wb) = ((la - m).exp(), (lb - m).exp());
             let denom = wa + wb;
-            lse[idx] = m + denom.ln();
+            a.lse[idx] = m + denom.ln();
             let (fa, fb) = (wa / denom, wb / denom);
-            let orow = &mut o.row_mut(i)[c0..c0 + dh];
-            let arow = &a.o.row(i)[c0..c0 + dh];
+            let arow = &mut a.o.row_mut(i)[c0..c0 + dh];
             let brow = &b.o.row(i)[c0..c0 + dh];
-            for ((oo, aa), bb) in orow.iter_mut().zip(arow).zip(brow) {
-                *oo = fa * aa + fb * bb;
+            for (aa, bb) in arow.iter_mut().zip(brow) {
+                *aa = fa * *aa + fb * bb;
             }
         }
     }
-    AttnPartial { o, lse }
+}
+
+/// Fold one more partial into a running accumulator, consuming (and
+/// recycling) the incoming partial — the one canonical way every chunk
+/// loop (local, context-exchange, ring-CP) accumulates partials.
+pub fn fold_partial(acc: &mut Option<AttnPartial>, p: AttnPartial, cfg: HeadCfg) {
+    match acc {
+        None => *acc = Some(p),
+        Some(prev) => {
+            merge_partials_into(prev, &p, cfg);
+            p.recycle();
+        }
+    }
 }
 
 /// Forward over an ordered list of KV chunks (the chunked KV cache).
@@ -187,10 +320,7 @@ pub fn forward_chunked(
     let mut acc: Option<AttnPartial> = None;
     for (c, (k, v)) in chunks.iter().enumerate() {
         let p = partial(q, k, v, cfg, q_offset, chunk_offsets[c]);
-        acc = Some(match acc {
-            None => p,
-            Some(prev) => merge_partials(&prev, &p, cfg),
-        });
+        fold_partial(&mut acc, p, cfg);
     }
     acc.expect("non-empty chunks")
 }
@@ -205,18 +335,89 @@ pub fn forward_full(q: &Tensor, k: &Tensor, v: &Tensor, cfg: HeadCfg) -> AttnPar
 pub fn d_rows(d_o: &Tensor, o: &Tensor, cfg: HeadCfg) -> Vec<f32> {
     assert_eq!(d_o.shape(), o.shape(), "d_rows shape mismatch");
     let (lq, dh) = (o.rows(), cfg.head_dim);
-    let mut d = vec![0.0f32; cfg.n_heads * lq];
+    let mut d = pool::take_raw(cfg.n_heads * lq);
     for h in 0..cfg.n_heads {
         let c0 = h * dh;
         for i in 0..lq {
-            d[h * lq + i] = d_o.row(i)[c0..c0 + dh]
-                .iter()
-                .zip(&o.row(i)[c0..c0 + dh])
-                .map(|(a, b)| a * b)
-                .sum();
+            d[h * lq + i] = dot(&d_o.row(i)[c0..c0 + dh], &o.row(i)[c0..c0 + dh]);
         }
     }
     d
+}
+
+/// One backward task: every query head of KV-head group `kvh` against one
+/// chunk. The group's `dK`/`dV` column band and its query heads' `dQ`
+/// bands are not touched by any other group.
+#[allow(clippy::too_many_arguments)]
+fn backward_group(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    d_o: &Tensor,
+    lse: &[f32],
+    d: &[f32],
+    cfg: HeadCfg,
+    q_offset: usize,
+    kv_offset: usize,
+    kvh: usize,
+    dq_view: &SyncSliceMut<'_, f32>,
+    dk_view: &SyncSliceMut<'_, f32>,
+    dv_view: &SyncSliceMut<'_, f32>,
+    dqi: &mut [f32],
+) {
+    let (lq, dh) = (q.rows(), cfg.head_dim);
+    let lc = k.rows();
+    let scale = cfg.scale();
+    let group = cfg.n_heads / cfg.n_kv_heads;
+    let kc0 = kvh * dh;
+    let (q_width, kv_width) = (cfg.q_width(), cfg.kv_width());
+    for h in kvh * group..(kvh + 1) * group {
+        let qc0 = h * dh;
+        for i in 0..lq {
+            let gi = q_offset + i;
+            let visible = (gi + 1).saturating_sub(kv_offset).min(lc);
+            if visible == 0 {
+                continue;
+            }
+            let l = lse[h * lq + i];
+            if l == f32::NEG_INFINITY {
+                continue;
+            }
+            let di = d[h * lq + i];
+            let qi = &q.row(i)[qc0..qc0 + dh];
+            let doi = &d_o.row(i)[qc0..qc0 + dh];
+            dqi.fill(0.0);
+            for j in 0..visible {
+                let kj = &k.row(j)[kc0..kc0 + dh];
+                let s = dot(qi, kj) * scale;
+                let p = (s - l).exp();
+                let vj = &v.row(j)[kc0..kc0 + dh];
+                // dV_j += p * dO_i
+                // dP = dO_i · V_j ; dS = p * (dP - D_i)
+                let dp = dot(doi, vj);
+                let ds = p * (dp - di) * scale;
+                // Safety: each (row j, kv-head band) belongs to exactly one
+                // group task.
+                let dvj = unsafe { dv_view.range_mut(j * kv_width + kc0, dh) };
+                for (dvv, dd) in dvj.iter_mut().zip(doi) {
+                    *dvv += p * dd;
+                }
+                let dkj = unsafe { dk_view.range_mut(j * kv_width + kc0, dh) };
+                for (dkk, qq) in dkj.iter_mut().zip(qi) {
+                    *dkk += ds * qq;
+                }
+                for (dqq, kk) in dqi.iter_mut().zip(kj) {
+                    *dqq += ds * kk;
+                }
+            }
+            // Safety: each (row i, query-head band) belongs to exactly one
+            // group task.
+            let dqrow = unsafe { dq_view.range_mut(i * q_width + qc0, dh) };
+            for (a, b) in dqrow.iter_mut().zip(dqi.iter()) {
+                *a += b;
+            }
+        }
+    }
 }
 
 /// Chunk-local backward: gradients of one KV chunk plus this chunk's
@@ -225,6 +426,7 @@ pub fn d_rows(d_o: &Tensor, o: &Tensor, cfg: HeadCfg) -> Vec<f32> {
 /// Probabilities are recomputed as `exp(score - lse)` — nothing beyond the
 /// forward's per-row statistics is needed, which is what lets SlimPipe ship
 /// this computation to another pipeline device during context exchange.
+#[allow(clippy::too_many_arguments)]
 pub fn backward_chunk(
     q: &Tensor,
     k: &Tensor,
@@ -238,61 +440,36 @@ pub fn backward_chunk(
 ) -> (Tensor, Tensor, Tensor) {
     let (lq, dh) = (q.rows(), cfg.head_dim);
     let lc = k.rows();
-    let scale = cfg.scale();
-    let mut dq = Tensor::zeros(lq, cfg.q_width());
-    let mut dk = Tensor::zeros(lc, cfg.kv_width());
-    let mut dv = Tensor::zeros(lc, cfg.kv_width());
+    let mut dq = Tensor::zeros_pooled(lq, cfg.q_width());
+    let mut dk = Tensor::zeros_pooled(lc, cfg.kv_width());
+    let mut dv = Tensor::zeros_pooled(lc, cfg.kv_width());
 
-    for h in 0..cfg.n_heads {
-        let kvh = cfg.kv_head_of(h);
-        let qc0 = h * dh;
-        let kc0 = kvh * dh;
-        for i in 0..lq {
-            let gi = q_offset + i;
-            let visible = (gi + 1).saturating_sub(kv_offset).min(lc);
-            if visible == 0 {
-                continue;
-            }
-            let l = lse[h * lq + i];
-            if l == f32::NEG_INFINITY {
-                continue;
-            }
-            let di = d[h * lq + i];
-            let qi = &q.row(i)[qc0..qc0 + dh];
-            let doi: Vec<f32> = d_o.row(i)[qc0..qc0 + dh].to_vec();
-            let mut dqi = vec![0.0f32; dh];
-            for j in 0..visible {
-                let kj = &k.row(j)[kc0..kc0 + dh];
-                let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
-                let p = (s - l).exp();
-                let vj = &v.row(j)[kc0..kc0 + dh];
-                // dV_j += p * dO_i
-                // dP = dO_i · V_j ; dS = p * (dP - D_i)
-                let mut dp = 0.0f32;
-                for (dd, vv) in doi.iter().zip(vj) {
-                    dp += dd * vv;
-                }
-                let ds = p * (dp - di) * scale;
-                let dvj = &mut dv.row_mut(j)[kc0..kc0 + dh];
-                for (dvv, dd) in dvj.iter_mut().zip(&doi) {
-                    *dvv += p * dd;
-                }
-                let dkj = &mut dk.row_mut(j)[kc0..kc0 + dh];
-                for ((dkk, qq), kk) in dkj.iter_mut().zip(qi).zip(kj) {
-                    *dkk += ds * qq;
-                    // accumulate dQ against this key
-                    let _ = kk;
-                }
-                for (dqq, kk) in dqi.iter_mut().zip(kj) {
-                    *dqq += ds * kk;
-                }
-            }
-            let dqrow = &mut dq.row_mut(i)[qc0..qc0 + dh];
-            for (a, b) in dqrow.iter_mut().zip(&dqi) {
-                *a += b;
+    let work = cfg.n_heads * lq * lc * dh;
+    let parallel =
+        work >= PAR_ATTN_WORK && cfg.n_kv_heads > 1 && rayon::current_num_threads() > 1;
+    let mut scratch = pool::take_raw(cfg.n_kv_heads * dh);
+    {
+        let dq_view = SyncSliceMut::new(dq.as_mut_slice());
+        let dk_view = SyncSliceMut::new(dk.as_mut_slice());
+        let dv_view = SyncSliceMut::new(dv.as_mut_slice());
+        let scratch_view = SyncSliceMut::new(&mut scratch);
+        let run_group = |kvh: usize| {
+            // Safety: one exclusive scratch band per group.
+            let dqi = unsafe { scratch_view.range_mut(kvh * dh, dh) };
+            backward_group(
+                q, k, v, d_o, lse, d, cfg, q_offset, kv_offset, kvh, &dq_view, &dk_view,
+                &dv_view, dqi,
+            );
+        };
+        if parallel {
+            (0..cfg.n_kv_heads).into_par_iter().for_each(run_group);
+        } else {
+            for kvh in 0..cfg.n_kv_heads {
+                run_group(kvh);
             }
         }
     }
+    pool::recycle(scratch);
     (dq, dk, dv)
 }
 
@@ -310,14 +487,16 @@ pub fn backward_chunked(
     q_offset: usize,
 ) -> (Tensor, Vec<(Tensor, Tensor)>) {
     let d = d_rows(d_o, o, cfg);
-    let mut dq = Tensor::zeros(q.rows(), cfg.q_width());
+    let mut dq = Tensor::zeros_pooled(q.rows(), cfg.q_width());
     let mut dkv = Vec::with_capacity(chunks.len());
     for (c, (k, v)) in chunks.iter().enumerate() {
         let (dq_c, dk, dv) =
             backward_chunk(q, k, v, d_o, lse, &d, cfg, q_offset, chunk_offsets[c]);
         dq.add_assign(&dq_c);
+        dq_c.recycle();
         dkv.push((dk, dv));
     }
+    pool::recycle(d);
     (dq, dkv)
 }
 
@@ -454,6 +633,50 @@ mod tests {
         let p = partial(&q, &k, &v, cfg, 0, 10);
         assert!(p.lse.iter().all(|&l| l == f32::NEG_INFINITY));
         assert_eq!(p.o.sq_norm(), 0.0);
+    }
+
+    /// Forcing the (head, q-block) parallel path must reproduce the
+    /// sequential result bit for bit: tasks own disjoint output regions
+    /// and each row's accumulation order is the key order either way.
+    #[test]
+    fn parallel_forward_and_backward_are_bit_deterministic() {
+        let cfg = HeadCfg::new(8, 2, 16);
+        let s = 96; // n_heads * s * s * dh > PAR_ATTN_WORK
+        let q = seeded_uniform(s, cfg.q_width(), 60);
+        let k = seeded_uniform(s, cfg.kv_width(), 61);
+        let v = seeded_uniform(s, cfg.kv_width(), 62);
+        let d_o = seeded_uniform(s, cfg.q_width(), 63);
+
+        let seq = rayon::with_num_threads(1, || forward_full(&q, &k, &v, cfg));
+        let par = rayon::with_num_threads(4, || forward_full(&q, &k, &v, cfg));
+        assert_eq!(seq.o, par.o);
+        assert_eq!(seq.lse, par.lse);
+
+        let (dq_s, dkv_s) = rayon::with_num_threads(1, || {
+            backward_chunked(&q, &[(&k, &v)], &[0], &d_o, &seq.o, &seq.lse, cfg, 0)
+        });
+        let (dq_p, dkv_p) = rayon::with_num_threads(4, || {
+            backward_chunked(&q, &[(&k, &v)], &[0], &d_o, &seq.o, &seq.lse, cfg, 0)
+        });
+        assert_eq!(dq_s, dq_p);
+        assert_eq!(dkv_s[0].0, dkv_p[0].0);
+        assert_eq!(dkv_s[0].1, dkv_p[0].1);
+    }
+
+    /// merge_partials_into must equal merge_partials exactly.
+    #[test]
+    fn in_place_merge_equals_allocating_merge() {
+        let cfg = HeadCfg::new(2, 2, 4);
+        let q = seeded_uniform(6, 8, 70);
+        let k = seeded_uniform(12, 8, 71);
+        let v = seeded_uniform(12, 8, 72);
+        let p0 = partial(&q, &k.rows_slice(0, 6), &v.rows_slice(0, 6), cfg, 6, 0);
+        let p1 = partial(&q, &k.rows_slice(6, 6), &v.rows_slice(6, 6), cfg, 6, 6);
+        let want = merge_partials(&p0, &p1, cfg);
+        let mut acc = p0;
+        merge_partials_into(&mut acc, &p1, cfg);
+        assert_eq!(acc.o, want.o);
+        assert_eq!(acc.lse, want.lse);
     }
 
     #[test]

@@ -14,9 +14,10 @@ use crate::tensor::Tensor;
 /// Monolithic reference: returns `(summed loss, d_logits)` where
 /// `d_logits = softmax(logits) - onehot(target)` (unscaled; callers divide
 /// by the global token count).
+#[allow(clippy::needless_range_loop)] // `r` indexes logits, d, and targets in lockstep
 pub fn forward_backward(logits: &Tensor, targets: &[u32]) -> (f64, Tensor) {
     assert_eq!(logits.rows(), targets.len(), "row/target mismatch");
-    let mut d = logits.clone();
+    let mut d = logits.copy_pooled();
     let mut loss = 0.0f64;
     for r in 0..logits.rows() {
         let row = d.row_mut(r);
@@ -56,6 +57,7 @@ pub struct GlobalStats {
 }
 
 /// Pass 1 on one vocabulary shard: local max / sum-exp / target pick-up.
+#[allow(clippy::needless_range_loop)] // `r` indexes the shard and targets in lockstep
 pub fn shard_stats(logits_shard: &Tensor, targets: &[u32], vocab_offset: usize) -> ShardStats {
     assert_eq!(logits_shard.rows(), targets.len(), "row/target mismatch");
     let w = logits_shard.cols();
@@ -79,6 +81,7 @@ pub fn shard_stats(logits_shard: &Tensor, targets: &[u32], vocab_offset: usize) 
 }
 
 /// Combine per-shard statistics (the scalar all-reduce of §4.3).
+#[allow(clippy::needless_range_loop)] // `r` indexes every shard vector in lockstep
 pub fn combine_stats(stats: &[ShardStats]) -> GlobalStats {
     assert!(!stats.is_empty(), "need at least one shard");
     let rows = stats[0].max.len();
@@ -114,7 +117,7 @@ pub fn shard_backward(
     lse: &[f32],
 ) -> Tensor {
     let w = logits_shard.cols();
-    let mut d = logits_shard.clone();
+    let mut d = logits_shard.copy_pooled();
     for r in 0..d.rows() {
         let l = lse[r];
         let row = d.row_mut(r);

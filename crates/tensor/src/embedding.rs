@@ -4,7 +4,7 @@ use crate::tensor::Tensor;
 
 /// Gather rows of `table` (shape `(vocab, hidden)`) at the token ids.
 pub fn forward(table: &Tensor, tokens: &[u32]) -> Tensor {
-    let mut out = Tensor::zeros(tokens.len(), table.cols());
+    let mut out = Tensor::uninit_pooled(tokens.len(), table.cols());
     for (i, &t) in tokens.iter().enumerate() {
         assert!((t as usize) < table.rows(), "token id out of vocabulary");
         out.row_mut(i).copy_from_slice(table.row(t as usize));

@@ -27,10 +27,13 @@ pub mod init;
 pub mod matmul;
 pub mod memtrack;
 pub mod ops;
+pub mod pool;
 pub mod rmsnorm;
+pub mod shared;
 pub mod swiglu;
 pub mod tensor;
 
 pub use attention::{merge_partials, AttnPartial, FlashStats};
 pub use memtrack::MemCounter;
+pub use pool::PoolStats;
 pub use tensor::Tensor;

@@ -1,45 +1,230 @@
-//! Rayon-parallel GEMM in the three orientations the backward pass needs.
+//! Cache-blocked, packed, register-tiled GEMM — one kernel shared by the
+//! three orientations the backward pass needs.
 //!
-//! Row-parallel over the output: each rayon task owns a disjoint block of
-//! output rows, so the kernels are data-race free by construction. The inner
-//! loops are laid out `i-k-j` so the innermost access pattern is sequential
-//! over both operands (good for the hardware prefetcher — see the Rust
-//! Performance Book guidance on cache-friendly layouts).
+//! Layout follows the classic GotoBLAS/BLIS decomposition: `NC`-wide column
+//! panels × `KC`-deep rank updates, with B packed once per `(jc, pc)` panel
+//! into `NR`-column slivers and A packed per `MC`-row block into `MR`-row
+//! slivers, both k-major and zero-padded to full sliver width. The
+//! innermost `MR×NR` micro-kernel accumulates into a register tile over
+//! fixed-size array chunks, so LLVM keeps the accumulators in vector
+//! registers and the inner loop autovectorizes — no data-dependent
+//! branches (the old `== 0.0` skip mispredicted on dense data and is gone).
+//!
+//! Orientations are expressed as strided *views* feeding the pack step:
+//! `A·B`, `A·Bᵀ` (`dX = dY·Wᵀ`, attention scores `Q·Kᵀ`) and `Aᵀ·B`
+//! (`dW = Xᵀ·dY`) all run the identical blocked kernel. Work is
+//! parallelized over `MC`-row output blocks (disjoint row ranges of C), and
+//! every buffer — the output, the pack panels, the per-task pack blocks —
+//! comes from the [`crate::pool`], so steady-state calls allocate nothing.
+//!
+//! Matrices smaller than [`SMALL_GEMM_FLOPS`] take a branch-free
+//! orientation-specific loop instead: at executor scale (hidden ≈ 32) the
+//! packing overhead would dominate.
 
+use crate::pool;
+use crate::shared::SyncSliceMut;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
-/// Minimum rows per rayon task; below this, parallel overhead dominates.
-const PAR_ROW_BLOCK: usize = 8;
+/// Micro-tile rows (register blocking).
+const MR: usize = 8;
+/// Micro-tile columns (one or two SIMD vectors wide).
+const NR: usize = 8;
+/// Rows per parallel task block (multiple of `MR`; A block is MC×KC ≈ 64 KiB).
+const MC: usize = 64;
+/// Rank-update depth (B sliver stays L1-resident: KC×NR ≈ 16 KiB; k ≤ 512
+/// runs as a single rank update so each C tile is written once).
+const KC: usize = 512;
+/// Column panel width (B panel ≈ KC×NC ≈ 2 MiB, L2/L3-resident).
+const NC: usize = 2048;
+
+/// Below this `m·n·k` product the blocked kernel's packing overhead
+/// dominates and a direct loop wins.
+const SMALL_GEMM_FLOPS: usize = 1 << 18;
+
+/// Work (in multiply-adds) under which a GEMM stays on the calling thread.
+const PAR_GEMM_FLOPS: usize = 1 << 21;
+
+/// Read-only strided matrix view: element `(i, j)` is
+/// `data[i * rs + j * cs]`. Transposition is a stride swap.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl View<'_> {
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// Pack `mc×kc` of A (from `(i0, p0)`) into `MR`-row k-major slivers,
+/// zero-padding the ragged last sliver.
+fn pack_a(dst: &mut [f32], a: View<'_>, i0: usize, p0: usize, mc: usize, kc: usize) {
+    let slivers = mc.div_ceil(MR);
+    for s in 0..slivers {
+        let rows = (mc - s * MR).min(MR);
+        let base = s * kc * MR;
+        if a.cs == 1 && rows == MR {
+            // Row-major A, full sliver: copy rows through slices so the
+            // inner loop is contiguous loads with hoisted bounds checks.
+            for r in 0..MR {
+                let src = &a.data[(i0 + s * MR + r) * a.rs + p0..][..kc];
+                for (p, &v) in src.iter().enumerate() {
+                    dst[base + p * MR + r] = v;
+                }
+            }
+        } else {
+            for p in 0..kc {
+                let d = &mut dst[base + p * MR..base + (p + 1) * MR];
+                for (r, dr) in d.iter_mut().enumerate() {
+                    *dr = if r < rows { a.at(i0 + s * MR + r, p0 + p) } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// Pack `kc×nc` of B (from `(p0, j0)`) into `NR`-column k-major slivers,
+/// zero-padding the ragged last sliver.
+fn pack_b(dst: &mut [f32], b: View<'_>, p0: usize, j0: usize, kc: usize, nc: usize) {
+    let slivers = nc.div_ceil(NR);
+    for t in 0..slivers {
+        let cols = (nc - t * NR).min(NR);
+        let base = t * kc * NR;
+        if b.cs == 1 && cols == NR {
+            for p in 0..kc {
+                let src = &b.data[(p0 + p) * b.rs + j0 + t * NR..][..NR];
+                dst[base + p * NR..base + (p + 1) * NR].copy_from_slice(src);
+            }
+        } else {
+            for p in 0..kc {
+                let d = &mut dst[base + p * NR..base + (p + 1) * NR];
+                for (c, dc) in d.iter_mut().enumerate() {
+                    *dc = if c < cols { b.at(p0 + p, j0 + t * NR + c) } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// `MR×NR` register micro-kernel: `tile = Σ_p a_sliver[p] ⊗ b_sliver[p]`.
+#[inline(always)]
+fn micro_kernel(kc: usize, a: &[f32], b: &[f32], tile: &mut [f32; MR * NR]) {
+    let mut acc = [0.0f32; MR * NR];
+    for p in 0..kc {
+        // Fixed-size chunks eliminate bounds checks and let LLVM hold the
+        // 64 accumulators in vector registers.
+        let av: &[f32; MR] = a[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[f32; NR] = b[p * NR..p * NR + NR].try_into().unwrap();
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i * NR + j] += ai * bv[j];
+            }
+        }
+    }
+    *tile = acc;
+}
+
+/// One `MC`-row block's worth of rank-`kc` update: pack A, run the micro
+/// tiles, accumulate into the block's rows of C.
+#[allow(clippy::too_many_arguments)]
+fn block_update(
+    cblock: &mut [f32],
+    n: usize,
+    a: View<'_>,
+    apack: &mut [f32],
+    bpack: &[f32],
+    i0: usize,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+) {
+    let mc = cblock.len() / n;
+    pack_a(apack, a, i0, pc, mc, kc);
+    let mut tile = [0.0f32; MR * NR];
+    for jr in 0..nc.div_ceil(NR) {
+        let nr_eff = (nc - jr * NR).min(NR);
+        let bsl = &bpack[jr * kc * NR..][..kc * NR];
+        for ir in 0..mc.div_ceil(MR) {
+            let mr_eff = (mc - ir * MR).min(MR);
+            let asl = &apack[ir * kc * MR..][..kc * MR];
+            micro_kernel(kc, asl, bsl, &mut tile);
+            for i in 0..mr_eff {
+                let crow = &mut cblock[(ir * MR + i) * n + jc + jr * NR..][..nr_eff];
+                for (j, cj) in crow.iter_mut().enumerate() {
+                    *cj += tile[i * NR + j];
+                }
+            }
+        }
+    }
+}
+
+/// The shared blocked kernel: `C += A_view · B_view` into a zeroed pooled C.
+fn gemm(m: usize, n: usize, k: usize, a: View<'_>, b: View<'_>) -> Tensor {
+    let mut c = Tensor::zeros_pooled(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    let n_blocks = m.div_ceil(MC);
+    let parallel = m.saturating_mul(n).saturating_mul(k) >= PAR_GEMM_FLOPS
+        && n_blocks > 1
+        && rayon::current_num_threads() > 1;
+    for jc in (0..n).step_by(NC) {
+        let nc = (n - jc).min(NC);
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            // Pack buffers come from the pool on the calling thread only,
+            // keeping workers allocation-free and pool counters
+            // deterministic.
+            let mut bpack = pool::take_raw(nc.div_ceil(NR) * NR * kc);
+            pack_b(&mut bpack, b, pc, jc, kc, nc);
+            // Parallel tasks each need a private A block; the sequential
+            // path packs and consumes one block at a time, so a single
+            // block's worth of scratch suffices.
+            let apack_blocks = if parallel { n_blocks } else { 1 };
+            let mut apack = pool::take_raw(apack_blocks * MC * kc);
+            if parallel {
+                let ascratch = SyncSliceMut::new(&mut apack);
+                c.as_mut_slice().par_chunks_mut(MC * n).enumerate().for_each(
+                    |(blk, cblock)| {
+                        // Safety: one exclusive range per block index.
+                        let ap = unsafe { ascratch.range_mut(blk * MC * kc, MC * kc) };
+                        block_update(cblock, n, a, ap, &bpack, blk * MC, pc, jc, kc, nc);
+                    },
+                );
+            } else {
+                for (blk, cblock) in c.as_mut_slice().chunks_mut(MC * n).enumerate() {
+                    block_update(cblock, n, a, &mut apack, &bpack, blk * MC, pc, jc, kc, nc);
+                }
+            }
+            pool::recycle(apack);
+            pool::recycle(bpack);
+        }
+    }
+    c
+}
 
 /// `C = A · B` with `A: (m, k)`, `B: (k, n)`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut c = Tensor::zeros(m, n);
-    let bs = b.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(n * PAR_ROW_BLOCK)
-        .enumerate()
-        .for_each(|(blk, rows_out)| {
-            let row0 = blk * PAR_ROW_BLOCK;
-            for (li, out_row) in rows_out.chunks_mut(n).enumerate() {
-                let i = row0 + li;
-                let a_row = a.row(i);
-                for kk in 0..k {
-                    let aik = a_row[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &bs[kk * n..(kk + 1) * n];
-                    for (o, bb) in out_row.iter_mut().zip(b_row) {
-                        *o += aik * bb;
-                    }
-                }
-            }
-        });
-    c
+    if m * n * k < SMALL_GEMM_FLOPS {
+        return small_nn(a, b);
+    }
+    gemm(
+        m,
+        n,
+        k,
+        View { data: a.as_slice(), rs: k, cs: 1 },
+        View { data: b.as_slice(), rs: n, cs: 1 },
+    )
 }
 
 /// `C = A · Bᵀ` with `A: (m, k)`, `B: (n, k)` — the orientation of
@@ -48,26 +233,17 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.cols(), b.cols(), "matmul_nt inner dimension mismatch");
     let (m, k) = a.shape();
     let n = b.rows();
-    let mut c = Tensor::zeros(m, n);
-    c.as_mut_slice()
-        .par_chunks_mut(n * PAR_ROW_BLOCK)
-        .enumerate()
-        .for_each(|(blk, rows_out)| {
-            let row0 = blk * PAR_ROW_BLOCK;
-            for (li, out_row) in rows_out.chunks_mut(n).enumerate() {
-                let i = row0 + li;
-                let a_row = a.row(i);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = b.row(j);
-                    let mut acc = 0.0f32;
-                    for kk in 0..k {
-                        acc += a_row[kk] * b_row[kk];
-                    }
-                    *o = acc;
-                }
-            }
-        });
-    c
+    if m * n * k < SMALL_GEMM_FLOPS {
+        return small_nt(a, b);
+    }
+    gemm(
+        m,
+        n,
+        k,
+        View { data: a.as_slice(), rs: k, cs: 1 },
+        // Bᵀ element (p, j) = B[j, p] = data[j*k + p]: stride swap.
+        View { data: b.as_slice(), rs: 1, cs: k },
+    )
 }
 
 /// `C = Aᵀ · B` with `A: (k, m)`, `B: (k, n)` — the orientation of
@@ -76,27 +252,74 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rows(), b.rows(), "matmul_tn inner dimension mismatch");
     let (k, m) = a.shape();
     let n = b.cols();
-    let mut c = Tensor::zeros(m, n);
+    if m * n * k < SMALL_GEMM_FLOPS {
+        return small_tn(a, b);
+    }
+    gemm(
+        m,
+        n,
+        k,
+        // Aᵀ element (i, p) = A[p, i] = data[p*m + i]: stride swap.
+        View { data: a.as_slice(), rs: 1, cs: m },
+        View { data: b.as_slice(), rs: n, cs: 1 },
+    )
+}
+
+// ---- direct loops for executor-scale (tiny) matrices ----
+
+fn small_nn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor::zeros_pooled(m, n);
     let bs = b.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(n * PAR_ROW_BLOCK)
-        .enumerate()
-        .for_each(|(blk, rows_out)| {
-            let row0 = blk * PAR_ROW_BLOCK;
-            for (li, out_row) in rows_out.chunks_mut(n).enumerate() {
-                let i = row0 + li;
-                for kk in 0..k {
-                    let aki = a.at(kk, i);
-                    if aki == 0.0 {
-                        continue;
-                    }
-                    let b_row = &bs[kk * n..(kk + 1) * n];
-                    for (o, bb) in out_row.iter_mut().zip(b_row) {
-                        *o += aki * bb;
-                    }
-                }
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = c.row_mut(i);
+        for (kk, &aik) in a_row.iter().enumerate().take(k) {
+            let b_row = &bs[kk * n..(kk + 1) * n];
+            for (o, bb) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bb;
             }
-        });
+        }
+    }
+    c
+}
+
+fn small_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, _) = a.shape();
+    let n = b.rows();
+    let mut c = Tensor::uninit_pooled(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = c.row_mut(i);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    c
+}
+
+fn small_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor::zeros_pooled(m, n);
+    let bs = b.as_slice();
+    let cs = c.as_mut_slice();
+    for kk in 0..k {
+        let a_row = a.row(kk);
+        let b_row = &bs[kk * n..(kk + 1) * n];
+        for (i, &aki) in a_row.iter().enumerate().take(m) {
+            let out_row = &mut cs[i * n..(i + 1) * n];
+            for (o, bb) in out_row.iter_mut().zip(b_row) {
+                *o += aki * bb;
+            }
+        }
+    }
     c
 }
 
@@ -157,11 +380,63 @@ mod tests {
 
     #[test]
     fn block_boundary_sizes() {
-        // Exercise sizes around the rayon block boundary.
+        // Exercise sizes around the parallel block boundary.
         for m in [1usize, 7, 8, 9, 16, 17] {
             let a = seeded_uniform(m, 3, m as u64);
             let b = seeded_uniform(3, 2, 100 + m as u64);
             assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-4, "m={m}");
         }
+    }
+
+    /// Sizes that force the blocked path and straddle every tile edge:
+    /// exact multiples, one-off remainders, and primes.
+    #[test]
+    fn tiled_path_matches_naive_across_tile_edges() {
+        for &(m, k, n) in &[
+            (MC, KC, NC.min(128)),          // exact tile multiples
+            (MC + 1, KC + 1, 65),           // one past each boundary
+            (127, 131, 67),                 // primes
+            (MR, 1 << 15, MR),              // deep k, minimal m/n
+            (3 * MC + 5, KC / 2 + 3, 96),   // mixed remainders
+        ] {
+            let a = seeded_uniform(m, k, (m * k) as u64);
+            let b = seeded_uniform(k, n, (k * n + 1) as u64);
+            assert!(
+                m * n * k >= SMALL_GEMM_FLOPS,
+                "({m},{k},{n}) must exercise the blocked path"
+            );
+            let got = matmul(&a, &b);
+            let want = naive(&a, &b);
+            // Tolerance scales with k (different summation order).
+            let tol = 1e-6 * (k as f32).sqrt() * 8.0;
+            assert!(
+                got.max_abs_diff(&want) < tol,
+                "({m},{k},{n}): diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    /// The blocked kernel must agree across orientations too.
+    #[test]
+    fn tiled_orientations_agree() {
+        let (m, k, n) = (100, 150, 90);
+        let a = seeded_uniform(m, k, 41);
+        let b = seeded_uniform(k, n, 42);
+        let c = matmul(&a, &b);
+        assert!(matmul_nt(&a, &b.transposed()).max_abs_diff(&c) < 1e-4);
+        assert!(matmul_tn(&a.transposed(), &b).max_abs_diff(&c) < 1e-4);
+    }
+
+    /// Forced multi-thread execution must be bit-identical to sequential:
+    /// each C element's accumulation order is fixed by the pc-loop, not by
+    /// thread interleaving.
+    #[test]
+    fn parallel_execution_is_bit_deterministic() {
+        let a = seeded_uniform(200, 300, 50);
+        let b = seeded_uniform(300, 110, 51);
+        let seq = rayon::with_num_threads(1, || matmul(&a, &b));
+        let par = rayon::with_num_threads(4, || matmul(&a, &b));
+        assert_eq!(seq, par);
     }
 }

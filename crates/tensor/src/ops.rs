@@ -47,9 +47,9 @@ pub fn rowwise_dot(a: &Tensor, b: &Tensor) -> Vec<f32> {
         .collect()
 }
 
-/// Elementwise sum of two tensors into a fresh tensor.
+/// Elementwise sum of two tensors into a pooled tensor.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
-    let mut out = a.clone();
+    let mut out = a.copy_pooled();
     out.add_assign(b);
     out
 }
@@ -68,6 +68,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn softmax_rows_sum_to_one_and_lse_consistent() {
         let mut t = Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
         let orig = t.clone();

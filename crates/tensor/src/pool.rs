@@ -1,0 +1,200 @@
+//! Global tensor buffer pool: size-keyed free lists of `Vec<f32>` backing
+//! buffers, so the steady-state training loop performs zero kernel-path
+//! heap allocations after warm-up.
+//!
+//! The paper's §5 observation — slice-sized KV chunks are "precisely reused
+//! between two adjacent microbatches" — generalises to every activation and
+//! gradient tensor the executor touches: a pipeline iteration is a fixed
+//! sequence of fixed-shape ops, so after one warm-up iteration every buffer
+//! a kernel needs is already banked. Kernels `take` their outputs here and
+//! the executor `recycle`s every tensor it consumes; the hit/miss counters
+//! make the "allocation-free after warm-up" claim *testable* (see
+//! `crates/exec/tests/pool_steady_state.rs`).
+//!
+//! The pool is process-global and thread-safe (one mutex around the free
+//! lists — held for a pop/push, never while zeroing or computing), because
+//! activations allocated on one pipeline stage's thread retire on another
+//! (forward activations ship downstream, gradients ship upstream).
+//! Parallel kernel *workers* never touch the pool: kernels take scratch on
+//! the calling thread and hand disjoint views to workers, which keeps the
+//! counters deterministic for single-threaded runs.
+//!
+//! Memtrack integration: a [`MemCounter`] meters the bytes *banked* in the
+//! free lists (alloc on recycle, free on hit), so tests and benches can
+//! watch the pool's resident footprint and its high-water mark exactly
+//! like any other tracked memory.
+
+use crate::memtrack::MemCounter;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Free buffers kept per exact size before further recycles are dropped.
+const MAX_BUFFERS_PER_SIZE: usize = 256;
+
+static FREE: OnceLock<Mutex<HashMap<usize, Vec<Vec<f32>>>>> = OnceLock::new();
+static BANKED: OnceLock<MemCounter> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLES: AtomicU64 = AtomicU64::new(0);
+static DISCARDS: AtomicU64 = AtomicU64::new(0);
+
+fn free_lists() -> &'static Mutex<HashMap<usize, Vec<Vec<f32>>>> {
+    FREE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Byte meter of buffers currently banked in the pool (peak tracked).
+pub fn banked_mem() -> &'static MemCounter {
+    BANKED.get_or_init(MemCounter::new)
+}
+
+/// Pool activity counters since process start (or [`reset_stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Takes served from a free list.
+    pub hits: u64,
+    /// Takes that had to allocate fresh memory.
+    pub misses: u64,
+    /// Buffers returned to the pool.
+    pub recycles: u64,
+    /// Returned buffers dropped because their size class was full.
+    pub discards: u64,
+}
+
+/// Current counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        recycles: RECYCLES.load(Ordering::Relaxed),
+        discards: DISCARDS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the counters (buffers stay banked).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    RECYCLES.store(0, Ordering::Relaxed);
+    DISCARDS.store(0, Ordering::Relaxed);
+}
+
+/// Drop every banked buffer (counters stay). Tests use this to compare a
+/// cold pool against a warm one.
+pub fn clear() {
+    let mut map = free_lists().lock().unwrap();
+    for (len, bucket) in map.drain() {
+        banked_mem().free((len * bucket.len() * 4) as u64);
+    }
+}
+
+fn pop(len: usize) -> Option<Vec<f32>> {
+    let mut map = free_lists().lock().unwrap();
+    let v = map.get_mut(&len)?.pop()?;
+    banked_mem().free((len * 4) as u64);
+    Some(v)
+}
+
+/// A buffer of exactly `len` elements with **arbitrary contents** (recycled
+/// data or zeros). For outputs every element of which is overwritten.
+pub fn take_raw(len: usize) -> Vec<f32> {
+    if let Some(v) = pop(len) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        debug_assert_eq!(v.len(), len);
+        v
+    } else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        vec![0.0; len]
+    }
+}
+
+/// A zeroed buffer of exactly `len` elements.
+pub fn take(len: usize) -> Vec<f32> {
+    if let Some(mut v) = pop(len) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        debug_assert_eq!(v.len(), len);
+        v.fill(0.0);
+        v
+    } else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        vec![0.0; len]
+    }
+}
+
+/// Return a buffer to the pool. Buffers of any provenance are accepted;
+/// capacity slack (from callers that shrank a `Vec`) is re-extended so the
+/// buffer files under its full size.
+pub fn recycle(mut v: Vec<f32>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    if v.len() != v.capacity() {
+        v.resize(v.capacity(), 0.0);
+    }
+    let len = v.len();
+    let mut map = free_lists().lock().unwrap();
+    let bucket = map.entry(len).or_default();
+    if bucket.len() >= MAX_BUFFERS_PER_SIZE {
+        DISCARDS.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    bucket.push(v);
+    banked_mem().alloc((len * 4) as u64);
+    RECYCLES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// The pool is process-global, so tests that assert on counters must
+    /// not interleave.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn take_recycle_take_hits() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        let before = stats();
+        let mut v = take(1024);
+        assert_eq!(v.len(), 1024);
+        v[0] = 42.0;
+        recycle(v);
+        let banked_now = banked_mem().current();
+        assert!(banked_now >= 4096);
+        let v2 = take(1024);
+        assert_eq!(v2[0], 0.0, "zeroed takes scrub recycled contents");
+        let after = stats();
+        assert_eq!(after.hits - before.hits, 1);
+        assert_eq!(after.misses - before.misses, 1);
+        assert_eq!(banked_mem().current(), banked_now - 4096);
+        recycle(v2);
+    }
+
+    #[test]
+    fn raw_take_keeps_contents_and_exact_sizes_only() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        let mut v = take_raw(64);
+        v[7] = 7.0;
+        recycle(v);
+        // A different size must miss; the same size must hit with contents.
+        let w = take_raw(65);
+        assert_eq!(w.len(), 65);
+        let v2 = take_raw(64);
+        assert_eq!(v2[7], 7.0, "raw takes may observe recycled garbage");
+        recycle(w);
+        recycle(v2);
+    }
+
+    #[test]
+    fn clear_returns_banked_bytes() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        recycle(vec![0.0; 100]);
+        assert!(banked_mem().current() >= 400);
+        clear();
+        assert_eq!(banked_mem().current(), 0);
+    }
+}

@@ -13,7 +13,7 @@ const EPS: f32 = 1e-6;
 /// `y[r, :] = x[r, :] / rms(x[r, :]) * gain`
 pub fn forward(x: &Tensor, gain: &[f32]) -> Tensor {
     assert_eq!(x.cols(), gain.len(), "gain length mismatch");
-    let mut y = x.clone();
+    let mut y = x.copy_pooled();
     for r in 0..y.rows() {
         let row = y.row_mut(r);
         let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
@@ -29,8 +29,10 @@ pub fn forward(x: &Tensor, gain: &[f32]) -> Tensor {
 pub fn backward(x: &Tensor, gain: &[f32], d_out: &Tensor) -> (Tensor, Vec<f32>) {
     assert_eq!(x.shape(), d_out.shape(), "rmsnorm backward shape mismatch");
     let h = x.cols() as f32;
-    let mut dx = Tensor::zeros(x.rows(), x.cols());
-    let mut dgain = vec![0.0f32; x.cols()];
+    // Every dx element is overwritten below; dgain accumulates and must
+    // start zeroed.
+    let mut dx = Tensor::uninit_pooled(x.rows(), x.cols());
+    let mut dgain = crate::pool::take(x.cols());
     for r in 0..x.rows() {
         let xr = x.row(r);
         let dor = d_out.row(r);
@@ -59,7 +61,7 @@ mod tests {
     #[test]
     fn output_rows_have_unit_rms_when_gain_is_one() {
         let x = seeded_uniform(4, 16, 11);
-        let y = forward(&x, &vec![1.0; 16]);
+        let y = forward(&x, &[1.0; 16]);
         for r in 0..4 {
             let ms: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>() / 16.0;
             assert!((ms - 1.0).abs() < 1e-3);

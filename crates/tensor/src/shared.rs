@@ -1,0 +1,84 @@
+//! Shared-mutable slice view for provably disjoint parallel writes.
+//!
+//! The parallel attention kernel partitions its output by `(head,
+//! q-block)`: each task writes a row range of one head's column band —
+//! regions that are disjoint but *interleaved* in row-major memory, so
+//! `chunks_mut` cannot express the split. [`SyncSliceMut`] hands each
+//! worker a raw view; callers assert disjointness at the task-partition
+//! level (one task per region, regions pairwise disjoint by construction).
+
+use std::marker::PhantomData;
+
+/// A `&mut [T]` that can be shared across scoped threads for writes to
+/// caller-guaranteed-disjoint ranges.
+pub struct SyncSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// Safety: the wrapper only hands out ranges through `unsafe fn range_mut`,
+// whose contract makes the caller responsible for disjointness; with
+// disjoint ranges this is exactly the split borrow `chunks_mut` performs.
+unsafe impl<T: Send> Send for SyncSliceMut<'_, T> {}
+unsafe impl<T: Send> Sync for SyncSliceMut<'_, T> {}
+
+impl<'a, T> SyncSliceMut<'a, T> {
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable view of `[start, start + len)`.
+    ///
+    /// # Safety
+    /// No two live views returned by this method may overlap, and the
+    /// underlying slice must outlive every view (guaranteed by `'a`).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, start: usize, len: usize) -> &'a mut [T] {
+        debug_assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "range {start}+{len} out of bounds {}",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut data = vec![0u32; 64];
+        let view = SyncSliceMut::new(&mut data);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let view = &view;
+                s.spawn(move || {
+                    // Interleaved-but-disjoint ranges: rows of a 4x16 grid.
+                    let row = unsafe { view.range_mut(t * 16, 16) };
+                    for (i, x) in row.iter_mut().enumerate() {
+                        *x = (t * 100 + i) as u32;
+                    }
+                });
+            }
+        });
+        for t in 0..4 {
+            for i in 0..16 {
+                assert_eq!(data[t * 16 + i], (t * 100 + i) as u32);
+            }
+        }
+    }
+}

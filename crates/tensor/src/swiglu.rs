@@ -12,7 +12,7 @@ use crate::tensor::Tensor;
 /// stashes; the product is transient.
 pub fn forward(gate: &Tensor, up: &Tensor) -> Tensor {
     assert_eq!(gate.shape(), up.shape(), "swiglu shape mismatch");
-    let mut out = Tensor::zeros(gate.rows(), gate.cols());
+    let mut out = Tensor::uninit_pooled(gate.rows(), gate.cols());
     for ((o, g), u) in out
         .as_mut_slice()
         .iter_mut()
@@ -27,8 +27,8 @@ pub fn forward(gate: &Tensor, up: &Tensor) -> Tensor {
 /// Backward from the stashed `(gate, up)` only. Returns `(d_gate, d_up)`.
 pub fn backward(gate: &Tensor, up: &Tensor, d_out: &Tensor) -> (Tensor, Tensor) {
     assert_eq!(gate.shape(), d_out.shape(), "swiglu backward shape mismatch");
-    let mut dg = Tensor::zeros(gate.rows(), gate.cols());
-    let mut du = Tensor::zeros(gate.rows(), gate.cols());
+    let mut dg = Tensor::uninit_pooled(gate.rows(), gate.cols());
+    let mut du = Tensor::uninit_pooled(gate.rows(), gate.cols());
     let (gs, us, ds) = (gate.as_slice(), up.as_slice(), d_out.as_slice());
     for i in 0..gs.len() {
         dg.as_mut_slice()[i] = ds[i] * us[i] * silu_grad(gs[i]);

@@ -13,9 +13,35 @@ pub struct Tensor {
 }
 
 impl Tensor {
-    /// All-zero tensor of the given shape.
+    /// All-zero tensor of the given shape (fresh allocation; parameters and
+    /// long-lived state use this). Hot-path kernels use
+    /// [`Tensor::zeros_pooled`] instead.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// All-zero tensor backed by the [`crate::pool`] buffer pool.
+    pub fn zeros_pooled(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: crate::pool::take(rows * cols) }
+    }
+
+    /// Pool-backed tensor with **arbitrary contents** — for outputs every
+    /// element of which the caller overwrites before reading.
+    pub fn uninit_pooled(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: crate::pool::take_raw(rows * cols) }
+    }
+
+    /// Pool-backed copy of `self`.
+    pub fn copy_pooled(&self) -> Self {
+        let mut data = crate::pool::take_raw(self.data.len());
+        data.copy_from_slice(&self.data);
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Return this tensor's backing buffer to the [`crate::pool`] so a
+    /// later same-shape allocation reuses it.
+    pub fn recycle(self) {
+        crate::pool::recycle(self.data);
     }
 
     /// Build from an existing buffer; `data.len()` must equal `rows * cols`.
@@ -156,6 +182,13 @@ impl Tensor {
         }
     }
 
+    /// `self += other`, returning `other`'s buffer to the pool — the shape
+    /// of every gradient-accumulation step in the executor's hot loop.
+    pub fn add_assign_recycle(&mut self, other: Tensor) {
+        self.add_assign(&other);
+        other.recycle();
+    }
+
     /// Elementwise `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
@@ -169,6 +202,12 @@ impl Tensor {
         for a in &mut self.data {
             *a *= alpha;
         }
+    }
+
+    /// Set every element to `value`. Unlike `scale(0.0)`, `fill(0.0)`
+    /// clears NaN/Inf contamination — use it to reset accumulators.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
     }
 
     /// Sum of squared elements — cheap fingerprint for equivalence tests.

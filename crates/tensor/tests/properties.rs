@@ -14,8 +14,51 @@ use slimpipe_tensor::init::{seeded_tokens, seeded_uniform};
 use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
 use slimpipe_tensor::Tensor;
 
+/// Reference GEMM: the j-innermost textbook triple loop.
+fn naive_gemm(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.at(i, kk) * b.at(kk, j);
+            }
+            *c.at_mut(i, j) = acc;
+        }
+    }
+    c
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tiled GEMM ≡ naive GEMM in all three orientations for arbitrary
+    /// shapes — the sampled ranges straddle every tile boundary (MR/NR = 8,
+    /// MC = 64, KC = 256) and include degenerate 1×1 and prime dims; the
+    /// k range pushes `m·n·k` across the small-kernel/blocked-kernel
+    /// threshold so both code paths are exercised.
+    #[test]
+    fn tiled_gemm_equals_naive_all_orientations(
+        m in 1usize..131,
+        k in 1usize..600,
+        n in 1usize..131,
+        seed in 0u64..1000,
+    ) {
+        let a = seeded_uniform(m, k, seed);
+        let b = seeded_uniform(k, n, seed + 1);
+        let want = naive_gemm(&a, &b);
+        // Tolerance scales with the dot-product length (summation order
+        // differs between the blocked kernel and the reference).
+        let tol = 1e-6 * (k as f32).sqrt() * 8.0;
+        let got = matmul(&a, &b);
+        prop_assert!(got.max_abs_diff(&want) < tol, "nn ({m},{k},{n})");
+        let got_nt = matmul_nt(&a, &b.transposed());
+        prop_assert!(got_nt.max_abs_diff(&want) < tol, "nt ({m},{k},{n})");
+        let got_tn = matmul_tn(&a.transposed(), &b);
+        prop_assert!(got_tn.max_abs_diff(&want) < tol, "tn ({m},{k},{n})");
+    }
 
     /// (A·B)ᵀ == Bᵀ·Aᵀ via the specialised orientations.
     #[test]

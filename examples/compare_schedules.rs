@@ -20,6 +20,7 @@ fn main() {
     );
 
     let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    #[allow(clippy::type_complexity)]
     let candidates: Vec<(Scheme, Box<dyn Fn() -> Result<slimpipe::sched::Schedule, _>>)> = vec![
         (Scheme::GPipe, Box::new(move || slimpipe::sched::gpipe::generate(p, m))),
         (Scheme::OneFOneB, Box::new(move || slimpipe::sched::onefoneb::generate(p, m))),

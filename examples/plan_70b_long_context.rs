@@ -18,7 +18,7 @@ fn main() {
     let tokens_per_iter = 4u64 << 20;
 
     println!("Planning {} on {gpus} Hopper GPUs, 4M tokens/iter\n", model.name);
-    println!("{:>8}  {:>7}  {:>9}  {}", "context", "MFU %", "peak GiB", "configuration");
+    println!("{:>8}  {:>7}  {:>9}  configuration", "context", "MFU %", "peak GiB");
 
     for ctx_k in [64u64, 128, 256, 512, 1024] {
         let seq = ctx_k * 1024;
