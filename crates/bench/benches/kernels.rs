@@ -152,10 +152,12 @@ fn bench_attention(c: &mut Criterion) {
     g.finish();
 }
 
-/// Thread scaling of the (head, q-block)-parallel forward at 8 heads.
-/// `fwd_threads_1` pins the kernel to one thread; `fwd_threads_max` uses
-/// every available core (on a single-core host the two coincide — the
-/// snapshot's `threads` field records which regime was measured).
+/// Thread scaling of the (head, q-block)-parallel forward at 8 heads and
+/// of the (KV-head group, q-block)-parallel backward at `n_kv = 1` — the
+/// MQA case that used to serialise on its single group. `*_threads_1` pins
+/// the kernel to one thread; `*_threads_max` uses every available core (on
+/// a single-core host the series coincide — the snapshot's `threads` /
+/// `rayon_num_threads` metadata records which regime was measured).
 fn bench_attention_scaling(c: &mut Criterion) {
     let cfg = HeadCfg::new(8, 8, 16);
     let s = 256;
@@ -170,6 +172,30 @@ fn bench_attention_scaling(c: &mut Criterion) {
     g.bench_function("fwd_threads_max", |b| {
         b.iter(|| rayon::with_num_threads(max, || black_box(forward_full(&q, &k, &v, cfg))))
     });
+
+    // MQA backward: one KV head, so all parallelism comes from q-blocks.
+    let mqa = HeadCfg::new(8, 1, 16);
+    let qm = seeded_uniform(s, mqa.q_width(), 17);
+    let km = seeded_uniform(s, mqa.kv_width(), 18);
+    let vm = seeded_uniform(s, mqa.kv_width(), 19);
+    let d_o = seeded_uniform(s, mqa.q_width(), 20);
+    let fwd = forward_full(&qm, &km, &vm, mqa);
+    let bwd = |threads: usize| {
+        rayon::with_num_threads(threads, || {
+            black_box(backward_chunked(
+                &qm,
+                &[(&km, &vm)],
+                &[0],
+                &d_o,
+                &fwd.o,
+                &fwd.lse,
+                mqa,
+                0,
+            ))
+        })
+    };
+    g.bench_function("bwd_mqa_threads_1", |b| b.iter(|| bwd(1)));
+    g.bench_function("bwd_mqa_threads_max", |b| b.iter(|| bwd(max)));
     g.finish();
 }
 

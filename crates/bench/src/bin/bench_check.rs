@@ -1,0 +1,149 @@
+//! Perf-regression gate over the criterion shim's `BENCH_<name>.json`
+//! snapshots: compare a freshly measured snapshot against a committed
+//! baseline and fail when any shared series regressed by more than the
+//! threshold.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--pct <percent>]
+//! ```
+//!
+//! The threshold defaults to 20% and can also be set with
+//! `BENCH_REGRESSION_PCT`. Series present in only one snapshot are
+//! reported but never fail the gate (new benches appear, old ones retire);
+//! a fresh snapshot measured under a different thread regime than the
+//! baseline (`threads` / `rayon_num_threads` metadata) downgrades the
+//! id-by-id comparison to report-only, because absolute times across
+//! regimes are not comparable.
+//!
+//! Machine-independent **ratio invariants** inside the *fresh* snapshot
+//! gate in every regime (CI runners never match the committed baseline's
+//! host): the tiled GEMM must stay well ahead of the seed kernel, the pool
+//! must stay well ahead of malloc, and the thread-scaling series must
+//! never be slower than their single-thread twins beyond noise.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Minimal field scanner for the snapshot format the criterion shim
+/// writes — one `{"id": ..., "ns_per_iter": ...}` object per line.
+fn parse_snapshot(text: &str) -> (BTreeMap<String, f64>, Option<String>) {
+    let mut results = BTreeMap::new();
+    let mut regime = None;
+    for line in text.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(v) = t.strip_prefix("\"threads\":") {
+            regime = Some(format!("threads={}", v.trim()));
+        }
+        if let Some(v) = t.strip_prefix("\"rayon_num_threads\":") {
+            if let Some(r) = &mut regime {
+                r.push_str(&format!(" rayon_num_threads={}", v.trim()));
+            }
+        }
+        let Some(idx) = t.find("\"id\":") else { continue };
+        let rest = &t[idx + 5..];
+        let Some(open) = rest.find('"') else { continue };
+        let Some(close) = rest[open + 1..].find('"') else { continue };
+        let id = rest[open + 1..open + 1 + close].to_string();
+        let Some(nidx) = t.find("\"ns_per_iter\":") else { continue };
+        let num: String = t[nidx + 14..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(ns) = num.parse::<f64>() {
+            results.insert(id, ns);
+        }
+    }
+    (results, regime)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pct: f64 = std::env::var("BENCH_REGRESSION_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pct" => {
+                pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--pct needs a numeric argument");
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_check <baseline.json> <fresh.json> [--pct <percent>]");
+        return ExitCode::from(2);
+    }
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"))
+    };
+    let (base, base_regime) = parse_snapshot(&read(&paths[0]));
+    let (fresh, fresh_regime) = parse_snapshot(&read(&paths[1]));
+    assert!(!base.is_empty(), "no results parsed from baseline {}", paths[0]);
+    assert!(!fresh.is_empty(), "no results parsed from fresh {}", paths[1]);
+
+    let comparable = base_regime == fresh_regime;
+    if !comparable {
+        println!(
+            "note: thread regimes differ ({} vs {}) — reporting only, not gating",
+            base_regime.as_deref().unwrap_or("?"),
+            fresh_regime.as_deref().unwrap_or("?")
+        );
+    }
+
+    let mut failures = 0usize;
+    println!("{:<48} {:>12} {:>12} {:>8}", "series", "baseline", "fresh", "ratio");
+    for (id, &b) in &base {
+        match fresh.get(id) {
+            Some(&f) => {
+                let ratio = f / b;
+                let flag = if ratio > 1.0 + pct / 100.0 { " REGRESSED" } else { "" };
+                if !flag.is_empty() && comparable {
+                    failures += 1;
+                }
+                println!("{id:<48} {b:>12.0} {f:>12.0} {ratio:>7.2}x{flag}");
+            }
+            None => println!("{id:<48} {b:>12.0} {:>12} {:>8}", "-", "gone"),
+        }
+    }
+    for id in fresh.keys().filter(|id| !base.contains_key(*id)) {
+        println!("{id:<48} {:>12} {:>12.0} {:>8}", "-", fresh[id], "new");
+    }
+    // Ratio invariants over the fresh snapshot: (fast, slow, min slow/fast).
+    // Values below 1.0 mean "fast may be up to 1/min slower than slow" —
+    // used for thread-scaling pairs that coincide on 1-core hosts.
+    const INVARIANTS: &[(&str, &str, f64)] = &[
+        ("matmul/tiled/512", "matmul/seed_ikj/512", 1.5),
+        ("matmul/tiled/1024", "matmul/seed_ikj/1024", 1.5),
+        ("pool/take_recycle", "pool/fresh_alloc", 10.0),
+        ("attention_scaling/fwd_threads_max", "attention_scaling/fwd_threads_1", 0.77),
+        ("attention_scaling/bwd_mqa_threads_max", "attention_scaling/bwd_mqa_threads_1", 0.77),
+    ];
+    let mut checked = 0usize;
+    for &(fast, slow, min) in INVARIANTS {
+        let (Some(&f), Some(&s)) = (fresh.get(fast), fresh.get(slow)) else { continue };
+        checked += 1;
+        let ratio = s / f;
+        let ok = ratio >= min;
+        println!("invariant {slow} / {fast} = {ratio:.2} (min {min}){}", if ok { "" } else { " VIOLATED" });
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures} regression(s)/invariant violation(s) beyond the gate");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nno regression beyond {pct}% across {} shared series; {checked} invariants hold",
+        base.len()
+    );
+    ExitCode::SUCCESS
+}

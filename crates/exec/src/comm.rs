@@ -221,13 +221,14 @@ impl crate::layer::AttnExecutor for ExchangeRt<'_> {
         q_offset: usize,
     ) -> AttnPartial {
         let slice = chunks.len() - 1;
-        // Dispatch remote chunks first (early exchange), then compute local.
-        let (rtx, rrx) = unbounded();
-        let mut remote = 0usize;
-        let mut local: Vec<usize> = Vec::new();
+        // Dispatch remote chunks first (early exchange) — one reply channel
+        // per chunk so results can be folded in *chunk* order, not arrival
+        // order — then compute local chunks while peers work.
+        let mut pending: Vec<Option<Receiver<AttnPartial>>> = Vec::new();
         for c in 0..chunks.len() {
             let exec = self.map.executor_of(self.device, slice, c);
             if exec != self.device {
+                let (rtx, rrx) = unbounded();
                 self.servers[exec].submit(ServerJob::AttnFwd {
                     q: q.clone(),
                     k: chunks[c].0.clone(),
@@ -235,24 +236,33 @@ impl crate::layer::AttnExecutor for ExchangeRt<'_> {
                     cfg,
                     q_offset,
                     kv_offset: offsets[c],
-                    reply: rtx.clone(),
+                    reply: rtx,
                 });
-                remote += 1;
+                pending.push(Some(rrx));
             } else {
-                local.push(c);
+                pending.push(None);
             }
         }
+        // Local partials overlap with the remote round-trips.
+        let mut parts: Vec<Option<AttnPartial>> = (0..chunks.len())
+            .map(|c| {
+                pending[c].is_none().then(|| {
+                    attention::partial(q, chunks[c].0, chunks[c].1, cfg, q_offset, offsets[c])
+                })
+            })
+            .collect();
+        // Deterministic fold, ascending chunk index — the identical
+        // arithmetic order `attention::forward_chunked` uses, so a run with
+        // context exchange is bit-identical to one without.
         let mut acc: Option<AttnPartial> = None;
-        for c in local {
-            let p =
-                attention::partial(q, chunks[c].0, chunks[c].1, cfg, q_offset, offsets[c]);
+        for (c, rx) in pending.into_iter().enumerate() {
+            let p = match rx {
+                Some(rx) => rx.recv().expect("exchange server died"),
+                None => parts[c].take().expect("local partial computed above"),
+            };
             fold_partial(&mut acc, p, cfg);
         }
-        for _ in 0..remote {
-            let p = rrx.recv().expect("exchange server died");
-            fold_partial(&mut acc, p, cfg);
-        }
-        acc.expect("at least the diagonal chunk is local")
+        acc.expect("at least the diagonal chunk is visible")
     }
 
     fn attn_backward(
@@ -271,8 +281,9 @@ impl crate::layer::AttnExecutor for ExchangeRt<'_> {
         // Dispatch all remote chunk jobs first, each with its own reply
         // channel, then compute the local chunks while peers work.
         #[allow(clippy::type_complexity)]
-        let mut pending: Vec<(usize, Receiver<(Tensor, Tensor, Tensor)>)> = Vec::new();
+        let mut pending: Vec<Option<Receiver<(Tensor, Tensor, Tensor)>>> = Vec::new();
         let mut results: Vec<Option<(Tensor, Tensor)>> = vec![None; chunks.len()];
+        let mut dq_parts: Vec<Option<Tensor>> = (0..chunks.len()).map(|_| None).collect();
         let mut dq = Tensor::zeros_pooled(q.rows(), cfg.q_width());
         for c in 0..chunks.len() {
             let exec = self.map.executor_of(self.device, slice, c);
@@ -290,22 +301,33 @@ impl crate::layer::AttnExecutor for ExchangeRt<'_> {
                     kv_offset: offsets[c],
                     reply: tx1,
                 });
-                pending.push((c, rx1));
+                pending.push(Some(rx1));
+            } else {
+                pending.push(None);
             }
         }
         for c in 0..chunks.len() {
-            if self.map.executor_of(self.device, slice, c) == self.device {
+            if pending[c].is_none() {
                 let (dq_c, dk, dv) = backward_chunk(
                     q, chunks[c].0, chunks[c].1, d_o, lse, &d, cfg, q_offset, offsets[c],
                 );
-                dq.add_assign_recycle(dq_c);
+                dq_parts[c] = Some(dq_c);
                 results[c] = Some((dk, dv));
             }
         }
-        for (c, rx) in pending {
-            let (dq_c, dk, dv) = rx.recv().expect("exchange server died");
+        // Accumulate dQ in ascending chunk order — the identical arithmetic
+        // order `attention::backward_chunked` uses, so gradients with
+        // context exchange are bit-identical to gradients without.
+        for (c, rx) in pending.into_iter().enumerate() {
+            let dq_c = match rx {
+                Some(rx) => {
+                    let (dq_c, dk, dv) = rx.recv().expect("exchange server died");
+                    results[c] = Some((dk, dv));
+                    dq_c
+                }
+                None => dq_parts[c].take().expect("local backward computed above"),
+            };
             dq.add_assign_recycle(dq_c);
-            results[c] = Some((dk, dv));
         }
         pool::recycle(d);
         (

@@ -21,6 +21,16 @@
 //! released KV chunks — is returned to the `slimpipe_tensor::pool`. After
 //! one warm-up iteration a training step performs zero kernel-path heap
 //! allocations (asserted in `tests/pool_steady_state.rs`).
+//!
+//! Determinism of the dKV accumulation path: the kernels below
+//! `attn_backward` produce per-chunk `dK`/`dV` whose bits do not depend on
+//! the worker-pool thread count (fixed-order partial reduction inside
+//! `backward_chunk`), and everything *above* the kernels — the [`DkvAccum`]
+//! slot folds, the diagonal-chunk combination, the `add_assign` of `dQ`
+//! across chunks — runs on the stage thread in schedule order (LIFO over
+//! slices, ascending over chunks). A layer backward is therefore
+//! bit-identical for every `RAYON_NUM_THREADS`, which is what the
+//! executor-level determinism claims in `tests/conformance.rs` rest on.
 
 use crate::model::ExecConfig;
 use slimpipe_tensor::attention::{AttnPartial, HeadCfg};
@@ -539,6 +549,57 @@ mod tests {
         assert!(dx_cat.max_abs_diff(&dx_ref) < 1e-3, "dx mismatch");
         for ((name, a), (_, b)) in g.tensors().iter().zip(g_ref.tensors().iter()) {
             assert!(a.max_abs_diff(b) < 1e-3, "grad {name} mismatch");
+        }
+    }
+
+    /// The whole sliced layer forward + LIFO backward — including the
+    /// DkvAccum folds — must be bit-identical across forced pool widths.
+    /// Sized past the kernels' parallel thresholds so the widths really
+    /// diverge in execution: per-chunk attention work is
+    /// 4 heads × 128 × 128 × 8 = 2^19 ≥ PAR_ATTN_WORK, with two q-blocks
+    /// per chunk, so the MQA backward fans out over the pool at width 4.
+    #[test]
+    fn sliced_layer_is_bit_deterministic_across_thread_counts() {
+        let cfg = ExecConfig {
+            heads: 4,
+            kv_heads: 1, // MQA: the case the (group, q-block) split exists for
+            seq: 256,
+            slices: 2,
+            ..ExecConfig::small()
+        };
+        let hc = cfg.head_cfg();
+        let p = LayerParams::build(&cfg, 0);
+        let x = seeded_uniform(cfg.seq, cfg.hidden(), 200);
+        let d_y = seeded_uniform(cfg.seq, cfg.hidden(), 201);
+        let l = cfg.slice_len();
+
+        let run = || {
+            let mut kv = KvCache::default();
+            let mut caches = Vec::new();
+            for j in 0..cfg.slices {
+                let (_, c) =
+                    layer_forward(&p, hc, x.rows_slice(j * l, l), &mut kv, j, j * l, &mut LocalAttn);
+                caches.push(c);
+            }
+            let mut g = LayerGrads::zeros(&cfg);
+            let mut dkv = DkvAccum::default();
+            dkv.ensure(cfg.slices);
+            let mut dx_cat = Tensor::zeros(cfg.seq, cfg.hidden());
+            for j in (0..cfg.slices).rev() {
+                let dys = d_y.rows_slice(j * l, l);
+                let cache = caches.pop().expect("LIFO stash");
+                let dx = layer_backward(
+                    &p, &mut g, hc, cache, dys, &mut kv, &mut dkv, j, j * l, &mut LocalAttn,
+                );
+                dx_cat.set_rows(j * l, &dx);
+            }
+            (dx_cat, g)
+        };
+        let (dx1, g1) = rayon::with_num_threads(1, run);
+        let (dx4, g4) = rayon::with_num_threads(4, run);
+        assert_eq!(dx1, dx4, "dX must not depend on the pool width");
+        for ((name, a), (_, b)) in g1.tensors().iter().zip(g4.tensors().iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0, "grad {name} differs across widths");
         }
     }
 

@@ -1,0 +1,169 @@
+//! Differential conformance of the executor: every pipeline schedule the
+//! executor can run must reproduce the single-device, unsliced reference —
+//! within f32-reassociation tolerance for the schedule/feature matrix, and
+//! **bit-for-bit** where the docs claim determinism:
+//!
+//! * the same configuration re-run is bit-identical (seeded params, seeded
+//!   data, static schedules, per-chunk reply channels);
+//! * the worker-pool width (`RAYON_NUM_THREADS` / `rayon::set_num_threads`)
+//!   never changes a single output bit — kernels partition work into
+//!   disjoint-output tasks and reduce partials in fixed task order;
+//! * context exchange is a pure *relocation* of work: partials and dQ
+//!   contributions fold in ascending chunk order on both paths, so an
+//!   exchange run is bit-identical to a local run;
+//! * after warm-up, training spawns zero new pool threads — parallel
+//!   regions reuse the persistent workers.
+
+use slimpipe_exec::model::ExecConfig;
+use slimpipe_exec::schedule::PipelineKind;
+use slimpipe_exec::train::{run_pipeline, run_reference, RunResult};
+use slimpipe_exec::verify::assert_equivalent;
+use std::sync::Mutex;
+
+/// Serialises the tests that install a process-wide width override.
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Bit-level equality of everything a run produces.
+fn assert_bits_equal(got: &RunResult, want: &RunResult, what: &str) {
+    assert_eq!(got.losses, want.losses, "{what}: losses differ");
+    assert_eq!(got.layer_grads.len(), want.layer_grads.len(), "{what}");
+    for (li, (a, b)) in got.layer_grads.iter().zip(&want.layer_grads).enumerate() {
+        for ((name, ga), (_, gb)) in a.tensors().iter().zip(b.tensors().iter()) {
+            assert_eq!(
+                ga.max_abs_diff(gb),
+                0.0,
+                "{what}: layer{li}.{name} gradient bits differ"
+            );
+        }
+        assert_eq!(a.norm1, b.norm1, "{what}: layer{li}.norm1");
+        assert_eq!(a.norm2, b.norm2, "{what}: layer{li}.norm2");
+    }
+    assert_eq!(got.embed_grad.max_abs_diff(&want.embed_grad), 0.0, "{what}: embedding");
+    assert_eq!(got.out_grad.max_abs_diff(&want.out_grad), 0.0, "{what}: output");
+    assert_eq!(got.final_norm_grad, want.final_norm_grad, "{what}: final norm");
+}
+
+/// Every `PipelineKind` the executor can run, against the reference.
+#[test]
+fn every_pipeline_kind_matches_the_reference() {
+    let base = ExecConfig::small();
+    let matrix = [
+        (PipelineKind::GPipe, ExecConfig { slices: 1, microbatches: 3, ..base }),
+        (PipelineKind::OneFOneB, ExecConfig { slices: 1, microbatches: 4, ..base }),
+        (PipelineKind::TeraPipe, ExecConfig { slices: 4, microbatches: 2, ..base }),
+        (PipelineKind::SlimPipe, ExecConfig { slices: 4, microbatches: 2, ..base }),
+    ];
+    for (kind, cfg) in matrix {
+        let want = run_reference(&cfg, 2, 0.2);
+        let got = run_pipeline(&cfg, kind, 2, 0.2);
+        assert_equivalent(&got, &want, 2e-3);
+    }
+}
+
+/// The feature configs the paper leans on: vocabulary parallelism, context
+/// exchange, activation offloading — alone and combined.
+#[test]
+fn feature_configs_match_the_reference() {
+    let base = ExecConfig { stages: 2, slices: 8, microbatches: 2, ..ExecConfig::small() };
+    let configs = [
+        ("vocab_parallel", ExecConfig { vocab_parallel: true, ..base }),
+        ("exchange", ExecConfig { exchange: true, ..base }),
+        ("offload", ExecConfig { offload_budget: Some(80_000), ..base }),
+        (
+            "everything_on",
+            ExecConfig {
+                vocab_parallel: true,
+                exchange: true,
+                offload_budget: Some(80_000),
+                ..base
+            },
+        ),
+    ];
+    for (name, cfg) in configs {
+        let want = run_reference(&cfg, 2, 0.2);
+        let got = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
+        let c = slimpipe_exec::verify::compare(&got, &want);
+        assert!(
+            c.max_loss_diff < 3e-3 && c.worst_grad_rel < 3e-3,
+            "{name}: loss diff {} / worst grad {} at {}",
+            c.max_loss_diff,
+            c.worst_grad_rel,
+            c.worst_grad_name
+        );
+    }
+}
+
+/// Re-running a configuration is bit-identical, and the worker-pool width
+/// never changes a bit — at a size whose attention genuinely fans out
+/// (4 heads × 64 × 64 × 8 = PAR_ATTN_WORK).
+#[test]
+fn runs_are_bit_reproducible_and_width_independent() {
+    let _g = WIDTH_LOCK.lock().unwrap();
+    let cfg = ExecConfig {
+        stages: 2,
+        slices: 2,
+        seq: 128,
+        microbatches: 2,
+        ..ExecConfig::small()
+    };
+    rayon::set_num_threads(1);
+    let narrow = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
+    let narrow2 = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
+    rayon::set_num_threads(8);
+    let wide = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
+    rayon::set_num_threads(0);
+    assert_bits_equal(&narrow2, &narrow, "re-run at width 1");
+    assert_bits_equal(&wide, &narrow, "width 8 vs width 1");
+}
+
+/// Context exchange relocates chunk work to peer devices; since both paths
+/// fold partials and dQ in ascending chunk order, the gradients and losses
+/// must be bit-identical, not merely close.
+#[test]
+fn context_exchange_is_bit_identical_to_local_execution() {
+    let _g = WIDTH_LOCK.lock().unwrap();
+    let cfg = ExecConfig { stages: 2, slices: 8, microbatches: 2, ..ExecConfig::small() };
+    let local = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
+    let exchanged =
+        run_pipeline(&ExecConfig { exchange: true, ..cfg }, PipelineKind::SlimPipe, 2, 0.2);
+    assert_bits_equal(&exchanged, &local, "exchange vs local");
+
+    // And under a forced pool width, still the same bits.
+    rayon::set_num_threads(4);
+    let exchanged_wide =
+        run_pipeline(&ExecConfig { exchange: true, ..cfg }, PipelineKind::SlimPipe, 2, 0.2);
+    rayon::set_num_threads(0);
+    assert_bits_equal(&exchanged_wide, &local, "exchange at width 4 vs local");
+}
+
+/// The acceptance criterion on the pool lifecycle: once the pool is warm,
+/// further training — more steps, more runs, different schedules — spawns
+/// zero new pool threads. (Stage and server threads are per-run executor
+/// architecture, not pool traffic; the pool counter isolates the kernels'
+/// fan-out.)
+#[test]
+fn steady_state_training_spawns_zero_pool_threads() {
+    let _g = WIDTH_LOCK.lock().unwrap();
+    let cfg = ExecConfig {
+        stages: 2,
+        slices: 2,
+        seq: 128,
+        microbatches: 2,
+        ..ExecConfig::small()
+    };
+    rayon::set_num_threads(4);
+    // Warm-up: first parallel regions may grow the pool to width - 1.
+    let _ = run_pipeline(&cfg, PipelineKind::SlimPipe, 1, 0.2);
+    let warm = rayon::pool_thread_spawns();
+    assert!(rayon::pool_size() >= 3, "pool must hold the warm-up workers");
+    // Steady state: multi-step training and fresh runs spawn nothing.
+    let _ = run_pipeline(&cfg, PipelineKind::SlimPipe, 3, 0.2);
+    let _ = run_reference(&cfg, 2, 0.2);
+    let _ = run_pipeline(&cfg, PipelineKind::TeraPipe, 1, 0.2);
+    // Read the counter before releasing the width override: concurrent
+    // tests in this binary could otherwise grow the pool to the host's
+    // full parallelism in the gap and fail this assertion spuriously.
+    let spawns_after = rayon::pool_thread_spawns();
+    rayon::set_num_threads(0);
+    assert_eq!(spawns_after, warm, "steady-state training must not spawn pool threads");
+}

@@ -58,4 +58,41 @@ fn steady_state_step_is_allocation_free_and_pooling_preserves_numerics() {
     }
     assert_eq!(cold.embed_grad.max_abs_diff(&warm.embed_grad), 0.0);
     assert_eq!(cold.out_grad.max_abs_diff(&warm.out_grad), 0.0);
+
+    // ---- the invariant must survive the persistent worker pool: kernels
+    // hand workers disjoint views and keep all pool traffic on the calling
+    // thread, so a parallel warm run allocates nothing and changes no bits.
+    // `small()` stays below the kernels' parallel-work thresholds, so this
+    // phase uses a longer sequence whose attention really fans out
+    // (4 heads × 64 × 64 × 8 = 2^17 = PAR_ATTN_WORK). ----
+    let wide_cfg = ExecConfig {
+        stages: 1,
+        slices: 2,
+        microbatches: 1,
+        seq: 128,
+        ..ExecConfig::small()
+    };
+    // Pin the baseline to width 1 explicitly — the process-wide override
+    // outranks RAYON_NUM_THREADS and is seen by the executor's stage
+    // threads, so this stays sequential even on the CI leg that forces the
+    // env var to 4. (Single-test binary: no concurrent test races it.)
+    rayon::set_num_threads(1);
+    let narrow = run_reference(&wide_cfg, 2, 0.3);
+    rayon::set_num_threads(4);
+    let wide_cold = run_reference(&wide_cfg, 2, 0.3); // warms parallel-only sizes
+    let wide_stats = pool::stats();
+    let wide_warm = run_reference(&wide_cfg, 2, 0.3);
+    rayon::set_num_threads(0);
+    let after_wide = pool::stats();
+    assert_eq!(
+        after_wide.misses, wide_stats.misses,
+        "worker-pool execution must stay allocation-free in steady state"
+    );
+    assert_eq!(narrow.losses, wide_cold.losses, "pool width must not change loss bits");
+    assert_eq!(narrow.losses, wide_warm.losses, "warm wide run must match too");
+    for (a, b) in narrow.layer_grads.iter().zip(&wide_warm.layer_grads) {
+        for ((name, ga), (_, gb)) in a.tensors().iter().zip(b.tensors().iter()) {
+            assert_eq!(ga.max_abs_diff(gb), 0.0, "grad {name} differs at width 4");
+        }
+    }
 }

@@ -120,7 +120,16 @@ impl Criterion {
         let path = format!("{dir}/BENCH_{name}.json");
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"bench\": \"{name}\",\n"));
+        // Threading metadata: snapshots from different hosts (or different
+        // forced widths) are only comparable when both the detected
+        // parallelism and any `RAYON_NUM_THREADS` cap are recorded.
         out.push_str(&format!("  \"threads\": {},\n", available_threads()));
+        match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => {
+                out.push_str(&format!("  \"rayon_num_threads\": {n},\n"));
+            }
+            _ => out.push_str("  \"rayon_num_threads\": null,\n"),
+        }
         out.push_str("  \"results\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(

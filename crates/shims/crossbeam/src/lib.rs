@@ -1,9 +1,15 @@
-//! Workspace-local shim for `crossbeam::channel`: an unbounded MPMC
-//! channel on `Mutex<VecDeque>` + `Condvar` with crossbeam's disconnect
-//! semantics (recv errors once every sender is gone, send errors once every
-//! receiver is gone). Throughput is far below real crossbeam's, but the
-//! executor moves few, large messages — the channel is never the
-//! bottleneck.
+//! Workspace-local shim for the `crossbeam` subsets this repository uses:
+//!
+//! * [`channel`] — an unbounded MPMC channel on `Mutex<VecDeque>` +
+//!   `Condvar` with crossbeam's disconnect semantics (recv errors once
+//!   every sender is gone, send errors once every receiver is gone).
+//!   Throughput is far below real crossbeam's, but the executor moves few,
+//!   large messages — the channel is never the bottleneck.
+//! * [`deque`] — the work-stealing deque trio (`Injector`, `Worker`,
+//!   `Stealer`) the persistent rayon-shim worker pool schedules on. Backed
+//!   by mutexes rather than crossbeam's lock-free Chase-Lev buffers; the
+//!   pool moves one region handle per participant, not one item per task,
+//!   so the deques are never on the per-element hot path.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -143,6 +149,186 @@ pub mod channel {
         fn next(&mut self) -> Option<T> {
             self.rx.recv().ok()
         }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques: each pool worker owns a [`Worker`] it pushes
+    //! and pops LIFO; siblings take from the opposite end through
+    //! [`Stealer`] handles; callers seed work through the shared FIFO
+    //! [`Injector`]. Same ordering contract as crossbeam-deque's default
+    //! (`Worker::new_lifo`), so swapping the real crate in later changes
+    //! performance only.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt. The mutex-backed shim never observes a
+    /// torn race, so `Retry` is never produced — but callers loop on it
+    /// anyway, keeping them correct under the real lock-free
+    /// implementation.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner's end of a work-stealing deque (LIFO for the owner).
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// A handle siblings use to take work from the other end.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: self.queue.clone() }
+        }
+
+        pub fn push(&self, value: T) {
+            self.queue.lock().unwrap().push_back(value);
+        }
+
+        /// Owner pop: most recently pushed first (hot in cache).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().unwrap().pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A sibling's view of a [`Worker`]'s deque (FIFO — steals the oldest
+    /// item, the one least likely to be in the owner's cache).
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: self.queue.clone() }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+
+    /// Shared FIFO entry queue: callers outside the pool inject work here.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.queue.lock().unwrap().push_back(value);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod deque_tests {
+    use super::deque::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn owner_is_lifo_stealers_are_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(s.steal(), Steal::Success(1), "stealer takes the oldest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal().success(), Some("a"));
+        assert_eq!(inj.steal().success(), Some("b"));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_take_every_item_once() {
+        let w = Worker::new_lifo();
+        for i in 0..1000usize {
+            w.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let st = w.stealer();
+                let (taken, sum) = (&taken, &sum);
+                sc.spawn(move || loop {
+                    match st.steal() {
+                        Steal::Success(v) => {
+                            taken.fetch_add(1, Ordering::Relaxed);
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
     }
 }
 

@@ -1,30 +1,77 @@
-//! Workspace-local shim for the subset of `rayon` this repository uses.
+//! Workspace-local shim for the subset of `rayon` this repository uses,
+//! backed by a **persistent work-stealing worker pool**.
 //!
 //! The build environment has no access to a crate registry, so this crate
-//! provides the same surface the kernels program against: indexed parallel
-//! iteration over ranges and mutable chunk iteration over slices. Work is
-//! distributed over scoped OS threads with an atomic work-stealing index;
-//! when the effective thread count is 1 (the default tracks
-//! `available_parallelism`, overridable with `RAYON_NUM_THREADS` or
-//! [`with_num_threads`]) everything degenerates to the sequential loop with
-//! zero synchronisation overhead.
+//! provides the surface the kernels program against: indexed parallel
+//! iteration over ranges and mutable chunk iteration over slices.
+//!
+//! ## Execution model
+//!
+//! A parallel region is a *region descriptor* — an erased `Fn(usize)`
+//! closure plus an atomic grab-next task index — submitted to a lazy global
+//! pool of detached worker threads. Scheduling follows the classic
+//! injector/deque shape (`crossbeam::deque`): the caller seeds one region
+//! handle into the shared [`Injector`]; each worker that picks the handle
+//! up re-publishes one more copy into its *own* deque (while the region
+//! still wants participants and has unclaimed tasks), so recruitment
+//! propagates peer-to-peer and siblings steal handles from each other
+//! rather than contending on a single queue. Within a region, tasks are
+//! claimed by `fetch_add` on the shared index — work-stealing at task
+//! granularity, so an uneven task costs no static partitioning penalty.
+//!
+//! The caller always participates in its own region and blocks only after
+//! the task index is exhausted, which also makes nested regions
+//! deadlock-free: every region's caller can drain it alone.
+//!
+//! ## Pool lifecycle
+//!
+//! Workers are spawned lazily, only when a region wants more participants
+//! than the pool holds, and never exit (they park on a condvar between
+//! regions). [`pool_thread_spawns`] counts every OS thread the pool ever
+//! created: after one warm-up region at the maximum requested width, a
+//! steady-state workload spawns **zero** new threads — asserted in this
+//! crate's tests and in `crates/exec/tests/conformance.rs`.
+//!
+//! ## Thread-count control
+//!
+//! Effective width per region, highest precedence first: the calling
+//! thread's [`with_num_threads`] override, the process-wide
+//! [`set_num_threads`] override, the `RAYON_NUM_THREADS` environment
+//! variable, then `available_parallelism`. Width 1 degenerates to the
+//! plain sequential loop with zero synchronisation and zero pool traffic.
+//! Kernels built on this shim partition work into tasks with disjoint
+//! output regions and reduce partials in fixed task order, so results are
+//! bit-identical across *every* width — tests force widths on single-core
+//! hosts with `with_num_threads` and compare bits.
 
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
     /// Per-thread override installed by [`with_num_threads`]; 0 = none.
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Process-wide override installed by [`set_num_threads`]; 0 = none.
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Hard sanity cap on pool size.
+const MAX_WORKERS: usize = 256;
+
 /// Effective worker count: `with_num_threads` override, else the
-/// `RAYON_NUM_THREADS` environment variable, else available parallelism.
+/// process-wide `set_num_threads` override, else the `RAYON_NUM_THREADS`
+/// environment variable, else available parallelism.
 pub fn current_num_threads() -> usize {
     let o = THREAD_OVERRIDE.with(|c| c.get());
     if o > 0 {
         return o;
+    }
+    let g = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if g > 0 {
+        return g;
     }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
@@ -36,7 +83,7 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Run `f` with the calling thread's pool size pinned to `n` — used by
+/// Run `f` with the calling thread's pool width pinned to `n` — used by
 /// benchmarks to measure thread scaling and by tests to force the parallel
 /// code paths on single-core machines. Nested parallel calls made by `f`
 /// on *this* thread observe the override.
@@ -47,29 +94,286 @@ pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     out
 }
 
-/// Core driver: invoke `f(i)` for every `i in 0..n`, fanned out over scoped
-/// threads with an atomic grab-next index.
+/// Install (`n > 0`) or clear (`n == 0`) a process-wide width override.
+/// Unlike [`with_num_threads`] it is seen by *every* thread without one of
+/// its own — the way tests force parallel kernels inside executor stage
+/// threads they did not spawn themselves.
+pub fn set_num_threads(n: usize) {
+    GLOBAL_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Total OS threads the pool has ever spawned. Monotonic; stable counts
+/// across workloads prove regions reuse the persistent workers instead of
+/// spawning per region.
+pub fn pool_thread_spawns() -> u64 {
+    pool().spawns.load(Ordering::Relaxed)
+}
+
+/// Workers currently alive in the pool (they never exit once spawned).
+pub fn pool_size() -> usize {
+    pool().registry.lock().unwrap().len()
+}
+
+// ---------------------------------------------------------------------------
+// Region descriptors
+// ---------------------------------------------------------------------------
+
+/// One parallel region: an erased task closure plus claim/completion state.
+///
+/// The closure pointer's lifetime is erased to `'static` for storage; the
+/// submitting caller guarantees it outlives every dereference by blocking
+/// until `done == n`, and `work` only dereferences it for claimed indices
+/// `i < n` — each claimed exactly once, each completion counted in `done`.
+struct Region {
+    f: *const (dyn Fn(usize) + Sync + 'static),
+    n: usize,
+    /// Next unclaimed task index (may overshoot `n` by one per participant).
+    next: AtomicUsize,
+    /// Completed task count; the region is over when it reaches `n`.
+    done: AtomicUsize,
+    /// Additional region handles still to be published (participants still
+    /// wanted beyond the caller and the handle-holders already recruited).
+    recruit: AtomicUsize,
+    /// Set when any task panicked; remaining tasks drain without running.
+    poisoned: std::sync::atomic::AtomicBool,
+    /// First panic payload, re-thrown on the submitting thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    fin_lock: Mutex<()>,
+    fin_cvar: Condvar,
+}
+
+// Safety: the raw closure pointer is only dereferenced under the claiming
+// protocol described on [`Region`]; the closure itself is `Sync`.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+impl Region {
+    /// Claim and run tasks until the index space is exhausted.
+    ///
+    /// Panics in the closure are caught — never unwound past the region —
+    /// so the erased closure stays alive until every participant is done
+    /// (no use-after-free) and `done` still reaches `n` (no hung caller):
+    /// the region is poisoned, the remaining tasks drain without running,
+    /// and the submitting thread re-throws the first payload.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            if !self.poisoned.load(Ordering::Relaxed) {
+                // Safety: `i < n` is claimed exactly once; the caller keeps
+                // the closure alive until `done == n`, which cannot happen
+                // before this call returns.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                    (*self.f)(i)
+                }));
+                if let Err(payload) = r {
+                    self.poisoned.store(true, Ordering::Relaxed);
+                    let mut slot = self.panic.lock().unwrap();
+                    slot.get_or_insert(payload);
+                }
+            }
+            if self.done.fetch_add(1, Ordering::Release) + 1 == self.n {
+                // Serialise with the caller's check-then-wait so the final
+                // wakeup is never lost.
+                let _g = self.fin_lock.lock().unwrap();
+                self.fin_cvar.notify_all();
+            }
+        }
+    }
+
+    /// Take one recruitment slot if the region still wants participants.
+    fn try_recruit(&self) -> bool {
+        self.recruit
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+            .is_ok()
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+type Job = Arc<Region>;
+
+struct Pool {
+    injector: Injector<Job>,
+    /// One stealer per live worker; grows under the registry lock.
+    registry: Mutex<Vec<Stealer<Job>>>,
+    /// Wake tokens: one per published job, consumed by one waking worker.
+    /// Excess tokens (for jobs drained during a worker's pre-sleep scan)
+    /// cause at most one spurious wake each; missing tokens never occur
+    /// because every push is followed by a token.
+    sleep: Mutex<usize>,
+    wake: Condvar,
+    spawns: AtomicU64,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        injector: Injector::new(),
+        registry: Mutex::new(Vec::new()),
+        sleep: Mutex::new(0),
+        wake: Condvar::new(),
+        spawns: AtomicU64::new(0),
+    })
+}
+
+impl Pool {
+    /// Grow to at least `want` workers (capped); returns instantly when
+    /// already large enough — the steady-state path.
+    fn ensure_workers(&'static self, want: usize) {
+        let want = want.min(MAX_WORKERS);
+        {
+            let reg = self.registry.lock().unwrap();
+            if reg.len() >= want {
+                return;
+            }
+        }
+        let mut reg = self.registry.lock().unwrap();
+        while reg.len() < want {
+            let me = reg.len();
+            let deque: Worker<Job> = Worker::new_lifo();
+            reg.push(deque.stealer());
+            self.spawns.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{me}"))
+                .spawn(move || self.worker_loop(me, deque))
+                .expect("failed to spawn pool worker");
+        }
+    }
+
+    /// Publish one region handle and a wake token.
+    fn publish(&self, job: Job) {
+        self.injector.push(job);
+        let mut tokens = self.sleep.lock().unwrap();
+        *tokens += 1;
+        self.wake.notify_one();
+    }
+
+    /// A worker publishes a handle into its own deque (stealable by
+    /// siblings) and issues a wake token.
+    fn publish_local(&self, deque: &Worker<Job>, job: Job) {
+        deque.push(job);
+        let mut tokens = self.sleep.lock().unwrap();
+        *tokens += 1;
+        self.wake.notify_one();
+    }
+
+    /// Own deque first (newest region — cache-warm), then the injector,
+    /// then steal from siblings.
+    fn find_job(&self, me: usize, deque: &Worker<Job>) -> Option<Job> {
+        if let Some(job) = deque.pop() {
+            return Some(job);
+        }
+        loop {
+            match self.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let stealers = self.registry.lock().unwrap();
+        for (i, st) in stealers.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            loop {
+                match st.steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&'static self, me: usize, deque: Worker<Job>) {
+        loop {
+            if let Some(job) = self.find_job(me, &deque) {
+                if !job.exhausted() {
+                    // Propagate recruitment before working so width builds
+                    // up while this worker chews tasks.
+                    if job.try_recruit() {
+                        self.publish_local(&deque, job.clone());
+                    }
+                    job.work();
+                }
+                continue;
+            }
+            // Sleep until a token arrives. Tokens are a semaphore over
+            // published jobs; waking with a stale token just re-scans and
+            // sleeps again.
+            let mut tokens = self.sleep.lock().unwrap();
+            loop {
+                if *tokens > 0 {
+                    *tokens -= 1;
+                    break;
+                }
+                tokens = self.wake.wait(tokens).unwrap();
+            }
+        }
+    }
+}
+
+/// Core driver: invoke `f(i)` for every `i in 0..n`, fanned out over the
+/// persistent pool with an atomic grab-next index. The calling thread
+/// always participates; sequential widths bypass the pool entirely.
 fn run_indexed<F: Fn(usize) + Sync>(n: usize, f: F) {
-    let threads = current_num_threads().min(n);
-    if threads <= 1 {
+    let width = current_num_threads().min(n);
+    if width <= 1 {
         for i in 0..n {
             f(i);
         }
         return;
     }
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                f(i);
-            });
-        }
+    let p = pool();
+    p.ensure_workers(width - 1);
+    // Safety: the transmute erases `f`'s borrow lifetime. The region's
+    // completion protocol (documented on [`Region`]) guarantees no
+    // dereference happens after this function returns.
+    let f_ref: &(dyn Fn(usize) + Sync) = &f;
+    let f_erased: *const (dyn Fn(usize) + Sync + 'static) =
+        unsafe { std::mem::transmute(f_ref) };
+    let region = Arc::new(Region {
+        f: f_erased,
+        n,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        recruit: AtomicUsize::new(width - 1),
+        poisoned: std::sync::atomic::AtomicBool::new(false),
+        panic: Mutex::new(None),
+        fin_lock: Mutex::new(()),
+        fin_cvar: Condvar::new(),
     });
+    if region.try_recruit() {
+        p.publish(region.clone());
+    }
+    region.work();
+    {
+        let mut g = region.fin_lock.lock().unwrap();
+        while region.done.load(Ordering::Acquire) < n {
+            g = region.fin_cvar.wait(g).unwrap();
+        }
+    }
+    // Every task is accounted for — safe to re-throw a worker's panic now
+    // that no participant can still dereference the closure.
+    let payload = region.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Iterator facade (the rayon API subset the kernels use)
+// ---------------------------------------------------------------------------
 
 /// Parallel iterator over a `Range<usize>`.
 pub struct ParRange {
@@ -102,30 +406,39 @@ pub struct EnumChunksMut<'a, T> {
     size: usize,
 }
 
+/// Raw base pointer shared across region tasks; each task derives its own
+/// disjoint chunk from the index, so no two tasks alias.
+struct SharedPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SharedPtr<T> {}
+unsafe impl<T: Send> Sync for SharedPtr<T> {}
+
+impl<T> SharedPtr<T> {
+    /// Accessor (rather than a public field) so closures capture the
+    /// `Sync` wrapper itself, not the raw pointer inside it.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
 fn run_chunks<T: Send, F: Fn(usize, &mut [T]) + Sync>(slice: &mut [T], size: usize, f: F) {
     assert!(size > 0, "chunk size must be positive");
-    // Sequential path allocates nothing — check before materialising the
-    // work list.
-    if current_num_threads() <= 1 || slice.len() <= size {
+    let len = slice.len();
+    // Sequential path runs the identical chunk order with zero overhead.
+    if current_num_threads() <= 1 || len <= size {
         for (i, c) in slice.chunks_mut(size).enumerate() {
             f(i, c);
         }
         return;
     }
-    let chunks: Vec<(usize, &mut [T])> = slice.chunks_mut(size).enumerate().collect();
-    let n = chunks.len();
-    let threads = current_num_threads().min(n);
-    let work = Mutex::new(chunks.into_iter());
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let item = work.lock().unwrap().next();
-                match item {
-                    Some((i, c)) => f(i, c),
-                    None => break,
-                }
-            });
-        }
+    let n = len.div_ceil(size);
+    let base = SharedPtr(slice.as_mut_ptr());
+    run_indexed(n, |i| {
+        let start = i * size;
+        let clen = (len - start).min(size);
+        // Safety: chunk `i` covers `[i*size, i*size+clen)` — pairwise
+        // disjoint across task indices, each claimed exactly once.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), clen) };
+        f(i, chunk);
     });
 }
 
@@ -221,5 +534,115 @@ mod tests {
             with_num_threads(1, || assert_eq!(current_num_threads(), 1));
             assert_eq!(current_num_threads(), 3);
         });
+    }
+
+    #[test]
+    fn global_override_is_visible_from_other_threads() {
+        set_num_threads(5);
+        let seen = std::thread::spawn(current_num_threads).join().unwrap();
+        set_num_threads(0);
+        // Thread-local override still wins over the global one.
+        with_num_threads(2, || {
+            set_num_threads(7);
+            assert_eq!(current_num_threads(), 2);
+            set_num_threads(0);
+        });
+        assert_eq!(seen, 5);
+    }
+
+    /// The pool is warm after the first wide region: every later region —
+    /// wider loops, chunk loops, repeated invocations — spawns nothing.
+    #[test]
+    fn steady_state_regions_spawn_zero_threads() {
+        let sum = AtomicU64::new(0);
+        let run = |width: usize| {
+            with_num_threads(width, || {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                });
+            })
+        };
+        run(4); // warm-up: may spawn up to 3 workers
+        let warm = pool_thread_spawns();
+        assert!(pool_size() >= 3, "pool must hold the warm-up workers");
+        for _ in 0..50 {
+            run(4);
+            run(2);
+        }
+        let mut v = vec![0u8; 1000];
+        with_num_threads(4, || {
+            v.par_chunks_mut(10).for_each(|c| c.fill(1));
+        });
+        assert_eq!(
+            pool_thread_spawns(),
+            warm,
+            "steady-state parallel regions must not spawn threads"
+        );
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    /// Region results must not depend on which worker ran which task.
+    #[test]
+    fn many_concurrent_regions_from_many_threads() {
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for round in 0..20u64 {
+                        let sum = AtomicU64::new(0);
+                        with_num_threads(3, || {
+                            (0..33usize).into_par_iter().for_each(|i| {
+                                sum.fetch_add(i as u64 + t + round, Ordering::Relaxed);
+                            });
+                        });
+                        assert_eq!(sum.load(Ordering::Relaxed), 528 + 33 * (t + round));
+                    }
+                });
+            }
+        });
+    }
+
+    /// A panicking task must neither hang the caller (done still reaches n)
+    /// nor unwind past the region while workers hold the erased closure:
+    /// the payload is re-thrown on the calling thread, and the pool stays
+    /// fully operational afterwards.
+    #[test]
+    fn task_panics_propagate_to_the_caller_without_hanging() {
+        let result = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    if i == 13 {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        let payload = result.expect_err("the task panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+        let sum = AtomicU64::new(0);
+        with_num_threads(4, || {
+            (0..10usize).into_par_iter().for_each(|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45, "pool must survive a panic");
+    }
+
+    /// Nested regions must complete (the caller can always drain its own
+    /// region, so nesting cannot deadlock).
+    #[test]
+    fn nested_regions_complete() {
+        let total = AtomicU64::new(0);
+        with_num_threads(3, || {
+            (0..4usize).into_par_iter().for_each(|_| {
+                let inner = AtomicU64::new(0);
+                with_num_threads(2, || {
+                    (0..8usize).into_par_iter().for_each(|j| {
+                        inner.fetch_add(j as u64, Ordering::Relaxed);
+                    });
+                });
+                total.fetch_add(inner.load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 28);
     }
 }

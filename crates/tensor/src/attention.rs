@@ -26,10 +26,16 @@
 //! score evaluation per `(q, k)` pair — the two-pass max/accumulate split
 //! is gone) parallelized over `(head, q-block)` tasks: each task owns a
 //! disjoint `(row-range × head-band)` region of the output and a disjoint
-//! `lse` range, handed out through [`SyncSliceMut`]. The backward
-//! parallelizes over KV-head groups (a group's `dK`/`dV` column band plus
-//! its query heads' `dQ` bands are disjoint across groups, even under
-//! GQA). All outputs and scratch come from the [`crate::pool`]; workers
+//! `lse` range, handed out through [`SyncSliceMut`]. The backward fans out
+//! over `(KV-head group, q-block)` tasks, so MQA/GQA backward (`n_kv`
+//! small) scales with cores exactly like the forward: a task owns its
+//! q-block's rows of its group's `dQ` bands outright (disjoint — written
+//! directly), while its `dK`/`dV` contributions go to **per-task partial
+//! buffers** that the caller reduces *in fixed task order* after the fan-in.
+//! Sequential and parallel execution run the identical task decomposition
+//! and the identical reduction order, so gradients are bit-identical for
+//! every thread count (locked down in `tests/determinism.rs`).
+//! All outputs and scratch come from the [`crate::pool`]; workers
 //! never touch the pool — scratch is taken and recycled on the calling
 //! thread — so pool counters stay deterministic. Below
 //! [`PAR_ATTN_WORK`] everything runs inline on the caller.
@@ -345,11 +351,14 @@ pub fn d_rows(d_o: &Tensor, o: &Tensor, cfg: HeadCfg) -> Vec<f32> {
     d
 }
 
-/// One backward task: every query head of KV-head group `kvh` against one
-/// chunk. The group's `dK`/`dV` column band and its query heads' `dQ`
-/// bands are not touched by any other group.
+/// One backward task: every query head of KV-head group `kvh`, query rows
+/// `[i0, i0 + rows)`, against one chunk. The task owns its rows of the
+/// group's `dQ` bands outright (written through `dq_view`); its `dK`/`dV`
+/// contributions accumulate into the task-private `dk_part`/`dv_part`
+/// buffers (`bound × head_dim` — the causal visible prefix of the chunk,
+/// group band only), reduced later by the caller in fixed task order.
 #[allow(clippy::too_many_arguments)]
-fn backward_group(
+fn backward_task(
     q: &Tensor,
     k: &Tensor,
     v: &Tensor,
@@ -360,9 +369,11 @@ fn backward_group(
     q_offset: usize,
     kv_offset: usize,
     kvh: usize,
+    i0: usize,
+    rows: usize,
     dq_view: &SyncSliceMut<'_, f32>,
-    dk_view: &SyncSliceMut<'_, f32>,
-    dv_view: &SyncSliceMut<'_, f32>,
+    dk_part: &mut [f32],
+    dv_part: &mut [f32],
     dqi: &mut [f32],
 ) {
     let (lq, dh) = (q.rows(), cfg.head_dim);
@@ -370,10 +381,14 @@ fn backward_group(
     let scale = cfg.scale();
     let group = cfg.n_heads / cfg.n_kv_heads;
     let kc0 = kvh * dh;
-    let (q_width, kv_width) = (cfg.q_width(), cfg.kv_width());
+    let q_width = cfg.q_width();
+    // The reduction reads every element, so the partials must start clean
+    // even when this task sees no visible key.
+    dk_part.fill(0.0);
+    dv_part.fill(0.0);
     for h in kvh * group..(kvh + 1) * group {
         let qc0 = h * dh;
-        for i in 0..lq {
+        for i in i0..i0 + rows {
             let gi = q_offset + i;
             let visible = (gi + 1).saturating_sub(kv_offset).min(lc);
             if visible == 0 {
@@ -396,13 +411,11 @@ fn backward_group(
                 // dP = dO_i · V_j ; dS = p * (dP - D_i)
                 let dp = dot(doi, vj);
                 let ds = p * (dp - di) * scale;
-                // Safety: each (row j, kv-head band) belongs to exactly one
-                // group task.
-                let dvj = unsafe { dv_view.range_mut(j * kv_width + kc0, dh) };
+                let dvj = &mut dv_part[j * dh..(j + 1) * dh];
                 for (dvv, dd) in dvj.iter_mut().zip(doi) {
                     *dvv += p * dd;
                 }
-                let dkj = unsafe { dk_view.range_mut(j * kv_width + kc0, dh) };
+                let dkj = &mut dk_part[j * dh..(j + 1) * dh];
                 for (dkk, qq) in dkj.iter_mut().zip(qi) {
                     *dkk += ds * qq;
                 }
@@ -411,7 +424,7 @@ fn backward_group(
                 }
             }
             // Safety: each (row i, query-head band) belongs to exactly one
-            // group task.
+            // (group, q-block) task.
             let dqrow = unsafe { dq_view.range_mut(i * q_width + qc0, dh) };
             for (a, b) in dqrow.iter_mut().zip(dqi.iter()) {
                 *a += b;
@@ -426,6 +439,13 @@ fn backward_group(
 /// Probabilities are recomputed as `exp(score - lse)` — nothing beyond the
 /// forward's per-row statistics is needed, which is what lets SlimPipe ship
 /// this computation to another pipeline device during context exchange.
+///
+/// Parallelism: `(KV-head group, q-block)` tasks with per-task `dK`/`dV`
+/// partials; the caller reduces the partials in ascending q-block order, so
+/// the summation order — and therefore every output bit — is independent of
+/// the thread count. With `n_kv = 1` (MQA) there are still
+/// `ceil(lq / Q_BLOCK)` tasks, which is what lets the MQA backward scale
+/// with cores instead of serialising on the single KV head.
 #[allow(clippy::too_many_arguments)]
 pub fn backward_chunk(
     q: &Tensor,
@@ -444,28 +464,81 @@ pub fn backward_chunk(
     let mut dk = Tensor::zeros_pooled(lc, cfg.kv_width());
     let mut dv = Tensor::zeros_pooled(lc, cfg.kv_width());
 
+    let n_qblocks = lq.div_ceil(Q_BLOCK).max(1);
+    let n_tasks = cfg.n_kv_heads * n_qblocks;
     let work = cfg.n_heads * lq * lc * dh;
-    let parallel =
-        work >= PAR_ATTN_WORK && cfg.n_kv_heads > 1 && rayon::current_num_threads() > 1;
-    let mut scratch = pool::take_raw(cfg.n_kv_heads * dh);
+    let parallel = work >= PAR_ATTN_WORK && n_tasks > 1 && rayon::current_num_threads() > 1;
+
+    // Causal masking bounds every row of q-block `qb` to the keys before
+    // the block's last global position, so the block's partials only need
+    // `bound(qb)` rows — roughly half the zero-fill, memory, and fan-in
+    // work on the diagonal chunk. The bound is pure geometry, identical at
+    // every width.
+    let task_bound = |qb: usize| -> usize {
+        let i0 = qb * Q_BLOCK;
+        let rows = (lq - i0).min(Q_BLOCK);
+        (q_offset + i0 + rows).saturating_sub(kv_offset).min(lc)
+    };
+    let per = |qb: usize| 2 * task_bound(qb) * dh + dh;
+    // Tasks of one KV-head group pack contiguously; groups share a layout,
+    // so offsets are (kvh * stride + in-group prefix) — computed by a tiny
+    // loop per task, keeping the kernel free of heap allocations.
+    let stride: usize = (0..n_qblocks).map(per).sum();
+    let offset_of = |kvh: usize, qb: usize| -> usize {
+        kvh * stride + (0..qb).map(per).sum::<usize>()
+    };
+
+    // Per-task scratch: dK partial + dV partial (`bound × dh` each, the
+    // task's group band only) and a dQ row accumulator — one contiguous
+    // pooled block, taken and recycled on the calling thread.
+    let mut scratch = pool::take_raw(cfg.n_kv_heads * stride);
     {
         let dq_view = SyncSliceMut::new(dq.as_mut_slice());
-        let dk_view = SyncSliceMut::new(dk.as_mut_slice());
-        let dv_view = SyncSliceMut::new(dv.as_mut_slice());
         let scratch_view = SyncSliceMut::new(&mut scratch);
-        let run_group = |kvh: usize| {
-            // Safety: one exclusive scratch band per group.
-            let dqi = unsafe { scratch_view.range_mut(kvh * dh, dh) };
-            backward_group(
-                q, k, v, d_o, lse, d, cfg, q_offset, kv_offset, kvh, &dq_view, &dk_view,
-                &dv_view, dqi,
+        let run_task = |t: usize| {
+            let (kvh, qb) = (t / n_qblocks, t % n_qblocks);
+            let i0 = qb * Q_BLOCK;
+            let rows = (lq - i0).min(Q_BLOCK);
+            let bound = task_bound(qb);
+            // Safety: one exclusive scratch block per task index.
+            let block = unsafe { scratch_view.range_mut(offset_of(kvh, qb), per(qb)) };
+            let (dk_part, rest) = block.split_at_mut(bound * dh);
+            let (dv_part, dqi) = rest.split_at_mut(bound * dh);
+            backward_task(
+                q, k, v, d_o, lse, d, cfg, q_offset, kv_offset, kvh, i0, rows, &dq_view,
+                dk_part, dv_part, dqi,
             );
         };
         if parallel {
-            (0..cfg.n_kv_heads).into_par_iter().for_each(run_group);
+            (0..n_tasks).into_par_iter().for_each(run_task);
         } else {
-            for kvh in 0..cfg.n_kv_heads {
-                run_group(kvh);
+            for t in 0..n_tasks {
+                run_task(t);
+            }
+        }
+    }
+    // Deterministic fan-in: every (group, row) of dK/dV sums its q-block
+    // partials in ascending q-block order — the same order no matter how
+    // tasks were scheduled, so results are bit-identical for every thread
+    // count (and bit-identical to the sequential loop above). Rows past a
+    // task's bound were never written and are skipped.
+    let kv_width = cfg.kv_width();
+    let (dks, dvs) = (dk.as_mut_slice(), dv.as_mut_slice());
+    for kvh in 0..cfg.n_kv_heads {
+        let kc0 = kvh * dh;
+        for qb in 0..n_qblocks {
+            let bound = task_bound(qb);
+            let off = offset_of(kvh, qb);
+            let (dk_part, dv_part) = scratch[off..off + 2 * bound * dh].split_at(bound * dh);
+            for j in 0..bound {
+                let dst = &mut dks[j * kv_width + kc0..j * kv_width + kc0 + dh];
+                for (a, b) in dst.iter_mut().zip(&dk_part[j * dh..(j + 1) * dh]) {
+                    *a += b;
+                }
+                let dst = &mut dvs[j * kv_width + kc0..j * kv_width + kc0 + dh];
+                for (a, b) in dst.iter_mut().zip(&dv_part[j * dh..(j + 1) * dh]) {
+                    *a += b;
+                }
             }
         }
     }

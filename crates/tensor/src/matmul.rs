@@ -13,9 +13,14 @@
 //! Orientations are expressed as strided *views* feeding the pack step:
 //! `A·B`, `A·Bᵀ` (`dX = dY·Wᵀ`, attention scores `Q·Kᵀ`) and `Aᵀ·B`
 //! (`dW = Xᵀ·dY`) all run the identical blocked kernel. Work is
-//! parallelized over `MC`-row output blocks (disjoint row ranges of C), and
-//! every buffer — the output, the pack panels, the per-task pack blocks —
-//! comes from the [`crate::pool`], so steady-state calls allocate nothing.
+//! parallelized over `MC`-row output blocks (disjoint row ranges of C),
+//! dispatched as row-block tasks onto the persistent worker pool behind the
+//! `rayon` shim — no threads are spawned per call — and every buffer — the
+//! output, the pack panels, the per-task pack blocks — comes from the
+//! [`crate::pool`], so steady-state calls allocate nothing. Each C
+//! element's accumulation order is fixed by the `pc` loop regardless of
+//! which worker runs which row block, so results are bit-identical across
+//! thread counts.
 //!
 //! Matrices smaller than [`SMALL_GEMM_FLOPS`] take a branch-free
 //! orientation-specific loop instead: at executor scale (hidden ≈ 32) the

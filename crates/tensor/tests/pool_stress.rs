@@ -1,0 +1,87 @@
+//! Concurrency stress for the global tensor buffer pool under the
+//! persistent worker pool: many threads hammering take/recycle across
+//! mixed size classes, cross-thread recycling (taken on one thread,
+//! returned on another), and conservation-law assertions over the pool
+//! counters.
+//!
+//! Single test function on purpose: the pool is process-global, so counter
+//! assertions need this binary's tests to run without interleaving pool
+//! users (integration-test binaries are separate processes, so other test
+//! files don't interfere).
+
+use slimpipe_tensor::pool;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const SIZES: [usize; 5] = [64, 256, 1024, 4096, 16384];
+
+#[test]
+fn pool_survives_concurrent_hammering_without_leaking() {
+    pool::clear();
+    pool::reset_stats();
+
+    // ---- phase 1: worker-pool tasks hammer take/recycle in place ----
+    let rounds = 2000usize;
+    rayon::with_num_threads(8, || {
+        use rayon::prelude::*;
+        (0..rounds).into_par_iter().for_each(|i| {
+            let len = SIZES[i % SIZES.len()];
+            let mut v = pool::take_raw(len);
+            v[0] = i as f32;
+            v[len - 1] = -(i as f32);
+            black_box(&v);
+            pool::recycle(v);
+        });
+    });
+
+    // ---- phase 2: cross-thread traffic — buffers taken by pool tasks are
+    // recycled by *other* OS threads (the executor's pattern: activations
+    // allocated on one stage retire on another) ----
+    let stash: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+    let produced = AtomicUsize::new(0);
+    rayon::with_num_threads(4, || {
+        use rayon::prelude::*;
+        (0..400usize).into_par_iter().for_each(|i| {
+            let v = pool::take_raw(SIZES[(i * 7) % SIZES.len()]);
+            produced.fetch_add(1, Ordering::Relaxed);
+            stash.lock().unwrap().push(v);
+        });
+    });
+    let stashed = stash.into_inner().unwrap();
+    assert_eq!(stashed.len(), produced.load(Ordering::Relaxed));
+    let shared = Mutex::new(stashed);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let shared = &shared;
+            s.spawn(move || loop {
+                let Some(v) = shared.lock().unwrap().pop() else { break };
+                pool::recycle(v);
+            });
+        }
+    });
+
+    // ---- conservation laws over the counters ----
+    let s = pool::stats();
+    let takes = (rounds + 400) as u64;
+    assert_eq!(s.hits + s.misses, takes, "every take is a hit or a miss");
+    // Quiescent: nothing is in flight, so every fresh allocation (miss) is
+    // either banked now (a recycle that wasn't later re-taken) or was
+    // discarded at a full size class.
+    assert_eq!(
+        s.misses,
+        (s.recycles - s.hits) + s.discards,
+        "allocated buffers must all be banked or discarded: {s:?}"
+    );
+    // 2400 takes over 5 classes stays far below the per-class cap.
+    assert_eq!(s.discards, 0, "no size class should have overflowed: {s:?}");
+    // Concurrency bounds the misses: at most one fresh allocation per
+    // simultaneously-live buffer per class, and phase 2 keeps at most 400
+    // live. Far below the take count — the pool actually pooled.
+    assert!(s.hits > s.misses, "the pool must serve most takes warm: {s:?}");
+
+    // Banked bytes are fully accounted: clear() returns every byte.
+    assert!(pool::banked_mem().current() > 0, "quiescent pool holds buffers");
+    pool::clear();
+    assert_eq!(pool::banked_mem().current(), 0, "clear() must return all bytes");
+}
