@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slimpipe_exec::model::ExecConfig;
 use slimpipe_exec::schedule::PipelineKind;
 use slimpipe_exec::train::{run_pipeline, run_reference};
+use slimpipe_exec::SlicePolicy;
 use slimpipe_tensor::pool;
 use std::hint::black_box;
 
@@ -40,7 +41,7 @@ fn bench_pipelines(c: &mut Criterion) {
         ("terapipe", PipelineKind::TeraPipe, 4),
         ("slimpipe", PipelineKind::SlimPipe, 4),
     ] {
-        let c2 = ExecConfig { slices, ..base };
+        let c2 = ExecConfig { slices, ..base.clone() };
         g.bench_with_input(BenchmarkId::new("scheme", name), &kind, |b, &k| {
             b.iter(|| black_box(run_pipeline(&c2, k, 1, 0.1)))
         });
@@ -58,11 +59,37 @@ fn bench_feature_toggles(c: &mut Criterion) {
         ("vocab_parallel", false, true),
         ("both", true, true),
     ] {
-        let c2 = ExecConfig { exchange, vocab_parallel: vp, ..base };
+        let c2 = ExecConfig { exchange, vocab_parallel: vp, ..base.clone() };
         g.bench_with_input(BenchmarkId::new("features", name), &name, |b, _| {
             b.iter(|| black_box(run_pipeline(&c2, PipelineKind::SlimPipe, 1, 0.1)))
         });
     }
+    g.finish();
+}
+
+/// The slicing-policy axis: one SlimPipe step per policy (exchange on —
+/// the interesting case, since non-uniform partitions change the exchange
+/// plan), plus a ragged-microbatch run. Series ids embed the policy tag,
+/// so they never collide across policies; snapshot-level tagging for
+/// forced sweeps comes from `BENCH_SLICING_POLICY` (see the criterion
+/// shim + `bench_check`).
+fn bench_slicing_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_slicing");
+    g.sample_size(10);
+    let base = ExecConfig { slices: 8, exchange: true, ..cfg() };
+    for (tag, policy) in [
+        ("uniform", SlicePolicy::Uniform),
+        ("pair_balanced", SlicePolicy::PairBalanced),
+    ] {
+        let c2 = ExecConfig { slicing: policy, ..base.clone() };
+        g.bench_with_input(BenchmarkId::new("policy", tag), &tag, |b, _| {
+            b.iter(|| black_box(run_pipeline(&c2, PipelineKind::SlimPipe, 1, 0.1)))
+        });
+    }
+    let ragged = ExecConfig { mb_seqs: Some(vec![48, 80]), ..base };
+    g.bench_with_input(BenchmarkId::new("policy", "uniform_ragged"), &0, |b, _| {
+        b.iter(|| black_box(run_pipeline(&ragged, PipelineKind::SlimPipe, 1, 0.1)))
+    });
     g.finish();
 }
 
@@ -97,6 +124,7 @@ criterion_group!(
     bench_reference,
     bench_pipelines,
     bench_feature_toggles,
+    bench_slicing_policies,
     bench_pool_cold_vs_warm,
 );
 criterion_main!(benches);

@@ -10,10 +10,12 @@
 //! The threshold defaults to 20% and can also be set with
 //! `BENCH_REGRESSION_PCT`. Series present in only one snapshot are
 //! reported but never fail the gate (new benches appear, old ones retire);
-//! a fresh snapshot measured under a different thread regime than the
-//! baseline (`threads` / `rayon_num_threads` metadata) downgrades the
-//! id-by-id comparison to report-only, because absolute times across
-//! regimes are not comparable.
+//! a fresh snapshot measured under a different *regime* than the baseline
+//! downgrades the id-by-id comparison to report-only, because absolute
+//! times across regimes are not comparable. A regime is the thread
+//! metadata (`threads` / `rayon_num_threads`) **and** the slicing-policy
+//! tag (`slicing_policy`, set by `BENCH_SLICING_POLICY` during slice-sweep
+//! runs) — a pair-balanced sweep never gates against a uniform baseline.
 //!
 //! Machine-independent **ratio invariants** inside the *fresh* snapshot
 //! gate in every regime (CI runners never match the committed baseline's
@@ -37,6 +39,16 @@ fn parse_snapshot(text: &str) -> (BTreeMap<String, f64>, Option<String>) {
         if let Some(v) = t.strip_prefix("\"rayon_num_threads\":") {
             if let Some(r) = &mut regime {
                 r.push_str(&format!(" rayon_num_threads={}", v.trim()));
+            }
+        }
+        if let Some(v) = t.strip_prefix("\"slicing_policy\":") {
+            let tag = v.trim().trim_matches('"');
+            // Absent metadata (old snapshots) and an explicit null both
+            // mean the default (uniform) policy regime.
+            if tag != "null" {
+                regime
+                    .get_or_insert_with(String::new)
+                    .push_str(&format!(" slicing_policy={tag}"));
             }
         }
         let Some(idx) = t.find("\"id\":") else { continue };

@@ -115,6 +115,7 @@ pub fn scheme_env(
         cp: 1,
         ep: 1,
         seq,
+        slicing: slimpipe_core::SlicePolicy::Uniform,
         ckpt,
         exchange: slim,
         early_kv: true,

@@ -48,8 +48,6 @@ pub struct ExchangePlan {
     pub tasks: Vec<ChunkTask>,
     /// Attended pairs executed per device after redistribution.
     pub load: Vec<u128>,
-    /// Slice length used for workload accounting.
-    pub slice_len: u64,
 }
 
 impl ExchangePlan {
@@ -109,86 +107,115 @@ fn diag_pairs(l: u64) -> u128 {
     (l as u128 * (l as u128 + 1)) / 2
 }
 
-/// Workload of one full off-diagonal chunk.
-fn full_pairs(l: u64) -> u128 {
-    l as u128 * l as u128
+/// Workload of one full off-diagonal chunk: `q_len` queries attending every
+/// one of `kv_len` keys.
+fn full_pairs(q_len: u64, kv_len: u64) -> u128 {
+    q_len as u128 * kv_len as u128
 }
 
-/// Plan one round. `slices[r]` is the slice index device `r` works on this
-/// round (`None` if the device is idle this round); `slice_len` is the
-/// uniform slice length in tokens.
+/// Plan one round of uniform slicing. `slices[r]` is the slice index device
+/// `r` works on this round (`None` if the device is idle this round);
+/// `slice_len` is the uniform slice length in tokens.
 ///
 /// The greedy invariant: only off-diagonal chunks move (the diagonal chunk
 /// needs the just-produced KV and the causal mask), the earliest chunks
 /// move first (early-KV-exchange), and a move happens only while it
 /// strictly reduces the max-min spread.
-#[allow(clippy::while_let_loop)] // two let-else exits; while-let fits only one
 pub fn plan_round(slices: &[Option<u32>], slice_len: u64) -> ExchangePlan {
+    plan_round_with(slices, &|_| slice_len)
+}
+
+/// Plan one round under an explicit [`crate::Slicing`] — slice volumes come
+/// from the actual token bounds, so pair-balanced and ragged partitions get
+/// correctly weighted exchange plans (a short late slice contributes a small
+/// off-diagonal task, not a uniform-sized one).
+pub fn plan_round_slicing(slices: &[Option<u32>], slicing: &crate::Slicing) -> ExchangePlan {
+    plan_round_with(slices, &|c| slicing.len(c))
+}
+
+/// Shared planner core: `chunk_tokens(c)` gives the token length of slice
+/// `c` (constant for uniform slicing). Workloads are exact attended pairs:
+/// the diagonal chunk of slice `j` is causal within itself
+/// (`l_j(l_j+1)/2`), an off-diagonal chunk `c < j` is the full
+/// `l_j × l_c` rectangle.
+#[allow(clippy::while_let_loop)] // two let-else exits; while-let fits only one
+fn plan_round_with(
+    slices: &[Option<u32>],
+    chunk_tokens: &dyn Fn(usize) -> u64,
+) -> ExchangePlan {
     let p = slices.len();
     let mut tasks: Vec<ChunkTask> = Vec::new();
     let mut load = vec![0u128; p];
-    // Movable off-diagonal chunks per owner, earliest first.
-    let mut movable: Vec<Vec<u32>> = vec![Vec::new(); p];
+    // Movable off-diagonal chunks per owner as `(chunk, pairs)`, earliest
+    // chunk last so pop() yields it (early-KV-exchange).
+    let mut movable: Vec<Vec<(u32, u128)>> = vec![Vec::new(); p];
     for (r, s) in slices.iter().enumerate() {
         let Some(j) = *s else { continue };
+        let q_len = chunk_tokens(j as usize);
         tasks.push(ChunkTask {
             q_owner: r,
             executor: r,
             kv_chunk: j,
             diagonal: true,
-            pairs: diag_pairs(slice_len),
+            pairs: diag_pairs(q_len),
         });
-        load[r] += diag_pairs(slice_len);
+        load[r] += diag_pairs(q_len);
         for c in 0..j {
-            movable[r].push(c);
-            load[r] += full_pairs(slice_len);
+            let pairs = full_pairs(q_len, chunk_tokens(c as usize));
+            movable[r].push((c, pairs));
+            load[r] += pairs;
         }
         movable[r].reverse(); // pop() yields the earliest chunk
     }
-    let unit = full_pairs(slice_len);
-    // Greedy: move one earliest chunk from the current max-loaded device
-    // (among those with movable work) to the min-loaded device while the
-    // move strictly shrinks the spread.
+    // Greedy: move one earliest chunk from the most-loaded device whose
+    // move still *strictly* shrinks the spread between it and the
+    // min-loaded device. With non-uniform weights the globally heaviest
+    // device's earliest chunk may be too heavy to help while a lighter
+    // device's chunk still does, so candidacy is per-device, not
+    // max-only. (Uniform weights: every device shares one unit, so this
+    // picks exactly the classic max-loaded candidate.)
     loop {
-        let Some(hi) = (0..p)
-            .filter(|&r| !movable[r].is_empty())
-            .max_by_key(|&r| load[r])
-        else {
-            break;
-        };
         let lo = (0..p)
             .filter(|&r| slices[r].is_some())
             .min_by_key(|&r| load[r])
             .expect("at least one active device");
-        if lo == hi || load[hi] <= load[lo] + unit {
-            // Spread is already within one chunk; a further move would
-            // only ping-pong the imbalance between devices.
+        let Some(hi) = (0..p)
+            .filter(|&r| r != lo)
+            .filter(|&r| {
+                movable[r]
+                    .last()
+                    .is_some_and(|&(_, unit)| load[r] > load[lo] + unit)
+            })
+            .max_by_key(|&r| load[r])
+        else {
+            // No movable chunk shrinks any pairwise spread; a further move
+            // would only ping-pong the imbalance between devices.
             break;
-        }
-        let chunk = movable[hi].pop().expect("hi has movable work");
-        load[hi] -= unit;
-        load[lo] += unit;
+        };
+        let (chunk, pairs) = movable[hi].pop().expect("hi has movable work");
+        load[hi] -= pairs;
+        load[lo] += pairs;
         tasks.push(ChunkTask {
             q_owner: hi,
             executor: lo,
             kv_chunk: chunk,
             diagonal: false,
-            pairs: unit,
+            pairs,
         });
     }
     // Remaining movable chunks execute locally.
     for (r, chunks) in movable.into_iter().enumerate() {
-        for c in chunks {
+        for (c, pairs) in chunks {
             tasks.push(ChunkTask {
                 q_owner: r,
                 executor: r,
                 kv_chunk: c,
                 diagonal: false,
-                pairs: unit,
+                pairs,
             });
         }
     }
-    ExchangePlan { slices: slices.to_vec(), tasks, load, slice_len }
+    ExchangePlan { slices: slices.to_vec(), tasks, load }
 }
 
 /// The slices concurrently in flight at steady-state round `t` of the
@@ -254,7 +281,7 @@ mod tests {
     #[test]
     fn plan_balances_to_one_chunk_spread() {
         let l = 128u64;
-        let unit = full_pairs(l);
+        let unit = full_pairs(l, l);
         // Steady state and juncture rounds for several (p, n).
         for (p, n) in [(4usize, 8usize), (8, 16), (6, 12), (2, 4)] {
             for t in 0..n {
@@ -328,7 +355,7 @@ mod tests {
                 .iter()
                 .map(|s| {
                     let j = s.unwrap() as u128;
-                    j * full_pairs(64) + diag_pairs(64)
+                    j * full_pairs(64, 64) + diag_pairs(64)
                 })
                 .sum();
             assert_eq!(task_total, raw_total);
@@ -370,6 +397,77 @@ mod tests {
                 measured <= bound + 1e-9,
                 "p={p} n={n}: measured {measured} > bound {bound}"
             );
+        }
+    }
+
+    #[test]
+    fn slicing_plan_conserves_pairs_and_keeps_diagonals_local() {
+        // Pair-balanced bounds: wildly unequal slice lengths.
+        let slicing = crate::Slicing::pair_balanced(1024, 8);
+        for t in 0..8 {
+            let slices = steady_round_slices(4, 8, t);
+            let plan = plan_round_slicing(&slices, &slicing);
+            let task_total: u128 = plan.tasks.iter().map(|t| t.pairs).sum();
+            let load_total: u128 = plan.load.iter().sum();
+            assert_eq!(task_total, load_total);
+            // Raw workload of the round, from the actual bounds.
+            let raw: u128 = slices
+                .iter()
+                .map(|s| {
+                    let j = s.unwrap() as usize;
+                    let lj = slicing.len(j);
+                    (0..j)
+                        .map(|c| full_pairs(lj, slicing.len(c)))
+                        .sum::<u128>()
+                        + diag_pairs(lj)
+                })
+                .sum();
+            assert_eq!(task_total, raw, "t={t}");
+            for task in &plan.tasks {
+                if task.diagonal {
+                    assert_eq!(task.q_owner, task.executor);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slicing_plan_weights_moves_by_actual_volume() {
+        // A juncture-like round under pair-balanced slicing: the device on
+        // the last (short) slice has a big off-diagonal load from the long
+        // early chunks; moved tasks must carry their true pair counts.
+        let slicing = crate::Slicing::pair_balanced(1024, 8);
+        let plan = plan_round_slicing(&[Some(7), Some(0)], &slicing);
+        let before_spread = {
+            let j = 7usize;
+            let lj = slicing.len(j);
+            let a: u128 = (0..j).map(|c| full_pairs(lj, slicing.len(c))).sum::<u128>()
+                + diag_pairs(lj);
+            let b = diag_pairs(slicing.len(0));
+            a.max(b) - a.min(b)
+        };
+        assert!(plan.spread() <= before_spread, "plan must not widen the spread");
+        for t in &plan.tasks {
+            if t.executor != t.q_owner {
+                assert_eq!(
+                    t.pairs,
+                    full_pairs(slicing.len(7), slicing.len(t.kv_chunk as usize)),
+                    "moved task must be weighted by its real chunk volume"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_plan_round_equals_slicing_plan_round() {
+        // plan_round is the uniform special case of plan_round_slicing.
+        let slicing = crate::Slicing::uniform(8 * 64, 8);
+        for t in 0..8 {
+            let slices = steady_round_slices(4, 8, t);
+            let a = plan_round(&slices, 64);
+            let b = plan_round_slicing(&slices, &slicing);
+            assert_eq!(a.tasks, b.tasks, "t={t}");
+            assert_eq!(a.load, b.load, "t={t}");
         }
     }
 

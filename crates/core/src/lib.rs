@@ -29,6 +29,6 @@ pub mod slicing;
 pub mod theory;
 pub mod vocab_parallel;
 
-pub use exchange::{plan_round, ExchangePlan};
-pub use slicing::Slicing;
+pub use exchange::{plan_round, plan_round_slicing, ExchangePlan};
+pub use slicing::{SlicePolicy, Slicing};
 pub use theory::Scheme;

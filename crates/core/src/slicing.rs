@@ -12,6 +12,34 @@
 
 use slimpipe_model::flops::causal_pairs;
 
+/// How a sequence is partitioned into slices — the policy axis the executor
+/// threads end-to-end (uniform is the paper's choice; pair-balanced is the
+/// TeraPipe-style ablation; explicit bounds cover everything else).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlicePolicy {
+    /// Equal-length slices (§4.1.1). When the slice count does not divide
+    /// the sequence, the remainder spreads one token each over the earliest
+    /// slices ([`Slicing::even`]), so ragged microbatches still slice.
+    Uniform,
+    /// TeraPipe-style boundaries equalising attended causal pairs
+    /// ([`Slicing::pair_balanced`]).
+    PairBalanced,
+    /// Caller-supplied boundaries (`bounds.len() == n + 1`, `bounds[0] == 0`,
+    /// strictly increasing, `bounds[n] ==` the sequence length).
+    Explicit(Vec<u64>),
+}
+
+impl SlicePolicy {
+    /// Short stable tag for snapshots, logs, and bench series ids.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SlicePolicy::Uniform => "uniform",
+            SlicePolicy::PairBalanced => "pair_balanced",
+            SlicePolicy::Explicit(_) => "explicit",
+        }
+    }
+}
+
 /// A slicing of one sequence into contiguous slices.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Slicing {
@@ -32,6 +60,68 @@ impl Slicing {
         );
         let l = seq / n as u64;
         Self { seq, bounds: (0..=n as u64).map(|i| i * l).collect() }
+    }
+
+    /// Near-uniform slicing for *any* `seq >= n` — the ragged-aware
+    /// constructor: `seq mod n` leftover tokens go one each to the earliest
+    /// slices, so every slice has `⌈seq/n⌉` or `⌊seq/n⌋` tokens. Identical
+    /// to [`Slicing::uniform`] whenever `n | seq`.
+    pub fn even(seq: u64, n: usize) -> Self {
+        assert!(n > 0 && seq > 0, "need positive seq and n");
+        assert!(n as u64 <= seq, "more slices than tokens");
+        let (base, extra) = (seq / n as u64, seq % n as u64);
+        let mut bounds = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        bounds.push(0);
+        for i in 0..n as u64 {
+            acc += base + u64::from(i < extra);
+            bounds.push(acc);
+        }
+        Self { seq, bounds }
+    }
+
+    /// Slicing from caller-supplied boundaries; panics on invalid bounds
+    /// (the graceful path is [`Slicing::try_explicit`]).
+    pub fn explicit(seq: u64, bounds: Vec<u64>) -> Self {
+        Self::try_explicit(seq, bounds).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Slicing::explicit`] — the single place the explicit-bounds
+    /// invariants live, shared by the panicking constructor and config
+    /// validation.
+    pub fn try_explicit(seq: u64, bounds: Vec<u64>) -> Result<Self, String> {
+        if bounds.len() < 2 {
+            return Err("explicit bounds need at least one slice".into());
+        }
+        if bounds[0] != 0 {
+            return Err(format!("explicit bounds must start at 0, got {}", bounds[0]));
+        }
+        if !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err(format!(
+                "explicit bounds must be strictly increasing: {bounds:?}"
+            ));
+        }
+        if *bounds.last().unwrap() != seq {
+            return Err(format!(
+                "explicit bounds must end at seq ({seq}), got {}",
+                bounds.last().unwrap()
+            ));
+        }
+        Ok(Self { seq, bounds })
+    }
+
+    /// The slicing a policy induces for one sequence of `seq` tokens cut
+    /// into `n` slices — the single constructor the executor, simulator,
+    /// and benches all route through.
+    pub fn from_policy(policy: &SlicePolicy, seq: u64, n: usize) -> Self {
+        match policy {
+            SlicePolicy::Uniform => Self::even(seq, n),
+            SlicePolicy::PairBalanced => Self::pair_balanced(seq, n),
+            SlicePolicy::Explicit(bounds) => {
+                assert_eq!(bounds.len(), n + 1, "explicit bounds for {n} slices");
+                Self::explicit(seq, bounds.clone())
+            }
+        }
     }
 
     /// Pair-balanced (TeraPipe-style) slicing: boundaries chosen so each
@@ -147,6 +237,49 @@ mod tests {
         // problem the paper's §4.1.1 points out).
         let lens: Vec<u64> = (0..8).map(|i| balanced.len(i)).collect();
         assert!(lens[0] > 4 * lens[7], "{lens:?}");
+    }
+
+    #[test]
+    fn even_equals_uniform_when_divisible() {
+        assert_eq!(Slicing::even(4096, 8), Slicing::uniform(4096, 8));
+    }
+
+    #[test]
+    fn even_spreads_the_remainder_over_early_slices() {
+        let s = Slicing::even(46, 4); // 12, 12, 11, 11
+        assert_eq!(s.bounds, vec![0, 12, 24, 35, 46]);
+        let total: u128 = (0..s.n()).map(|i| s.pairs(i)).sum();
+        assert_eq!(total, s.total_pairs());
+    }
+
+    #[test]
+    fn explicit_roundtrips_and_validates() {
+        let s = Slicing::explicit(100, vec![0, 50, 75, 100]);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.slice(1), (50, 25));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn explicit_rejects_empty_slices() {
+        let _ = Slicing::explicit(10, vec![0, 4, 4, 10]);
+    }
+
+    #[test]
+    fn from_policy_dispatches() {
+        assert_eq!(
+            Slicing::from_policy(&SlicePolicy::Uniform, 64, 4),
+            Slicing::uniform(64, 4)
+        );
+        assert_eq!(
+            Slicing::from_policy(&SlicePolicy::PairBalanced, 64, 4),
+            Slicing::pair_balanced(64, 4)
+        );
+        let b = vec![0, 40, 64];
+        assert_eq!(
+            Slicing::from_policy(&SlicePolicy::Explicit(b.clone()), 64, 2).bounds,
+            b
+        );
     }
 
     #[test]

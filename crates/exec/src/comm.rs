@@ -18,7 +18,8 @@
 
 use crate::model::ExecConfig;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use slimpipe_core::exchange::{plan_round, steady_round_slices};
+use slimpipe_core::exchange::{plan_round_slicing, steady_round_slices};
+use slimpipe_core::Slicing;
 use slimpipe_tensor::attention::{
     self, backward_chunk, d_rows, fold_partial, AttnPartial, HeadCfg,
 };
@@ -152,7 +153,9 @@ pub fn spawn_server(shard: Option<VocabShard>) -> (ServerHandle, JoinHandle<Opti
 
 /// Static context-exchange assignment: for each `(owner, slice)`, which
 /// device executes each KV chunk. Derived once from the steady-state round
-/// structure (§4.2.1's staircase).
+/// structure (§4.2.1's staircase). With a non-uniform [`Slicing`] the
+/// per-round plans weight every movable chunk by its actual token volume,
+/// so pair-balanced and ragged partitions redistribute correctly.
 #[derive(Clone, Debug)]
 pub struct ExchangeMap {
     /// `executor[owner][slice][chunk]` = executing device.
@@ -160,11 +163,18 @@ pub struct ExchangeMap {
 }
 
 impl ExchangeMap {
+    /// Uniform-slicing map (kept for the uniform call sites and tests).
     pub fn build(p: usize, n: usize, slice_len: u64) -> Self {
+        Self::build_from(p, &Slicing::uniform(n as u64 * slice_len, n))
+    }
+
+    /// Map derived from explicit slice bounds.
+    pub fn build_from(p: usize, slicing: &Slicing) -> Self {
+        let n = slicing.n();
         let mut executor = vec![vec![Vec::new(); n]; p];
         for t in 0..n {
             let slices = steady_round_slices(p, n, t);
-            let plan = plan_round(&slices, slice_len);
+            let plan = plan_round_slicing(&slices, slicing);
             for task in &plan.tasks {
                 let owner = task.q_owner;
                 let j = slices[owner].unwrap() as usize;
@@ -465,6 +475,58 @@ mod tests {
         for (g, w) in dkv_got.iter().zip(&dkv_want) {
             assert!(g.0.max_abs_diff(&w.0) < 1e-4);
             assert!(g.1.max_abs_diff(&w.1) < 1e-4);
+        }
+        for h in &handles {
+            h.submit(ServerJob::Stop);
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn exchanged_attention_is_exact_for_unequal_chunks() {
+        // Pair-balanced bounds: chunk lengths differ wildly; the exchange
+        // runtime must still fold partials into the local result exactly.
+        let hc = HeadCfg::new(2, 2, 8);
+        let (p, n) = (2usize, 4usize);
+        let slicing = Slicing::pair_balanced(64, n);
+        let map = ExchangeMap::build_from(p, &slicing);
+        let mut handles = Vec::new();
+        let mut joins = Vec::new();
+        for _ in 0..p {
+            let (h, j) = spawn_server(None);
+            handles.push(h);
+            joins.push(j);
+        }
+        let j = n - 1;
+        let (q_start, q_len) = slicing.slice(j);
+        let q = seeded_uniform(q_len as usize, 16, 700);
+        let ks: Vec<Tensor> = (0..=j)
+            .map(|c| seeded_uniform(slicing.len(c) as usize, 16, 701 + c as u64))
+            .collect();
+        let vs: Vec<Tensor> = (0..=j)
+            .map(|c| seeded_uniform(slicing.len(c) as usize, 16, 750 + c as u64))
+            .collect();
+        let chunks: Vec<(&Tensor, &Tensor)> = ks.iter().zip(vs.iter()).collect();
+        let offsets: Vec<usize> = (0..=j).map(|c| slicing.bounds[c] as usize).collect();
+
+        let mut rt = ExchangeRt { device: 0, servers: &handles, map: &map };
+        let got = rt.attn_forward(&q, &chunks, &offsets, hc, q_start as usize);
+        let want = attention::forward_chunked(&q, &chunks, &offsets, hc, q_start as usize);
+        assert_eq!(got.o, want.o, "ragged exchange forward must be bit-exact");
+        assert_eq!(got.lse, want.lse);
+
+        let d_o = seeded_uniform(q_len as usize, 16, 799);
+        let (dq_got, dkv_got) =
+            rt.attn_backward(&q, &chunks, &offsets, &d_o, &got.o, &got.lse, hc, q_start as usize);
+        let (dq_want, dkv_want) = attention::backward_chunked(
+            &q, &chunks, &offsets, &d_o, &want.o, &want.lse, hc, q_start as usize,
+        );
+        assert_eq!(dq_got, dq_want, "ragged exchange backward must be bit-exact");
+        for (g, w) in dkv_got.iter().zip(&dkv_want) {
+            assert_eq!(g.0, w.0);
+            assert_eq!(g.1, w.1);
         }
         for h in &handles {
             h.submit(ServerJob::Stop);

@@ -3,7 +3,12 @@
 //!
 //! The forward of slice `j` appends its keys/values as chunk `j` of the
 //! layer's KV cache (§5 *Chunked KV Cache*: "we store them in slice-sized
-//! chunks") and attends chunks `0..=j` by online softmax. The backward of
+//! chunks") and attends chunks `0..=j` by online softmax. Chunks are
+//! token *ranges*, not fixed-length blocks: every entry point takes the
+//! slice's global `q_offset` and the cache records each chunk's own
+//! offset (both derived from the stage's per-microbatch `Slicing`
+//! bounds), so non-uniform and ragged partitions run through the same
+//! code path as uniform slicing. The backward of
 //! slice `j` produces `dK/dV` contributions for every chunk `c ≤ j`; the
 //! contributions for `c < j` are parked in a [`DkvAccum`] until the LIFO
 //! order reaches slice `c`, whose own backward drains the accumulator into

@@ -38,4 +38,5 @@ pub mod train;
 pub mod verify;
 
 pub use model::ExecConfig;
+pub use slimpipe_core::{SlicePolicy, Slicing};
 pub use train::{run_pipeline, run_reference, RunResult};

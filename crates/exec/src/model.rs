@@ -1,12 +1,21 @@
 //! Executor-level model configuration and deterministic parameter builds.
+//!
+//! The slicing axis is explicit: every microbatch's sequence is partitioned
+//! by a [`SlicePolicy`] into a [`Slicing`] (token-range bounds), and every
+//! consumer — stages, the exchange planner, the training driver — indexes
+//! KV chunks, stashes, and channel messages by those *ranges*, never by
+//! `slice * slice_len`. Microbatches may be ragged (per-microbatch sequence
+//! lengths via [`ExecConfig::mb_seqs`]).
 
+use slimpipe_core::{SlicePolicy, Slicing};
 use slimpipe_tensor::attention::HeadCfg;
 use slimpipe_tensor::init::seeded_xavier;
 use slimpipe_tensor::Tensor;
+use std::ops::Range;
 
 /// Shape and run parameters of an executor model. Kept small — these train
 /// for real on CPU threads.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExecConfig {
     pub layers: usize,
     pub heads: usize,
@@ -14,10 +23,17 @@ pub struct ExecConfig {
     pub head_dim: usize,
     pub ffn: usize,
     pub vocab: usize,
+    /// Default sequence length of a microbatch (tokens). Individual
+    /// microbatches may override it through [`ExecConfig::mb_seqs`].
     pub seq: usize,
     /// Slices per microbatch (1 = microbatch granularity).
     pub slices: usize,
+    /// How each microbatch's sequence is cut into those slices.
+    pub slicing: SlicePolicy,
     pub microbatches: usize,
+    /// Ragged microbatches: per-microbatch sequence lengths (must have
+    /// `microbatches` entries). `None` = every microbatch is `seq` tokens.
+    pub mb_seqs: Option<Vec<usize>>,
     /// Pipeline stages (threads).
     pub stages: usize,
     pub vocab_parallel: bool,
@@ -41,7 +57,9 @@ impl ExecConfig {
             vocab: 96,
             seq: 64,
             slices: 4,
+            slicing: SlicePolicy::Uniform,
             microbatches: 2,
+            mb_seqs: None,
             stages: 2,
             vocab_parallel: false,
             exchange: false,
@@ -62,9 +80,109 @@ impl ExecConfig {
         HeadCfg::new(self.heads, self.kv_heads, self.head_dim)
     }
 
+    /// Sequence length of microbatch `mb` (ragged-aware).
+    pub fn mb_seq(&self, mb: usize) -> usize {
+        match &self.mb_seqs {
+            Some(seqs) => seqs[mb],
+            None => self.seq,
+        }
+    }
+
+    /// Tokens across the whole iteration — the loss normaliser.
+    pub fn total_tokens(&self) -> usize {
+        (0..self.microbatches).map(|mb| self.mb_seq(mb)).sum()
+    }
+
+    /// The slice partition of microbatch `mb` under this config's policy.
+    pub fn slicing_of(&self, mb: usize) -> Slicing {
+        Slicing::from_policy(&self.slicing, self.mb_seq(mb) as u64, self.slices)
+    }
+
+    /// All microbatch slicings, in order — what stages and the driver
+    /// precompute once per run instead of rederiving offsets per op.
+    pub fn slicings(&self) -> Vec<Slicing> {
+        (0..self.microbatches).map(|mb| self.slicing_of(mb)).collect()
+    }
+
+    /// `(mb, slice) → token range` table: `map[mb][slice]` is the global
+    /// token range of that unit within its microbatch's sequence.
+    pub fn slice_map(&self) -> Vec<Vec<Range<usize>>> {
+        self.slicings()
+            .iter()
+            .map(|s| {
+                (0..s.n())
+                    .map(|i| {
+                        let (start, len) = s.slice(i);
+                        start as usize..(start + len) as usize
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Uniform slice length — only meaningful for non-ragged
+    /// [`SlicePolicy::Uniform`] configs with divisible geometry (the
+    /// pre-refactor invariant; ranged consumers use [`Self::slice_map`]).
     pub fn slice_len(&self) -> usize {
+        assert_eq!(self.slicing, SlicePolicy::Uniform, "slice_len is uniform-only");
+        assert!(self.mb_seqs.is_none(), "slice_len is non-ragged-only");
         assert!(self.seq.is_multiple_of(self.slices), "slices must divide seq");
         self.seq / self.slices
+    }
+
+    /// Config sanity: every microbatch must slice into `slices` non-empty
+    /// token ranges, explicit bounds must match every microbatch's length,
+    /// and the pipeline geometry must divide. Called by the executor before
+    /// building schedules or stages.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers == 0 || self.stages == 0 || self.microbatches == 0 || self.slices == 0 {
+            return Err("layers, stages, microbatches, slices must be positive".into());
+        }
+        if !self.layers.is_multiple_of(self.stages) {
+            return Err(format!(
+                "stages ({}) must divide layers ({})",
+                self.stages, self.layers
+            ));
+        }
+        if self.vocab_parallel && !self.vocab.is_multiple_of(self.stages) {
+            return Err(format!(
+                "vocabulary parallelism needs stages ({}) to divide vocab ({})",
+                self.stages, self.vocab
+            ));
+        }
+        if let Some(seqs) = &self.mb_seqs {
+            if seqs.len() != self.microbatches {
+                return Err(format!(
+                    "mb_seqs has {} entries for {} microbatches",
+                    seqs.len(),
+                    self.microbatches
+                ));
+            }
+        }
+        for mb in 0..self.microbatches {
+            let seq = self.mb_seq(mb);
+            if seq < self.slices {
+                return Err(format!(
+                    "microbatch {mb}: {seq} tokens cannot fill {} slices",
+                    self.slices
+                ));
+            }
+            if let SlicePolicy::Explicit(bounds) = &self.slicing {
+                if bounds.len() != self.slices + 1 {
+                    return Err(format!(
+                        "explicit bounds have {} entries for {} slices",
+                        bounds.len(),
+                        self.slices
+                    ));
+                }
+                // Shared invariants (start at 0, strictly increasing, end
+                // at this microbatch's seq — so explicit slicing requires
+                // equal-length microbatches) live in Slicing::try_explicit.
+                Slicing::try_explicit(seq as u64, bounds.clone())
+                    .map_err(|e| format!("microbatch {mb}: {e}"))?;
+            }
+        }
+        Ok(())
     }
 
     pub fn layers_per_stage(&self) -> usize {
@@ -123,5 +241,71 @@ mod tests {
     fn embedding_is_deterministic() {
         let c = ExecConfig::small();
         assert_eq!(c.build_embedding(), c.build_embedding());
+    }
+
+    #[test]
+    fn slice_map_covers_each_microbatch_contiguously() {
+        let c = ExecConfig {
+            slicing: SlicePolicy::PairBalanced,
+            mb_seqs: Some(vec![48, 80]),
+            ..ExecConfig::small()
+        };
+        c.validate().unwrap();
+        let map = c.slice_map();
+        assert_eq!(map.len(), 2);
+        for (mb, ranges) in map.iter().enumerate() {
+            assert_eq!(ranges.len(), c.slices);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, c.mb_seq(mb));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must tile the sequence");
+                assert!(!w[0].is_empty() && !w[1].is_empty());
+            }
+        }
+        assert_eq!(c.total_tokens(), 128);
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let base = ExecConfig::small();
+        assert!(ExecConfig { mb_seqs: Some(vec![64]), ..base.clone() }
+            .validate()
+            .is_err());
+        assert!(ExecConfig { mb_seqs: Some(vec![64, 2]), slices: 4, ..base.clone() }
+            .validate()
+            .is_err());
+        assert!(ExecConfig {
+            slicing: SlicePolicy::Explicit(vec![0, 10, 63]),
+            slices: 2,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        // Non-monotone and non-zero-start bounds are rejected gracefully,
+        // not left to panic downstream in Slicing::explicit.
+        assert!(ExecConfig {
+            slicing: SlicePolicy::Explicit(vec![0, 40, 30, 64]),
+            slices: 3,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(ExecConfig {
+            slicing: SlicePolicy::Explicit(vec![4, 30, 64]),
+            slices: 2,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn slice_len_matches_uniform_slicing() {
+        let c = ExecConfig::small();
+        let s = c.slicing_of(0);
+        for i in 0..c.slices {
+            assert_eq!(s.len(i) as usize, c.slice_len());
+        }
     }
 }

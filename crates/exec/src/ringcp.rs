@@ -17,6 +17,7 @@
 //! with byte-exact communication meters, and both are verified to equal
 //! monolithic attention.
 
+use slimpipe_core::Slicing;
 use slimpipe_tensor::attention::{fold_partial, forward_chunked, AttnPartial, HeadCfg};
 use slimpipe_tensor::Tensor;
 
@@ -140,6 +141,61 @@ pub fn build_scenario(
     (ranks, q_full, k_full, v_full)
 }
 
+/// Build a CP scenario from an explicit [`Slicing`]: the sequence is
+/// partitioned by `slicing` (uniform, pair-balanced, or explicit bounds),
+/// processing is at slice `j` (chunks `0..=j` exist), and every chunk — of
+/// whatever length — is sharded over `c` ranks as near-even contiguous
+/// sub-blocks ([`Slicing::even`] of the chunk), carrying exact global
+/// offsets. Ranges come from the slicing's bounds, never from a uniform
+/// `slice_len` recomputation.
+pub fn build_scenario_slicing(
+    c: usize,
+    slicing: &Slicing,
+    j: usize,
+    cfg: HeadCfg,
+    seed: u64,
+) -> (Vec<CpRank>, Tensor, Tensor, Tensor) {
+    use slimpipe_tensor::init::seeded_uniform;
+    assert!(j < slicing.n(), "slice index out of range");
+    let (q_start, q_len) = slicing.slice(j);
+    assert!(
+        (0..=j).all(|s| slicing.len(s) >= c as u64),
+        "every chunk needs at least one token per CP rank"
+    );
+    let total = (q_start + q_len) as usize;
+    let q_full = seeded_uniform(q_len as usize, cfg.q_width(), seed);
+    let k_full = seeded_uniform(total, cfg.kv_width(), seed + 1);
+    let v_full = seeded_uniform(total, cfg.kv_width(), seed + 2);
+    // Shard each chunk (and the query slice) into `c` near-even sub-blocks;
+    // the per-chunk partitions are rank-independent, so build them once.
+    let q_shards = Slicing::even(q_len, c);
+    let chunk_shards: Vec<Slicing> =
+        (0..=j).map(|chunk| Slicing::even(slicing.len(chunk), c)).collect();
+    let ranks = (0..c)
+        .map(|i| {
+            let kv = (0..=j)
+                .map(|chunk| {
+                    let chunk_start = slicing.bounds[chunk];
+                    let (off, sub) = chunk_shards[chunk].slice(i);
+                    let start = (chunk_start + off) as usize;
+                    (
+                        k_full.rows_slice(start, sub as usize),
+                        v_full.rows_slice(start, sub as usize),
+                        start,
+                    )
+                })
+                .collect();
+            let (q_off, q_sub) = q_shards.slice(i);
+            CpRank {
+                q: q_full.rows_slice(q_off as usize, q_sub as usize),
+                q_offset: (q_start + q_off) as usize,
+                kv,
+            }
+        })
+        .collect();
+    (ranks, q_full, k_full, v_full)
+}
+
 /// Total bytes each variant moves across a whole microbatch of `n` slices
 /// — the §5 comparison ("recovered to that without KV cache").
 pub fn microbatch_comm(c: usize, slice_len: usize, n: usize, cfg: HeadCfg) -> (u64, u64) {
@@ -193,6 +249,39 @@ mod tests {
                 let (ranks, _, _, _) = build_scenario(c, 32, j, CFG, 42 + j as u64);
                 let r = ring_commutated(&ranks, CFG);
                 verify_against_monolithic(&r, c, 32, j);
+            }
+        }
+    }
+
+    /// Both ring variants stay exact when the chunk bounds come from a
+    /// pair-balanced (wildly unequal) slicing and the shards are ragged.
+    #[test]
+    fn rings_are_exact_under_pair_balanced_slicing() {
+        let slicing = Slicing::pair_balanced(96, 6);
+        for c in [2usize, 3] {
+            for j in [1usize, 3, 5] {
+                let (ranks, q_full, k_full, v_full) =
+                    build_scenario_slicing(c, &slicing, j, CFG, 77 + j as u64);
+                let (q_start, _) = slicing.slice(j);
+                let reference = forward_chunked(
+                    &q_full,
+                    &[(&k_full, &v_full)],
+                    &[0],
+                    CFG,
+                    q_start as usize,
+                );
+                for variant in [ring_classic(&ranks, CFG), ring_commutated(&ranks, CFG)] {
+                    let mut row = 0usize;
+                    for out in &variant.outputs {
+                        let want = reference.o.rows_slice(row, out.o.rows());
+                        assert!(
+                            out.o.max_abs_diff(&want) < 1e-4,
+                            "c={c} j={j}: ragged CP shard diverges"
+                        );
+                        row += out.o.rows();
+                    }
+                    assert_eq!(row, q_full.rows(), "shards must tile the slice");
+                }
             }
         }
     }

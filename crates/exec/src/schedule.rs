@@ -17,8 +17,12 @@ pub enum PipelineKind {
     SlimPipe,
 }
 
-/// Build and validate the schedule for `cfg`.
+/// Build and validate the schedule for `cfg`. Slicing-policy and ragged
+/// geometry are validated here too — an op list that indexes `n` slices
+/// per microbatch is only executable when every microbatch can actually
+/// fill `n` non-empty token ranges.
 pub fn build_schedule(kind: PipelineKind, cfg: &ExecConfig) -> Schedule {
+    cfg.validate().expect("invalid executor configuration");
     let (p, m, n) = (cfg.stages, cfg.microbatches, cfg.slices);
     let sched = match kind {
         PipelineKind::GPipe => {

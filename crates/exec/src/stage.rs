@@ -14,6 +14,7 @@ use crate::layer::{
     SliceCache,
 };
 use crate::model::ExecConfig;
+use slimpipe_core::Slicing;
 use slimpipe_tensor::crossentropy;
 use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
 use slimpipe_tensor::{embedding, pool, rmsnorm, MemCounter, Tensor};
@@ -54,6 +55,10 @@ pub enum StageOutput {
 /// One pipeline device's full state.
 pub struct Stage {
     pub cfg: ExecConfig,
+    /// Per-microbatch slice partitions — the `(mb, slice) → token range`
+    /// source of truth this stage indexes KV caches, stashes, and dK/dV
+    /// accumulators by (precomputed once; ragged microbatches differ).
+    slicings: Vec<Slicing>,
     pub device: usize,
     pub layers: Vec<LayerParams>,
     pub grads: Vec<LayerGrads>,
@@ -89,7 +94,8 @@ impl Stage {
         let is_first = device == 0;
         let is_last = device == cfg.stages - 1;
         Self {
-            cfg: *cfg,
+            cfg: cfg.clone(),
+            slicings: cfg.slicings(),
             device,
             layers,
             grads,
@@ -122,9 +128,15 @@ impl Stage {
         self.device == self.cfg.stages - 1
     }
 
-    /// Loss normaliser: mean over every token of the iteration.
+    /// Loss normaliser: mean over every token of the iteration (ragged
+    /// microbatches contribute their actual lengths).
     fn loss_scale(&self) -> f32 {
-        1.0 / (self.cfg.microbatches * self.cfg.seq) as f32
+        1.0 / self.cfg.total_tokens() as f32
+    }
+
+    /// Global token offset of `(mb, slice)` within its microbatch.
+    fn q_offset(&self, mb: u32, slice: u32) -> usize {
+        self.slicings[mb as usize].bounds[slice as usize] as usize
     }
 
     /// Forward one unit. Stage 0 takes `input` as token ids (embedded
@@ -149,7 +161,7 @@ impl Stage {
                 x
             }
         };
-        let q_offset = slice as usize * self.cfg.slice_len();
+        let q_offset = self.q_offset(mb, slice);
         let kv = self
             .kv
             .entry(mb)
@@ -234,7 +246,7 @@ impl Stage {
                     let vp = vp.expect("vp helper required in vocab-parallel mode");
                     let normed = rmsnorm::forward(&hidden_in, norm_gain);
                     let targets = targets.expect("last stage needs targets");
-                    let scale = 1.0 / (self.cfg.microbatches * self.cfg.seq) as f32;
+                    let scale = 1.0 / self.cfg.total_tokens() as f32;
                     let d_normed = vp.loss_backward(&normed, targets, &lse, scale);
                     normed.recycle();
                     (hidden_in, d_normed)
@@ -260,13 +272,13 @@ impl Stage {
         }
         let mut caches = self.stash.remove(&(mb, slice)).expect("forward stash missing");
         self.mem.free(caches.iter().map(|c| c.bytes()).sum());
+        let hc = self.cfg.head_cfg();
+        let q_offset = self.q_offset(mb, slice);
         let kv = self.kv.get_mut(&mb).expect("kv cache missing");
         let dkv = self
             .dkv
             .entry(mb)
             .or_insert_with(|| (0..self.layers.len()).map(|_| DkvAccum::default()).collect());
-        let hc = self.cfg.head_cfg();
-        let q_offset = slice as usize * self.cfg.slice_len();
         for li in (0..self.layers.len()).rev() {
             let cache = caches.pop().expect("one stash per layer");
             let kv_before = kv[li].bytes() + dkv[li].bytes();

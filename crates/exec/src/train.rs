@@ -15,6 +15,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use slimpipe_sched::PassKind;
 use slimpipe_tensor::init::seeded_tokens;
 use slimpipe_tensor::Tensor;
+use std::sync::Arc;
 
 /// Everything a run produces, for comparison and reporting.
 pub struct RunResult {
@@ -33,12 +34,12 @@ pub struct RunResult {
     pub offload_transferred: Vec<u64>,
 }
 
-/// Deterministic training data: one token stream per microbatch, next-token
-/// targets.
+/// Deterministic training data: one token stream per microbatch (ragged
+/// lengths respected), next-token targets.
 pub fn make_data(cfg: &ExecConfig) -> Vec<(Vec<u32>, Vec<u32>)> {
     (0..cfg.microbatches)
         .map(|mb| {
-            let toks = seeded_tokens(cfg.seq, cfg.vocab, cfg.seed * 1000 + mb as u64);
+            let toks = seeded_tokens(cfg.mb_seq(mb), cfg.vocab, cfg.seed * 1000 + mb as u64);
             let mut targets = toks[1..].to_vec();
             targets.push(toks[0]);
             (toks, targets)
@@ -53,7 +54,7 @@ type ActMsg = (u32, u32, Tensor);
 /// across configurations.
 pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32) -> RunResult {
     assert!(steps >= 1);
-    let sched = build_schedule(kind, cfg);
+    let sched = build_schedule(kind, cfg); // validates cfg too
     let p = cfg.stages;
     let data = make_data(cfg);
 
@@ -73,8 +74,22 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
             server_joins.push(j);
         }
     }
-    let exmap = (cfg.exchange && cfg.slices > 1)
-        .then(|| ExchangeMap::build(p, cfg.slices, cfg.slice_len() as u64));
+    // One exchange map per microbatch: ragged microbatches and non-uniform
+    // policies induce different slice volumes, so each microbatch gets a
+    // plan derived from its actual bounds. Equal slicings (the whole run,
+    // when not ragged) share one map, and the maps are Arc'd so stage
+    // threads clone pointers, not plans.
+    let exmaps: Option<Arc<Vec<ExchangeMap>>> = (cfg.exchange && cfg.slices > 1).then(|| {
+        let slicings = cfg.slicings();
+        let mut maps: Vec<ExchangeMap> = Vec::with_capacity(slicings.len());
+        for (i, s) in slicings.iter().enumerate() {
+            match slicings[..i].iter().position(|t| t == s) {
+                Some(j) => maps.push(maps[j].clone()),
+                None => maps.push(ExchangeMap::build_from(p, s)),
+            }
+        }
+        Arc::new(maps)
+    });
 
     // Stage-boundary channels.
     let mut fwd_tx: Vec<Option<Sender<ActMsg>>> = Vec::new();
@@ -96,7 +111,7 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
 
     let mut joins = Vec::with_capacity(p);
     for d in 0..p {
-        let cfg = *cfg;
+        let cfg = cfg.clone();
         let ops = sched.ops[d].clone();
         let data = data.clone();
         let my_fwd_rx = fwd_rx[d].take();
@@ -104,9 +119,11 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
         let my_bwd_rx = bwd_rx[d].take();
         let my_bwd_tx = bwd_tx[d].take();
         let servers = servers.clone();
-        let exmap = exmap.clone();
+        let exmaps = exmaps.clone();
         let loss_tx = loss_tx.clone();
-        let l = cfg.slice_len();
+        // `(mb, slice) → token range`, precomputed once — ops look their
+        // ranges up instead of recomputing `slice * slice_len` offsets.
+        let ranges = cfg.slice_map();
         joins.push(std::thread::spawn(move || {
             let mut stage = Stage::build(&cfg, d);
             let is_last = d == p - 1;
@@ -115,9 +132,14 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
                 for op in &ops {
                     let mut local = LocalAttn;
                     let mut rt;
-                    let attn: &mut dyn AttnExecutor = match &exmap {
-                        Some(map) => {
-                            rt = ExchangeRt { device: d, servers: &servers, map };
+                    let (mb, sl) = (op.mb, op.slice);
+                    let attn: &mut dyn AttnExecutor = match &exmaps {
+                        Some(maps) => {
+                            rt = ExchangeRt {
+                                device: d,
+                                servers: &servers,
+                                map: &maps[mb as usize],
+                            };
                             &mut rt
                         }
                         None => &mut local,
@@ -129,8 +151,7 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
                     } else {
                         None
                     };
-                    let (mb, sl) = (op.mb, op.slice);
-                    let range = sl as usize * l..(sl as usize + 1) * l;
+                    let range = ranges[mb as usize][sl as usize].clone();
                     match op.kind {
                         PassKind::Forward => {
                             let input = if d == 0 {
@@ -276,9 +297,10 @@ pub fn run_reference(cfg: &ExecConfig, steps: usize, lr: f32) -> RunResult {
     let ref_cfg = ExecConfig {
         stages: 1,
         slices: 1,
+        slicing: slimpipe_core::SlicePolicy::Uniform,
         vocab_parallel: false,
         exchange: false,
-        ..*cfg
+        ..cfg.clone()
     };
     run_pipeline(&ref_cfg, PipelineKind::OneFOneB, steps, lr)
 }

@@ -150,13 +150,13 @@ mod tests {
     #[test]
     fn gpipe_and_terapipe_match_reference() {
         let base = ExecConfig::small();
-        let g = ExecConfig { slices: 1, microbatches: 3, ..base };
+        let g = ExecConfig { slices: 1, microbatches: 3, ..base.clone() };
         assert_equivalent(
             &run_pipeline(&g, PipelineKind::GPipe, 1, 0.2),
             &run_reference(&g, 1, 0.2),
             2e-3,
         );
-        let t = ExecConfig { slices: 4, microbatches: 2, ..base };
+        let t = ExecConfig { slices: 4, microbatches: 2, ..base.clone() };
         assert_equivalent(
             &run_pipeline(&t, PipelineKind::TeraPipe, 1, 0.2),
             &run_reference(&t, 1, 0.2),
@@ -174,7 +174,7 @@ mod tests {
             microbatches: 4,
             ..ExecConfig::small()
         };
-        let classic_cfg = ExecConfig { slices: 1, ..slim_cfg };
+        let classic_cfg = ExecConfig { slices: 1, ..slim_cfg.clone() };
         let slim = run_pipeline(&slim_cfg, PipelineKind::SlimPipe, 1, 0.1);
         let classic = run_pipeline(&classic_cfg, PipelineKind::OneFOneB, 1, 0.1);
         // Eq. 1: (n + 2(p-1))/n / p = (8+2)/8/2 = 0.625 of classic's

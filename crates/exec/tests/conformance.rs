@@ -48,10 +48,10 @@ fn assert_bits_equal(got: &RunResult, want: &RunResult, what: &str) {
 fn every_pipeline_kind_matches_the_reference() {
     let base = ExecConfig::small();
     let matrix = [
-        (PipelineKind::GPipe, ExecConfig { slices: 1, microbatches: 3, ..base }),
-        (PipelineKind::OneFOneB, ExecConfig { slices: 1, microbatches: 4, ..base }),
-        (PipelineKind::TeraPipe, ExecConfig { slices: 4, microbatches: 2, ..base }),
-        (PipelineKind::SlimPipe, ExecConfig { slices: 4, microbatches: 2, ..base }),
+        (PipelineKind::GPipe, ExecConfig { slices: 1, microbatches: 3, ..base.clone() }),
+        (PipelineKind::OneFOneB, ExecConfig { slices: 1, microbatches: 4, ..base.clone() }),
+        (PipelineKind::TeraPipe, ExecConfig { slices: 4, microbatches: 2, ..base.clone() }),
+        (PipelineKind::SlimPipe, ExecConfig { slices: 4, microbatches: 2, ..base.clone() }),
     ];
     for (kind, cfg) in matrix {
         let want = run_reference(&cfg, 2, 0.2);
@@ -66,9 +66,9 @@ fn every_pipeline_kind_matches_the_reference() {
 fn feature_configs_match_the_reference() {
     let base = ExecConfig { stages: 2, slices: 8, microbatches: 2, ..ExecConfig::small() };
     let configs = [
-        ("vocab_parallel", ExecConfig { vocab_parallel: true, ..base }),
-        ("exchange", ExecConfig { exchange: true, ..base }),
-        ("offload", ExecConfig { offload_budget: Some(80_000), ..base }),
+        ("vocab_parallel", ExecConfig { vocab_parallel: true, ..base.clone() }),
+        ("exchange", ExecConfig { exchange: true, ..base.clone() }),
+        ("offload", ExecConfig { offload_budget: Some(80_000), ..base.clone() }),
         (
             "everything_on",
             ExecConfig {
@@ -125,13 +125,13 @@ fn context_exchange_is_bit_identical_to_local_execution() {
     let cfg = ExecConfig { stages: 2, slices: 8, microbatches: 2, ..ExecConfig::small() };
     let local = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
     let exchanged =
-        run_pipeline(&ExecConfig { exchange: true, ..cfg }, PipelineKind::SlimPipe, 2, 0.2);
+        run_pipeline(&ExecConfig { exchange: true, ..cfg.clone() }, PipelineKind::SlimPipe, 2, 0.2);
     assert_bits_equal(&exchanged, &local, "exchange vs local");
 
     // And under a forced pool width, still the same bits.
     rayon::set_num_threads(4);
     let exchanged_wide =
-        run_pipeline(&ExecConfig { exchange: true, ..cfg }, PipelineKind::SlimPipe, 2, 0.2);
+        run_pipeline(&ExecConfig { exchange: true, ..cfg.clone() }, PipelineKind::SlimPipe, 2, 0.2);
     rayon::set_num_threads(0);
     assert_bits_equal(&exchanged_wide, &local, "exchange at width 4 vs local");
 }

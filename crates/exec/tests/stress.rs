@@ -123,7 +123,7 @@ fn peak_memory_ranking_is_stable_across_depths() {
             microbatches: 4,
             ..ExecConfig::small()
         };
-        let classic_cfg = ExecConfig { slices: 1, ..slim_cfg };
+        let classic_cfg = ExecConfig { slices: 1, ..slim_cfg.clone() };
         let slim = run_pipeline(&slim_cfg, PipelineKind::SlimPipe, 1, 0.1);
         let classic = run_pipeline(&classic_cfg, PipelineKind::OneFOneB, 1, 0.1);
         assert!(

@@ -70,10 +70,10 @@ pub fn estimate(
         .scheme
         .build(cfg.pp, m)
         .map_err(|e| EstimateError::NoSchedule(e.to_string()))?;
-    // Slice divisibility is not enforced analytically: a ±1-token
-    // near-uniform slicing (padding) is indistinguishable at cost-model
-    // granularity, and the paper's own Table 4 uses n=112 on a 2^21-token
-    // sequence. The real executor *does* enforce exact uniformity.
+    // Slice divisibility is not enforced: a ±1-token near-uniform slicing
+    // is indistinguishable at cost-model granularity, the paper's own
+    // Table 4 uses n=112 on a 2^21-token sequence, and the real executor's
+    // uniform policy spreads the remainder the same way (`Slicing::even`).
     let slim = cfg.scheme.is_slim();
     let env = PipelineEnv {
         model: model.clone(),
@@ -83,6 +83,7 @@ pub fn estimate(
         cp: cfg.cp,
         ep: cfg.ep,
         seq,
+        slicing: slimpipe_core::SlicePolicy::Uniform,
         ckpt: cfg.ckpt,
         exchange: slim,
         early_kv: true,

@@ -130,6 +130,31 @@ impl Criterion {
             }
             _ => out.push_str("  \"rayon_num_threads\": null,\n"),
         }
+        // Slicing-policy metadata: a sweep forced to one policy (e.g. the
+        // fig11 slice-sweep rerun under pair-balanced bounds) tags its
+        // snapshot so `bench_check` only gates it against a baseline of the
+        // same policy. Tags are restricted to [a-z0-9_] (and may not be the
+        // literal "null"), so the interpolation can never produce invalid
+        // JSON or collide with the absent-tag default regime.
+        match std::env::var("BENCH_SLICING_POLICY") {
+            Ok(p)
+                if !p.is_empty()
+                    && p != "null"
+                    && p.chars().all(|c| {
+                        c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'
+                    }) =>
+            {
+                out.push_str(&format!("  \"slicing_policy\": \"{p}\",\n"));
+            }
+            Ok(p) if !p.is_empty() => {
+                eprintln!(
+                    "warning: BENCH_SLICING_POLICY {p:?} is not a [a-z0-9_] tag; \
+                     snapshot left untagged"
+                );
+                out.push_str("  \"slicing_policy\": null,\n");
+            }
+            _ => out.push_str("  \"slicing_policy\": null,\n"),
+        }
         out.push_str("  \"results\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(

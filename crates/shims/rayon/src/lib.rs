@@ -127,7 +127,12 @@ pub fn pool_size() -> usize {
 struct Region {
     f: *const (dyn Fn(usize) + Sync + 'static),
     n: usize,
-    /// Next unclaimed task index (may overshoot `n` by one per participant).
+    /// Task indices claimed per `fetch_add` — `ParRange::with_min_len`'s
+    /// chunked claiming. One `fetch_add` hands a participant a whole batch,
+    /// cutting contention on `next` for very fine tasks.
+    batch: usize,
+    /// Next unclaimed task index (may overshoot `n` by one batch per
+    /// participant).
     next: AtomicUsize,
     /// Completed task count; the region is over when it reaches `n`.
     done: AtomicUsize,
@@ -148,7 +153,8 @@ unsafe impl Send for Region {}
 unsafe impl Sync for Region {}
 
 impl Region {
-    /// Claim and run tasks until the index space is exhausted.
+    /// Claim and run tasks, a batch of indices per `fetch_add`, until the
+    /// index space is exhausted.
     ///
     /// Panics in the closure are caught — never unwound past the region —
     /// so the erased closure stays alive until every participant is done
@@ -157,16 +163,22 @@ impl Region {
     /// and the submitting thread re-throws the first payload.
     fn work(&self) {
         loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.n {
+            let start = self.next.fetch_add(self.batch, Ordering::Relaxed);
+            if start >= self.n {
                 return;
             }
+            let end = (start + self.batch).min(self.n);
             if !self.poisoned.load(Ordering::Relaxed) {
-                // Safety: `i < n` is claimed exactly once; the caller keeps
-                // the closure alive until `done == n`, which cannot happen
-                // before this call returns.
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
-                    (*self.f)(i)
+                // Safety: each `i < n` is claimed exactly once (batches are
+                // disjoint); the caller keeps the closure alive until
+                // `done == n`, which cannot happen before this call returns.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for i in start..end {
+                        if self.poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        unsafe { (*self.f)(i) }
+                    }
                 }));
                 if let Err(payload) = r {
                     self.poisoned.store(true, Ordering::Relaxed);
@@ -174,7 +186,8 @@ impl Region {
                     slot.get_or_insert(payload);
                 }
             }
-            if self.done.fetch_add(1, Ordering::Release) + 1 == self.n {
+            let claimed = end - start;
+            if self.done.fetch_add(claimed, Ordering::Release) + claimed == self.n {
                 // Serialise with the caller's check-then-wait so the final
                 // wakeup is never lost.
                 let _g = self.fin_lock.lock().unwrap();
@@ -327,7 +340,16 @@ impl Pool {
 /// persistent pool with an atomic grab-next index. The calling thread
 /// always participates; sequential widths bypass the pool entirely.
 fn run_indexed<F: Fn(usize) + Sync>(n: usize, f: F) {
-    let width = current_num_threads().min(n);
+    run_indexed_batched(n, 1, f)
+}
+
+/// [`run_indexed`] with chunked claiming: participants grab `batch` indices
+/// per `fetch_add`. Indices still run in ascending order within a batch and
+/// tasks keep disjoint outputs, so results are bit-identical to `batch = 1`
+/// at every width.
+fn run_indexed_batched<F: Fn(usize) + Sync>(n: usize, batch: usize, f: F) {
+    let batch = batch.max(1);
+    let width = current_num_threads().min(n.div_ceil(batch));
     if width <= 1 {
         for i in 0..n {
             f(i);
@@ -345,6 +367,7 @@ fn run_indexed<F: Fn(usize) + Sync>(n: usize, f: F) {
     let region = Arc::new(Region {
         f: f_erased,
         n,
+        batch,
         next: AtomicUsize::new(0),
         done: AtomicUsize::new(0),
         recruit: AtomicUsize::new(width - 1),
@@ -378,19 +401,22 @@ fn run_indexed<F: Fn(usize) + Sync>(n: usize, f: F) {
 /// Parallel iterator over a `Range<usize>`.
 pub struct ParRange {
     range: Range<usize>,
+    min_len: usize,
 }
 
 impl ParRange {
-    /// Accepted for API compatibility; the shim always hands out single
-    /// indices, so the hint is a no-op.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
+    /// Chunked claiming: hand each participant at least `min` consecutive
+    /// indices per claim (one `fetch_add` per batch instead of per index).
+    /// Purely a contention knob — coverage, per-index order within a batch,
+    /// and therefore every output bit are unchanged.
+    pub fn with_min_len(self, min: usize) -> Self {
+        Self { min_len: min.max(1), ..self }
     }
 
     pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
         let start = self.range.start;
         let n = self.range.end.saturating_sub(start);
-        run_indexed(n, |i| f(start + i));
+        run_indexed_batched(n, self.min_len, |i| f(start + i));
     }
 }
 
@@ -478,7 +504,7 @@ pub mod prelude {
     impl IntoParallelIterator for Range<usize> {
         type Iter = ParRange;
         fn into_par_iter(self) -> ParRange {
-            ParRange { range: self }
+            ParRange { range: self, min_len: 1 }
         }
     }
 
@@ -525,6 +551,55 @@ mod tests {
         for (j, x) in v.iter().enumerate() {
             assert_eq!(*x, 1 + (j / 5) as u32, "index {j}");
         }
+    }
+
+    /// Chunked claiming must cover every index exactly once, for batch
+    /// sizes below, at, and above the range length.
+    #[test]
+    fn with_min_len_visits_every_index_exactly_once() {
+        for min_len in [1usize, 2, 3, 7, 64, 1000] {
+            let counts: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+            with_num_threads(4, || {
+                (0..100usize)
+                    .into_par_iter()
+                    .with_min_len(min_len)
+                    .for_each(|i| {
+                        counts[i].fetch_add(1, Ordering::Relaxed);
+                    });
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "min_len={min_len} index {i}");
+            }
+        }
+    }
+
+    /// A batch larger than the range degenerates to the sequential path
+    /// (one claimant) and still covers everything.
+    #[test]
+    fn oversized_batch_runs_sequentially() {
+        let sum = AtomicU64::new(0);
+        with_num_threads(4, || {
+            (0..10usize).into_par_iter().with_min_len(100).for_each(|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    /// A panic inside a batched region still propagates and drains.
+    #[test]
+    fn batched_region_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                (0..64usize).into_par_iter().with_min_len(4).for_each(|i| {
+                    if i == 21 {
+                        panic!("batched boom");
+                    }
+                });
+            });
+        });
+        let payload = result.expect_err("the task panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"batched boom"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use slimpipe_cluster::{collectives, Cluster, Efficiency, OpClass, Phase};
 use slimpipe_core::vocab_parallel::output_layer_cost;
-use slimpipe_model::flops::slice_pairs;
+use slimpipe_core::{SlicePolicy, Slicing};
 use slimpipe_model::{causal_pairs, Checkpoint, ModelConfig, BF16};
 use slimpipe_sched::{PassKind, Schedule, WorkItem};
 
@@ -21,6 +21,9 @@ pub struct PipelineEnv {
     pub ep: usize,
     /// Full sequence length of one microbatch (tokens).
     pub seq: u64,
+    /// How the sequence is cut into the schedule's slices — the same
+    /// policy axis the executor runs, so per-slice workloads agree.
+    pub slicing: SlicePolicy,
     /// Activation rematerialisation mode.
     pub ckpt: Checkpoint,
     /// Attention context exchange (§4.2) — balances slice attention loads.
@@ -46,6 +49,7 @@ impl PipelineEnv {
             cp: 1,
             ep: 1,
             seq,
+            slicing: SlicePolicy::Uniform,
             ckpt: Checkpoint::None,
             exchange: true,
             early_kv: true,
@@ -68,29 +72,50 @@ pub struct OpCost {
 pub struct CostModel<'a> {
     pub sched: &'a Schedule,
     pub env: &'a PipelineEnv,
+    /// The slice partition of one microbatch under `env.slicing` — the same
+    /// `Slicing::pairs` source of truth the executor indexes by, so
+    /// simulator and executor agree on per-slice attention workloads by
+    /// construction. `None` only for degenerate `slices > seq` geometries
+    /// (which an analytical sweep may price but no executor can run); those
+    /// fall back to uniform averages instead of panicking the estimator.
+    slicing: Option<Slicing>,
 }
 
 impl<'a> CostModel<'a> {
     pub fn new(sched: &'a Schedule, env: &'a PipelineEnv) -> Self {
-        Self { sched, env }
+        let slicing = (sched.slices as u64 <= env.seq && env.seq > 0)
+            .then(|| Slicing::from_policy(&env.slicing, env.seq, sched.slices));
+        Self { sched, env, slicing }
     }
 
-    /// Tokens one pass processes on one rank (slice tokens / CP).
-    fn unit_tokens(&self) -> f64 {
-        self.env.seq as f64 / self.sched.slices as f64 / self.env.cp as f64
+    /// Tokens one pass of `slice` processes on one rank (that slice's
+    /// actual token length / CP) — from the same [`Slicing`] bounds as the
+    /// attention pairs, so non-uniform policies price GEMMs and collectives
+    /// per-slice too.
+    fn unit_tokens(&self, slice: u32) -> f64 {
+        let raw = if self.sched.slices > 1 {
+            match &self.slicing {
+                Some(s) => s.len(slice as usize) as f64,
+                None => self.env.seq as f64 / self.sched.slices as f64,
+            }
+        } else {
+            self.env.seq as f64
+        };
+        raw / self.env.cp as f64
     }
 
-    /// Attention pairs one pass attends on one rank.
+    /// Attention pairs one pass attends on one rank, from the same
+    /// [`Slicing`] bounds the executor runs.
     fn unit_pairs(&self, slice: u32) -> f64 {
         let n = self.sched.slices as u64;
         let raw = if self.sched.slices > 1 {
-            if self.env.exchange {
+            match (&self.slicing, self.env.exchange) {
                 // Context exchange equalises the per-round attention load:
                 // every pass carries the average share (residual spread is
-                // at most one KV slice — §4.2.2).
-                causal_pairs(0, self.env.seq) as f64 / n as f64
-            } else {
-                slice_pairs(self.env.seq, n, slice as u64) as f64
+                // at most one KV slice — §4.2.2). The average is also the
+                // degenerate-geometry fallback.
+                (_, true) | (None, _) => causal_pairs(0, self.env.seq) as f64 / n as f64,
+                (Some(s), false) => s.pairs(slice as usize) as f64,
             }
         } else {
             causal_pairs(0, self.env.seq) as f64
@@ -105,11 +130,11 @@ impl<'a> CostModel<'a> {
 
     /// TP collective time for one layer, one direction (SP: 2 all-gathers +
     /// 2 reduce-scatters per layer per pass).
-    fn tp_comm_per_layer(&self) -> f64 {
+    fn tp_comm_per_layer(&self, tokens: f64) -> f64 {
         if self.env.tp <= 1 {
             return 0.0;
         }
-        let bytes = self.unit_tokens() * self.env.model.hidden as f64 * BF16;
+        let bytes = tokens * self.env.model.hidden as f64 * BF16;
         let link = self.env.cluster.link_for_span(self.env.tp);
         2.0 * (collectives::all_gather(bytes, self.env.tp, link)
             + collectives::reduce_scatter(bytes, self.env.tp, link))
@@ -118,21 +143,21 @@ impl<'a> CostModel<'a> {
     /// CP communication per layer: the paper's commutated CP ships Q, O and
     /// the softmax normaliser instead of cached KV, recovering the no-cache
     /// volume (§5) — two ring passes of one activation-sized tensor.
-    fn cp_comm_per_layer(&self) -> f64 {
+    fn cp_comm_per_layer(&self, tokens: f64) -> f64 {
         if self.env.cp <= 1 {
             return 0.0;
         }
-        let bytes = self.unit_tokens() * self.env.model.hidden as f64 * BF16;
+        let bytes = tokens * self.env.model.hidden as f64 * BF16;
         let link = self.env.cluster.link_for_span(self.env.tp * self.env.cp);
         2.0 * collectives::all_gather(bytes, self.env.cp, link)
     }
 
     /// EP all-to-all per MoE layer (dispatch + combine).
-    fn ep_comm_per_layer(&self) -> f64 {
+    fn ep_comm_per_layer(&self, tokens: f64) -> f64 {
         if self.env.ep <= 1 || !self.env.model.is_moe() {
             return 0.0;
         }
-        let bytes = self.unit_tokens()
+        let bytes = tokens
             * self.env.model.hidden as f64
             * BF16
             * self.env.model.active_experts() as f64;
@@ -141,7 +166,7 @@ impl<'a> CostModel<'a> {
     }
 
     /// Exposed (non-overlapped) context-exchange communication per pass.
-    fn exchange_comm(&self) -> f64 {
+    fn exchange_comm(&self, tokens: f64) -> f64 {
         if !self.env.exchange || self.sched.slices <= 1 {
             return 0.0;
         }
@@ -151,20 +176,25 @@ impl<'a> CostModel<'a> {
         let layers = self.layers_per_chunk();
         // Q out + O back, per the chunk's layer share, always on the
         // critical path (they exist only when the pass runs).
-        let qo = 2.0 * self.unit_tokens() * m.hidden as f64 * BF16 * layers
+        let qo = 2.0 * tokens * m.hidden as f64 * BF16 * layers
             / self.env.tp as f64;
         let mut t = collectives::p2p(qo, nic);
         if !self.env.early_kv {
             // Without early exchange, the average shipped KV volume also
             // blocks: ⌊(p-1)/2⌋ slices off-juncture, ⌊(n-1)/2⌋ at junctures
-            // (§4.2.3), K and V each.
+            // (§4.2.3), K and V each. §4.2.3's count is an *average over
+            // the round structure*, so the chunk size here is the mean
+            // slice length — the moved chunks are other (for non-uniform
+            // policies: differently-sized) slices' caches, not the current
+            // slice's.
             let (p, n) = (self.sched.devices as f64, self.sched.slices as f64);
             let avg_slices = (((self.sched.devices - 1) / 2) as f64 * (n - p + 1.0)
                 + ((self.sched.slices - 1) / 2) as f64 * (p - 1.0))
                 / n;
+            let mean_tokens = self.env.seq as f64 / n / self.env.cp as f64;
             let kv = 2.0
                 * avg_slices
-                * self.unit_tokens()
+                * mean_tokens
                 * m.kv_hidden() as f64
                 * BF16
                 * layers
@@ -178,8 +208,7 @@ impl<'a> CostModel<'a> {
     /// `(flops, broadcast_seconds)`.
     fn output_layer_share(&self, device: usize, op: &WorkItem) -> (f64, f64) {
         let m = &self.env.model;
-        let tokens = (self.env.seq as f64 / self.sched.slices as f64 / self.env.cp as f64)
-            .round() as u64;
+        let tokens = self.unit_tokens(op.slice).round() as u64;
         if self.env.vocab_parallel {
             // Distributed over all p devices: each device contributes its
             // share when the unit passes through its last local chunk.
@@ -209,7 +238,7 @@ impl<'a> CostModel<'a> {
         let env = self.env;
         let m = &env.model;
         let layers = self.layers_per_chunk();
-        let tokens = self.unit_tokens();
+        let tokens = self.unit_tokens(op.slice);
         let pairs = self.unit_pairs(op.slice);
         let lf = m.layer_fwd_flops(tokens.round() as u64, pairs.round() as u128);
         let gemm_f = lf.gemm * layers / env.tp as f64;
@@ -229,11 +258,11 @@ impl<'a> CostModel<'a> {
                     + env.eff.op_time(OpClass::Gemm, Phase::Forward, out_flops, tokens, peak)
                     + out_bcast
                     + layers
-                        * (self.tp_comm_per_layer() + self.cp_comm_per_layer()
-                            + self.ep_comm_per_layer())
+                        * (self.tp_comm_per_layer(tokens) + self.cp_comm_per_layer(tokens)
+                            + self.ep_comm_per_layer(tokens))
                         * (1.0 - env.comm_overlap)
                     + layers * env.eff.layer_overhead(Phase::Forward)
-                    + self.exchange_comm()
+                    + self.exchange_comm(tokens)
             }
             PassKind::Backward => {
                 let (gemm_mult, attn_mult) = if self.sched.split_backward {
@@ -260,11 +289,11 @@ impl<'a> CostModel<'a> {
                     )
                     + recompute
                     + layers
-                        * (self.tp_comm_per_layer() + self.cp_comm_per_layer()
-                            + self.ep_comm_per_layer())
+                        * (self.tp_comm_per_layer(tokens) + self.cp_comm_per_layer(tokens)
+                            + self.ep_comm_per_layer(tokens))
                         * (1.0 - env.comm_overlap)
                     + layers * env.eff.layer_overhead(Phase::Backward)
-                    + self.exchange_comm()
+                    + self.exchange_comm(tokens)
             }
             PassKind::BackwardWeight => {
                 // Weight-grad half: dW GEMMs only (attention has no weights).

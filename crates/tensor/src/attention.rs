@@ -51,6 +51,25 @@ const Q_BLOCK: usize = 64;
 /// Approximate multiply-add count under which attention stays sequential.
 const PAR_ATTN_WORK: usize = 1 << 17;
 
+/// Task indices claimed per `fetch_add` in the attention fan-outs
+/// (`ParRange::with_min_len` chunked claiming): long sequences and MQA
+/// produce many small q-block tasks, and batching a couple per claim cuts
+/// the atomic traffic without costing balance. Claiming order never affects
+/// results — tasks own disjoint outputs and partials reduce in fixed order.
+const ATTN_CLAIM_BATCH: usize = 2;
+
+/// Batch claims only when tasks clearly outnumber the workers; small
+/// regions keep single-index claiming so batching never shrinks the
+/// effective width (bits are identical either way — this is purely a
+/// contention knob).
+fn claim_batch(n_tasks: usize) -> usize {
+    if n_tasks >= 4 * rayon::current_num_threads() * ATTN_CLAIM_BATCH {
+        ATTN_CLAIM_BATCH
+    } else {
+        1
+    }
+}
+
 /// Per-(head, query-row) log-sum-exp saved by the forward pass.
 /// Layout: `lse[h * rows + i]`.
 #[derive(Clone, Debug)]
@@ -239,7 +258,10 @@ pub fn partial(
             unsafe { lse_view.range_mut(h * lq + i0, rows) }
         };
         if parallel {
-            (0..n_tasks).into_par_iter().for_each(|t| run_task(t, task_lse(t)));
+            (0..n_tasks)
+                .into_par_iter()
+                .with_min_len(claim_batch(n_tasks))
+                .for_each(|t| run_task(t, task_lse(t)));
         } else {
             for t in 0..n_tasks {
                 run_task(t, task_lse(t));
@@ -510,7 +532,10 @@ pub fn backward_chunk(
             );
         };
         if parallel {
-            (0..n_tasks).into_par_iter().for_each(run_task);
+            (0..n_tasks)
+                .into_par_iter()
+                .with_min_len(claim_batch(n_tasks))
+                .for_each(run_task);
         } else {
             for t in 0..n_tasks {
                 run_task(t);

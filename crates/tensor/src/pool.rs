@@ -11,13 +11,17 @@
 //! make the "allocation-free after warm-up" claim *testable* (see
 //! `crates/exec/tests/pool_steady_state.rs`).
 //!
-//! The pool is process-global and thread-safe (one mutex around the free
-//! lists — held for a pop/push, never while zeroing or computing), because
-//! activations allocated on one pipeline stage's thread retire on another
-//! (forward activations ship downstream, gradients ship upstream).
-//! Parallel kernel *workers* never touch the pool: kernels take scratch on
-//! the calling thread and hand disjoint views to workers, which keeps the
-//! counters deterministic for single-threaded runs.
+//! The pool is process-global and thread-safe, because activations
+//! allocated on one pipeline stage's thread retire on another (forward
+//! activations ship downstream, gradients ship upstream). The free lists
+//! are **sharded by size-class**: a buffer length hashes to one of
+//! [`POOL_SHARDS`] independently locked maps, so deep pipelines and ragged
+//! runs — whose stages hit many distinct size classes concurrently — don't
+//! serialise on a single mutex (each lock is held for a pop/push, never
+//! while zeroing or computing). Parallel kernel *workers* never touch the
+//! pool: kernels take scratch on the calling thread and hand disjoint
+//! views to workers, which keeps the counters deterministic for
+//! single-threaded runs.
 //!
 //! Memtrack integration: a [`MemCounter`] meters the bytes *banked* in the
 //! free lists (alloc on recycle, free on hit), so tests and benches can
@@ -32,15 +36,30 @@ use std::sync::{Mutex, OnceLock};
 /// Free buffers kept per exact size before further recycles are dropped.
 const MAX_BUFFERS_PER_SIZE: usize = 256;
 
-static FREE: OnceLock<Mutex<HashMap<usize, Vec<Vec<f32>>>>> = OnceLock::new();
+/// Independently locked free-list shards; a size class lives entirely in
+/// one shard, picked by hashing the buffer length.
+const POOL_SHARDS: usize = 16;
+
+/// One free-list shard: size class → stack of returned buffers.
+type Shard = Mutex<HashMap<usize, Vec<Vec<f32>>>>;
+
+static FREE: OnceLock<Vec<Shard>> = OnceLock::new();
 static BANKED: OnceLock<MemCounter> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static RECYCLES: AtomicU64 = AtomicU64::new(0);
 static DISCARDS: AtomicU64 = AtomicU64::new(0);
 
-fn free_lists() -> &'static Mutex<HashMap<usize, Vec<Vec<f32>>>> {
-    FREE.get_or_init(|| Mutex::new(HashMap::new()))
+fn shards() -> &'static [Shard] {
+    FREE.get_or_init(|| (0..POOL_SHARDS).map(|_| Mutex::new(HashMap::new())).collect())
+}
+
+/// Shard owning size class `len` (Fibonacci hash — adjacent tensor sizes
+/// land on different shards). Keeps 16 well-mixed top bits before the
+/// modulo, so raising `POOL_SHARDS` really adds shards.
+fn shard_for(len: usize) -> &'static Shard {
+    let h = (len as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    &shards()[(h >> 48) as usize % POOL_SHARDS]
 }
 
 /// Byte meter of buffers currently banked in the pool (peak tracked).
@@ -82,14 +101,16 @@ pub fn reset_stats() {
 /// Drop every banked buffer (counters stay). Tests use this to compare a
 /// cold pool against a warm one.
 pub fn clear() {
-    let mut map = free_lists().lock().unwrap();
-    for (len, bucket) in map.drain() {
-        banked_mem().free((len * bucket.len() * 4) as u64);
+    for shard in shards() {
+        let mut map = shard.lock().unwrap();
+        for (len, bucket) in map.drain() {
+            banked_mem().free((len * bucket.len() * 4) as u64);
+        }
     }
 }
 
 fn pop(len: usize) -> Option<Vec<f32>> {
-    let mut map = free_lists().lock().unwrap();
+    let mut map = shard_for(len).lock().unwrap();
     let v = map.get_mut(&len)?.pop()?;
     banked_mem().free((len * 4) as u64);
     Some(v)
@@ -132,7 +153,7 @@ pub fn recycle(mut v: Vec<f32>) {
         v.resize(v.capacity(), 0.0);
     }
     let len = v.len();
-    let mut map = free_lists().lock().unwrap();
+    let mut map = shard_for(len).lock().unwrap();
     let bucket = map.entry(len).or_default();
     if bucket.len() >= MAX_BUFFERS_PER_SIZE {
         DISCARDS.fetch_add(1, Ordering::Relaxed);
@@ -186,6 +207,29 @@ mod tests {
         assert_eq!(v2[7], 7.0, "raw takes may observe recycled garbage");
         recycle(w);
         recycle(v2);
+    }
+
+    #[test]
+    fn distinct_size_classes_spread_over_shards() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        // A spread of realistic tensor sizes must not all hash to one
+        // shard, or the sharding buys nothing.
+        let sizes: Vec<usize> = (1..=64).map(|i| i * 512).collect();
+        let mut used = std::collections::HashSet::new();
+        for &s in &sizes {
+            let ptr = shard_for(s) as *const _ as usize;
+            used.insert(ptr);
+        }
+        assert!(used.len() >= POOL_SHARDS / 2, "only {} shards used", used.len());
+        // Round-trips still work across shard boundaries.
+        for &s in &sizes {
+            recycle(vec![0.0; s]);
+        }
+        for &s in &sizes {
+            assert_eq!(take_raw(s).len(), s);
+        }
+        clear();
     }
 
     #[test]

@@ -126,3 +126,55 @@ proptest! {
         prop_assert!((imb - expect).abs() / expect < 0.01);
     }
 }
+
+/// `Slicing::pair_balanced` edge cases, exhaustively over every
+/// `(seq ≤ 64, n ≤ seq)`: boundaries must be strictly monotone (no empty
+/// slice, even at `n == seq` where every slice is one token), cover the
+/// sequence exactly, and the per-slice pair counts must partition the
+/// sequence's total causal pairs — the invariance the exchange planner and
+/// the executor's range indexing both rest on.
+#[test]
+fn pair_balanced_is_a_partition_for_every_small_geometry() {
+    for seq in 1u64..=64 {
+        for n in 1usize..=seq as usize {
+            let s = Slicing::pair_balanced(seq, n);
+            assert_eq!(s.n(), n, "seq={seq} n={n}");
+            assert_eq!(s.bounds[0], 0, "seq={seq} n={n}");
+            assert_eq!(*s.bounds.last().unwrap(), seq, "seq={seq} n={n}");
+            assert!(
+                s.bounds.windows(2).all(|w| w[0] < w[1]),
+                "seq={seq} n={n}: bounds not strictly monotone: {:?}",
+                s.bounds
+            );
+            let total: u128 = (0..n).map(|i| s.pairs(i)).sum();
+            assert_eq!(total, causal_pairs(0, seq), "seq={seq} n={n}: pairs must partition");
+            // Token coverage is exact too (lengths sum to seq).
+            let tokens: u64 = (0..n).map(|i| s.len(i)).sum();
+            assert_eq!(tokens, seq, "seq={seq} n={n}");
+        }
+    }
+}
+
+/// The ragged-aware `even` constructor over the same exhaustive domain:
+/// lengths differ by at most one, earliest slices take the remainder, and
+/// the partition is exact.
+#[test]
+fn even_slicing_is_near_uniform_for_every_small_geometry() {
+    for seq in 1u64..=64 {
+        for n in 1usize..=seq as usize {
+            let s = Slicing::even(seq, n);
+            assert!(s.bounds.windows(2).all(|w| w[0] < w[1]), "seq={seq} n={n}");
+            assert_eq!(*s.bounds.last().unwrap(), seq, "seq={seq} n={n}");
+            let lens: Vec<u64> = (0..n).map(|i| s.len(i)).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "seq={seq} n={n}: {lens:?}");
+            assert!(
+                lens.windows(2).all(|w| w[0] >= w[1]),
+                "remainder must go to the earliest slices: {lens:?}"
+            );
+            if seq.is_multiple_of(n as u64) {
+                assert_eq!(s, Slicing::uniform(seq, n), "seq={seq} n={n}");
+            }
+        }
+    }
+}
