@@ -19,8 +19,8 @@ use slimpipe_tensor::attention::{
 };
 use slimpipe_tensor::crossentropy::{combine_stats, forward_backward, shard_stats};
 use slimpipe_tensor::init::{seeded_tokens, seeded_uniform};
-use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use slimpipe_tensor::{pool, Tensor};
+use slimpipe_tensor::matmul::{matmul, matmul_fused, matmul_nt, matmul_tn, PackedMat};
+use slimpipe_tensor::{pool, rmsnorm, swiglu, Epilogue, PackedWeight, Prologue, Tensor};
 use std::hint::black_box;
 
 // ---- the seed kernels (pre-tiling), kept verbatim as the regression
@@ -116,6 +116,89 @@ fn bench_matmul_vs_seed(c: &mut Criterion) {
     });
     g.bench_with_input(BenchmarkId::new("tiled_tn", n), &n, |bch, _| {
         bch.iter(|| black_box(matmul_tn(&a, &b)))
+    });
+    g.finish();
+}
+
+/// The persistent packed-weight cache: the steady-state call (pack reused
+/// across all `S × M` GEMMs of a step) vs the per-call-packing path, plus
+/// the one-off pack and the in-place optimizer sync it amortises.
+fn bench_gemm_packed_cache(c: &mut Criterion) {
+    let n = 512usize;
+    let a = seeded_uniform(n, n, 21);
+    let w = seeded_uniform(n, n, 22);
+    let grad = seeded_uniform(n, n, 23);
+    let pw = PackedWeight::new(w.clone());
+    let mut g = c.benchmark_group("gemm_packed_cache");
+    g.bench_function("nn_packed/512", |b| {
+        b.iter(|| black_box(matmul_fused(&a, pw.nn(), Prologue::None, Epilogue::None)).recycle())
+    });
+    g.bench_function("nn_unpacked/512", |b| b.iter(|| black_box(matmul(&a, &w)).recycle()));
+    g.bench_function("nt_packed/512", |b| {
+        b.iter(|| black_box(matmul_fused(&a, pw.nt(), Prologue::None, Epilogue::None)).recycle())
+    });
+    g.bench_function("nt_unpacked/512", |b| b.iter(|| black_box(matmul_nt(&a, &w)).recycle()));
+    // What packing costs (once per weight per run) and what the in-place
+    // optimizer sync costs per step.
+    g.bench_function("pack_nn/512", |b| b.iter(|| black_box(PackedMat::pack_nn(&w))));
+    let mut pw_mut = PackedWeight::new(w.clone());
+    g.bench_function("sgd_axpy_sync/512", |b| b.iter(|| pw_mut.axpy(-1e-12, &grad)));
+    g.finish();
+}
+
+/// Fused prologue/epilogue GEMMs vs the separate-pass composition at a
+/// layer-shaped size (256 tokens × 512 hidden) — what the fusion buys per
+/// projection.
+fn bench_fused_layer(c: &mut Criterion) {
+    let (t, h) = (256usize, 512usize);
+    let x = seeded_uniform(t, h, 31);
+    let w = seeded_uniform(h, h, 32);
+    let gain: Vec<f32> = (0..h).map(|i| 1.0 + 0.001 * i as f32).collect();
+    let gate = seeded_uniform(t, h, 33);
+    let up = seeded_uniform(t, h, 34);
+    let resid = seeded_uniform(t, h, 35);
+    let pw = PackedWeight::new(w.clone());
+    let mut g = c.benchmark_group("fused_layer");
+    g.bench_function("norm_gemm_fused", |b| {
+        b.iter(|| {
+            let inv = rmsnorm::inv_rms(&x);
+            let y = matmul_fused(
+                &x,
+                pw.nn(),
+                Prologue::NormRows { inv: &inv, gain: &gain },
+                Epilogue::None,
+            );
+            pool::recycle(inv);
+            black_box(y).recycle();
+        })
+    });
+    g.bench_function("norm_gemm_unfused", |b| {
+        b.iter(|| {
+            let normed = rmsnorm::forward(&x, &gain);
+            let y = matmul(&normed, &w);
+            normed.recycle();
+            black_box(y).recycle();
+        })
+    });
+    g.bench_function("swiglu_resid_gemm_fused", |b| {
+        b.iter(|| {
+            let y = matmul_fused(
+                &gate,
+                pw.nn(),
+                Prologue::SwigluRows { up: &up },
+                Epilogue::Add(&resid),
+            );
+            black_box(y).recycle();
+        })
+    });
+    g.bench_function("swiglu_resid_gemm_unfused", |b| {
+        b.iter(|| {
+            let act = swiglu::forward(&gate, &up);
+            let mut y = matmul(&act, &w);
+            act.recycle();
+            y.add_assign(&resid);
+            black_box(y).recycle();
+        })
     });
     g.finish();
 }
@@ -258,6 +341,8 @@ fn bench_pool(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul_vs_seed,
+    bench_gemm_packed_cache,
+    bench_fused_layer,
     bench_attention,
     bench_attention_scaling,
     bench_online_softmax_merge,

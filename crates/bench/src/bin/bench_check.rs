@@ -136,6 +136,13 @@ fn main() -> ExitCode {
         ("pool/take_recycle", "pool/fresh_alloc", 10.0),
         ("attention_scaling/fwd_threads_max", "attention_scaling/fwd_threads_1", 0.77),
         ("attention_scaling/bwd_mqa_threads_max", "attention_scaling/bwd_mqa_threads_1", 0.77),
+        // The persistent packed-weight cache must never lose to per-call
+        // packing, and the fused prologue/epilogue must never lose to the
+        // separate-pass composition (0.9 = 10% noise allowance).
+        ("gemm_packed_cache/nn_packed/512", "gemm_packed_cache/nn_unpacked/512", 0.9),
+        ("gemm_packed_cache/nt_packed/512", "gemm_packed_cache/nt_unpacked/512", 0.9),
+        ("fused_layer/norm_gemm_fused", "fused_layer/norm_gemm_unfused", 0.9),
+        ("fused_layer/swiglu_resid_gemm_fused", "fused_layer/swiglu_resid_gemm_unfused", 0.9),
     ];
     let mut checked = 0usize;
     for &(fast, slow, min) in INVARIANTS {

@@ -25,13 +25,14 @@ use slimpipe_tensor::attention::{
 };
 use slimpipe_tensor::pool;
 use slimpipe_tensor::crossentropy::{combine_stats, shard_backward, shard_stats, ShardStats};
-use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use slimpipe_tensor::Tensor;
+use slimpipe_tensor::matmul::{matmul_fused, matmul_tn_acc};
+use slimpipe_tensor::{Epilogue, PackedWeight, Prologue, Tensor};
 use std::thread::JoinHandle;
 
-/// One device's vocabulary shard (weights + local gradient accumulator).
+/// One device's vocabulary shard (weights — packed once, like every other
+/// weight on the steady-state path — + local gradient accumulator).
 pub struct VocabShard {
-    pub w: Tensor,
+    pub w: PackedWeight,
     pub grad: Tensor,
     /// First vocabulary column this shard owns.
     pub offset: usize,
@@ -120,19 +121,22 @@ pub fn spawn_server(shard: Option<VocabShard>) -> (ServerHandle, JoinHandle<Opti
                 }
                 ServerJob::VocabFwd { normed, targets, reply } => {
                     let s = shard.as_ref().expect("vocab job on shardless server");
-                    let logits = matmul(&normed, &s.w);
+                    let logits =
+                        matmul_fused(&normed, s.w.nn(), Prologue::None, Epilogue::None);
                     let stats = shard_stats(&logits, &targets, s.offset);
                     logits.recycle();
                     let _ = reply.send(stats);
                 }
                 ServerJob::VocabBwd { normed, targets, lse, scale, reply } => {
                     let s = shard.as_mut().expect("vocab job on shardless server");
-                    let logits = matmul(&normed, &s.w);
+                    let logits =
+                        matmul_fused(&normed, s.w.nn(), Prologue::None, Epilogue::None);
                     let mut d_logits = shard_backward(&logits, &targets, s.offset, &lse);
                     logits.recycle();
                     d_logits.scale(scale);
-                    s.grad.add_assign_recycle(matmul_tn(&normed, &d_logits));
-                    let d_hidden = matmul_nt(&d_logits, &s.w);
+                    matmul_tn_acc(&mut s.grad, &normed, &d_logits, Prologue::None);
+                    let d_hidden =
+                        matmul_fused(&d_logits, s.w.nt(), Prologue::None, Epilogue::None);
                     d_logits.recycle();
                     let _ = reply.send(d_hidden);
                 }
@@ -406,7 +410,7 @@ pub fn build_vocab_shards(cfg: &ExecConfig) -> Vec<VocabShard> {
     let w = cfg.vocab / p;
     (0..p)
         .map(|s| VocabShard {
-            w: full.cols_slice(s * w, w),
+            w: PackedWeight::new(full.cols_slice(s * w, w)),
             grad: Tensor::zeros(cfg.hidden(), w),
             offset: s * w,
         })
@@ -418,6 +422,7 @@ mod tests {
     use super::*;
     use crate::layer::AttnExecutor;
     use slimpipe_tensor::init::{seeded_tokens, seeded_uniform};
+    use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
 
     #[test]
     fn exchange_map_is_total_and_diagonal_local() {

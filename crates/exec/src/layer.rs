@@ -19,6 +19,17 @@
 //! pass (the paper's §5 activation savings) — the stash holds exactly the
 //! components `slimpipe_model`'s `ActBreakdown` documents.
 //!
+//! Steady-state compute path: every weight is a [`PackedWeight`] — packed
+//! once at build into the GEMM's panel layout for both orientations and
+//! kept in sync by in-place optimizer updates, so none of the `S × M`
+//! slice GEMMs of a training step re-packs anything
+//! (`slimpipe_tensor::matmul::gemm_packs_per_step` reads zero). The
+//! RMSNorm scaling, the SwiGLU product, and the residual adds are fused
+//! into the GEMMs as pack prologues / writeback epilogues with *exactly*
+//! the standalone kernels' elementwise arithmetic, so the fused layer is
+//! bit-identical to the separate-pass composition (property-tested in
+//! `tests/conformance.rs` and the tensor crate).
+//!
 //! Buffer discipline: the forward takes its input *by value* and stashes it
 //! (no clones anywhere on the residual stream), the backward consumes its
 //! upstream gradient and the slice stash, and every transient — recomputed
@@ -40,42 +51,44 @@
 use crate::model::ExecConfig;
 use slimpipe_tensor::attention::{AttnPartial, HeadCfg};
 use slimpipe_tensor::init::seeded_xavier;
-use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use slimpipe_tensor::{attention, pool, rmsnorm, swiglu, Tensor};
+use slimpipe_tensor::matmul::{matmul_fused, matmul_fused_acc, matmul_tn_acc};
+use slimpipe_tensor::{attention, pool, rmsnorm, swiglu, Epilogue, PackedWeight, Prologue, Tensor};
 
-/// Weights of one layer.
+/// Weights of one layer, each packed once for both GEMM orientations.
 #[derive(Clone, Debug)]
 pub struct LayerParams {
-    pub wq: Tensor,
-    pub wk: Tensor,
-    pub wv: Tensor,
-    pub wo: Tensor,
-    pub w_gate: Tensor,
-    pub w_up: Tensor,
-    pub w_down: Tensor,
+    pub wq: PackedWeight,
+    pub wk: PackedWeight,
+    pub wv: PackedWeight,
+    pub wo: PackedWeight,
+    pub w_gate: PackedWeight,
+    pub w_up: PackedWeight,
+    pub w_down: PackedWeight,
     pub norm1: Vec<f32>,
     pub norm2: Vec<f32>,
 }
 
 impl LayerParams {
-    /// Deterministic build of global layer `layer`.
+    /// Deterministic build of global layer `layer` (packs every weight —
+    /// the only pack site in a training run).
     pub fn build(cfg: &ExecConfig, layer: usize) -> Self {
         let (h, hkv, f) = (cfg.hidden(), cfg.kv_hidden(), cfg.ffn);
         let s = |w: u64| cfg.param_seed(layer, w);
         Self {
-            wq: seeded_xavier(h, h, s(1)),
-            wk: seeded_xavier(h, hkv, s(2)),
-            wv: seeded_xavier(h, hkv, s(3)),
-            wo: seeded_xavier(h, h, s(4)),
-            w_gate: seeded_xavier(h, f, s(5)),
-            w_up: seeded_xavier(h, f, s(6)),
-            w_down: seeded_xavier(f, h, s(7)),
+            wq: PackedWeight::new(seeded_xavier(h, h, s(1))),
+            wk: PackedWeight::new(seeded_xavier(h, hkv, s(2))),
+            wv: PackedWeight::new(seeded_xavier(h, hkv, s(3))),
+            wo: PackedWeight::new(seeded_xavier(h, h, s(4))),
+            w_gate: PackedWeight::new(seeded_xavier(h, f, s(5))),
+            w_up: PackedWeight::new(seeded_xavier(h, f, s(6))),
+            w_down: PackedWeight::new(seeded_xavier(f, h, s(7))),
             norm1: vec![1.0; h],
             norm2: vec![1.0; h],
         }
     }
 
-    /// Apply one SGD step and clear nothing (caller owns grads).
+    /// Apply one SGD step and clear nothing (caller owns grads). Updates
+    /// land in the packed forms in place — no re-packing.
     pub fn sgd_step(&mut self, g: &LayerGrads, lr: f32) {
         self.wq.axpy(-lr, &g.wq);
         self.wk.axpy(-lr, &g.wk);
@@ -352,6 +365,12 @@ impl AttnExecutor for LocalAttn {
 
 /// Forward one slice through one layer. Consumes `x` (it becomes the
 /// stash's residual input), appends to `kv`, and returns `(output, stash)`.
+///
+/// Fully fused: the RMSNorm scalings ride the QKV / gate / up GEMM packs
+/// (only the per-row inverse RMS is computed separately, once), the SwiGLU
+/// product rides the down-projection pack, and both residual adds are GEMM
+/// epilogues — no normalised, activated, or summed tensor is ever
+/// materialised.
 pub fn layer_forward(
     p: &LayerParams,
     cfg: HeadCfg,
@@ -361,28 +380,33 @@ pub fn layer_forward(
     q_offset: usize,
     attn: &mut dyn AttnExecutor,
 ) -> (Tensor, SliceCache) {
-    let normed1 = rmsnorm::forward(&x, &p.norm1);
-    let q = matmul(&normed1, &p.wq);
-    let k = matmul(&normed1, &p.wk);
-    let v = matmul(&normed1, &p.wv);
-    normed1.recycle();
+    let inv1 = rmsnorm::inv_rms(&x);
+    let pro1 = Prologue::NormRows { inv: &inv1, gain: &p.norm1 };
+    let q = matmul_fused(&x, p.wq.nn(), pro1, Epilogue::None);
+    let k = matmul_fused(&x, p.wk.nn(), pro1, Epilogue::None);
+    let v = matmul_fused(&x, p.wv.nn(), pro1, Epilogue::None);
+    pool::recycle(inv1);
     kv.push(k, v, q_offset);
     let part = {
         let (chunks, offsets) = kv.visible(slice);
         attn.attn_forward(&q, &chunks, &offsets, cfg, q_offset)
     };
-    // resid_mid = x + attn_proj, built in the projection's own buffer.
-    let mut resid_mid = matmul(&part.o, &p.wo);
-    resid_mid.add_assign(&x);
-    let normed2 = rmsnorm::forward(&resid_mid, &p.norm2);
-    let gate = matmul(&normed2, &p.w_gate);
-    let up = matmul(&normed2, &p.w_up);
-    normed2.recycle();
-    let act = swiglu::forward(&gate, &up);
-    // y = resid_mid + mlp, built in the down-projection's own buffer.
-    let mut y = matmul(&act, &p.w_down);
-    act.recycle();
-    y.add_assign(&resid_mid);
+    // resid_mid = x + attn_proj, the add fused into the projection's
+    // writeback.
+    let resid_mid = matmul_fused(&part.o, p.wo.nn(), Prologue::None, Epilogue::Add(&x));
+    let inv2 = rmsnorm::inv_rms(&resid_mid);
+    let pro2 = Prologue::NormRows { inv: &inv2, gain: &p.norm2 };
+    let gate = matmul_fused(&resid_mid, p.w_gate.nn(), pro2, Epilogue::None);
+    let up = matmul_fused(&resid_mid, p.w_up.nn(), pro2, Epilogue::None);
+    pool::recycle(inv2);
+    // y = silu(gate)∘up · W_down + resid_mid: the SwiGLU product is the
+    // down-projection's pack prologue, the residual its epilogue.
+    let y = matmul_fused(
+        &gate,
+        p.w_down.nn(),
+        Prologue::SwigluRows { up: &up },
+        Epilogue::Add(&resid_mid),
+    );
     let cache = SliceCache {
         x_in: x,
         q,
@@ -411,19 +435,19 @@ pub fn layer_backward(
     attn: &mut dyn AttnExecutor,
 ) -> Tensor {
     dkv.ensure(slice + 1);
-    // ---- MLP path (recompute normed2 and the SwiGLU product) ----
-    let normed2 = rmsnorm::forward(&cache.resid_mid, &p.norm2);
-    let act = swiglu::forward(&cache.gate, &cache.up);
-    g.w_down.add_assign_recycle(matmul_tn(&act, &d_y));
-    act.recycle();
-    let d_act = matmul_nt(&d_y, &p.w_down);
+    // ---- MLP path (normed2 and the SwiGLU product are recomputed inside
+    // the GEMM packs — nothing is materialised) ----
+    let inv2 = rmsnorm::inv_rms(&cache.resid_mid);
+    matmul_tn_acc(&mut g.w_down, &cache.gate, &d_y, Prologue::SwigluCols { up: &cache.up });
+    let d_act = matmul_fused(&d_y, p.w_down.nt(), Prologue::None, Epilogue::None);
     let (d_gate, d_up) = swiglu::backward(&cache.gate, &cache.up, &d_act);
     d_act.recycle();
-    g.w_gate.add_assign_recycle(matmul_tn(&normed2, &d_gate));
-    g.w_up.add_assign_recycle(matmul_tn(&normed2, &d_up));
-    normed2.recycle();
-    let mut d_normed2 = matmul_nt(&d_gate, &p.w_gate);
-    d_normed2.add_assign_recycle(matmul_nt(&d_up, &p.w_up));
+    let pro_n2 = Prologue::NormCols { inv: &inv2, gain: &p.norm2 };
+    matmul_tn_acc(&mut g.w_gate, &cache.resid_mid, &d_gate, pro_n2);
+    matmul_tn_acc(&mut g.w_up, &cache.resid_mid, &d_up, pro_n2);
+    pool::recycle(inv2);
+    let mut d_normed2 = matmul_fused(&d_gate, p.w_gate.nt(), Prologue::None, Epilogue::None);
+    matmul_fused_acc(&mut d_normed2, &d_up, p.w_up.nt());
     d_gate.recycle();
     d_up.recycle();
     let (d_resid_from_norm, d_norm2) = rmsnorm::backward(&cache.resid_mid, &p.norm2, &d_normed2);
@@ -436,8 +460,8 @@ pub fn layer_backward(
     d_resid_mid.add_assign_recycle(d_resid_from_norm);
 
     // ---- attention output projection ----
-    g.wo.add_assign_recycle(matmul_tn(&cache.attn_out, &d_resid_mid));
-    let d_o = matmul_nt(&d_resid_mid, &p.wo);
+    matmul_tn_acc(&mut g.wo, &cache.attn_out, &d_resid_mid, Prologue::None);
+    let d_o = matmul_fused(&d_resid_mid, p.wo.nt(), Prologue::None, Epilogue::None);
 
     // ---- chunked attention backward ----
     let (d_q, per_chunk) = {
@@ -473,15 +497,17 @@ pub fn layer_backward(
     }
     kv.release(slice);
 
-    // ---- QKV projections (recompute normed1 from the stashed input) ----
-    let normed1 = rmsnorm::forward(&cache.x_in, &p.norm1);
-    g.wq.add_assign_recycle(matmul_tn(&normed1, &d_q));
-    g.wk.add_assign_recycle(matmul_tn(&normed1, &d_k));
-    g.wv.add_assign_recycle(matmul_tn(&normed1, &d_v));
-    normed1.recycle();
-    let mut d_normed1 = matmul_nt(&d_q, &p.wq);
-    d_normed1.add_assign_recycle(matmul_nt(&d_k, &p.wk));
-    d_normed1.add_assign_recycle(matmul_nt(&d_v, &p.wv));
+    // ---- QKV projections (normed1 recomputed from the stashed input,
+    // inside the dW GEMM packs) ----
+    let inv1 = rmsnorm::inv_rms(&cache.x_in);
+    let pro_n1 = Prologue::NormCols { inv: &inv1, gain: &p.norm1 };
+    matmul_tn_acc(&mut g.wq, &cache.x_in, &d_q, pro_n1);
+    matmul_tn_acc(&mut g.wk, &cache.x_in, &d_k, pro_n1);
+    matmul_tn_acc(&mut g.wv, &cache.x_in, &d_v, pro_n1);
+    pool::recycle(inv1);
+    let mut d_normed1 = matmul_fused(&d_q, p.wq.nt(), Prologue::None, Epilogue::None);
+    matmul_fused_acc(&mut d_normed1, &d_k, p.wk.nt());
+    matmul_fused_acc(&mut d_normed1, &d_v, p.wv.nt());
     d_q.recycle();
     d_k.recycle();
     d_v.recycle();
@@ -655,12 +681,12 @@ mod tests {
     fn sgd_step_moves_parameters() {
         let cfg = ExecConfig::small();
         let mut p = LayerParams::build(&cfg, 0);
-        let before = p.wq.clone();
+        let before = p.wq.tensor().clone();
         let mut g = LayerGrads::zeros(&cfg);
         *g.wq.at_mut(0, 0) = 1.0;
         p.sgd_step(&g, 0.1);
-        assert!((p.wq.at(0, 0) - (before.at(0, 0) - 0.1)).abs() < 1e-6);
-        assert_eq!(p.wq.at(1, 1), before.at(1, 1));
+        assert!((p.wq.tensor().at(0, 0) - (before.at(0, 0) - 0.1)).abs() < 1e-6);
+        assert_eq!(p.wq.tensor().at(1, 1), before.at(1, 1));
     }
 
     #[test]

@@ -16,8 +16,10 @@ use crate::layer::{
 use crate::model::ExecConfig;
 use slimpipe_core::Slicing;
 use slimpipe_tensor::crossentropy;
-use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use slimpipe_tensor::{embedding, pool, rmsnorm, MemCounter, Tensor};
+use slimpipe_tensor::matmul::{matmul_fused, matmul_tn_acc};
+use slimpipe_tensor::{
+    embedding, pool, rmsnorm, Epilogue, MemCounter, PackedWeight, Prologue, Tensor,
+};
 use std::collections::HashMap;
 
 /// Loss-head stash for one in-flight unit on the last stage.
@@ -66,8 +68,9 @@ pub struct Stage {
     pub embed: Option<(Tensor, Tensor)>,
     /// Final-norm gain + gradient (last stage only).
     pub final_norm: Option<(Vec<f32>, Vec<f32>)>,
-    /// Full output projection + gradient (last stage, classic mode only).
-    pub out_proj: Option<(Tensor, Tensor)>,
+    /// Full output projection (packed once) + gradient (last stage,
+    /// classic mode only).
+    pub out_proj: Option<(PackedWeight, Tensor)>,
     /// Per-(mb, slice): token ids (stage 0, for embedding backward).
     tokens: HashMap<(u32, u32), Vec<u32>>,
     /// Per-(mb, slice): per-layer stashes.
@@ -106,7 +109,7 @@ impl Stage {
             }),
             final_norm: is_last.then(|| (cfg.build_final_norm(), vec![0.0; cfg.hidden()])),
             out_proj: (is_last && !cfg.vocab_parallel).then(|| {
-                let w = cfg.build_output();
+                let w = PackedWeight::new(cfg.build_output());
                 let g = Tensor::zeros(cfg.hidden(), cfg.vocab);
                 (w, g)
             }),
@@ -196,19 +199,29 @@ impl Stage {
         // ---- loss head ----
         let targets = targets.expect("last stage needs targets");
         let (norm_gain, _) = self.final_norm.as_ref().expect("last stage has final norm");
-        let normed = rmsnorm::forward(&cur, norm_gain);
         let (loss, head_cache) = if let Some(vp) = vp {
+            // Vocabulary-parallel: the normed hidden ships to the shard
+            // servers, so it must be materialised here.
+            let normed = rmsnorm::forward(&cur, norm_gain);
             let (loss, lse) = vp.loss_forward(&normed, targets);
+            normed.recycle();
             (loss, HeadCache::VocabParallel { hidden_in: cur, lse })
         } else {
+            // Classic: the final norm rides the logits GEMM's pack.
             let (w, _) = self.out_proj.as_ref().expect("classic head has out_proj");
-            let logits = matmul(&normed, w);
+            let inv = rmsnorm::inv_rms(&cur);
+            let logits = matmul_fused(
+                &cur,
+                w.nn(),
+                Prologue::NormRows { inv: &inv, gain: norm_gain },
+                Epilogue::None,
+            );
+            pool::recycle(inv);
             let (loss, mut d_logits) = crossentropy::forward_backward(&logits, targets);
             logits.recycle();
             d_logits.scale(self.loss_scale());
             (loss, HeadCache::Classic { hidden_in: cur, d_logits })
         };
-        normed.recycle();
         self.mem.alloc(head_cache.bytes());
         self.head_stash.insert((mb, slice), head_cache);
         StageOutput::Loss(loss * self.loss_scale() as f64)
@@ -235,10 +248,16 @@ impl Stage {
             let (hidden_in, d_normed) = match head {
                 HeadCache::Classic { hidden_in, d_logits } => {
                     let (w, wg) = self.out_proj.as_mut().expect("classic head");
-                    let normed = rmsnorm::forward(&hidden_in, norm_gain);
-                    wg.add_assign_recycle(matmul_tn(&normed, &d_logits));
-                    normed.recycle();
-                    let d_normed = matmul_nt(&d_logits, w);
+                    // normed recomputes inside the dW pack prologue.
+                    let inv = rmsnorm::inv_rms(&hidden_in);
+                    matmul_tn_acc(
+                        wg,
+                        &hidden_in,
+                        &d_logits,
+                        Prologue::NormCols { inv: &inv, gain: norm_gain },
+                    );
+                    pool::recycle(inv);
+                    let d_normed = matmul_fused(&d_logits, w.nt(), Prologue::None, Epilogue::None);
                     d_logits.recycle();
                     (hidden_in, d_normed)
                 }
@@ -327,6 +346,7 @@ impl Stage {
             g.fill(0.0);
         }
         if let Some((w, g)) = &mut self.out_proj {
+            // In-place update of the tensor and both packed forms.
             w.axpy(-lr, g);
             g.fill(0.0);
         }

@@ -128,6 +128,11 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
             let mut stage = Stage::build(&cfg, d);
             let is_last = d == p - 1;
             for step in 0..steps {
+                // Mark the pack epoch: everything after stage build must
+                // run off the persistent packed-weight cache, so
+                // `gemm_packs_per_step()` reads zero once every thread is
+                // past its build (asserted in tests/pool_steady_state.rs).
+                slimpipe_tensor::matmul::begin_pack_epoch();
                 let mut iter_loss = 0.0f64;
                 for op in &ops {
                     let mut local = LocalAttn;

@@ -4,6 +4,16 @@
 //! every tensor it consumes, so takes and returns balance exactly across an
 //! iteration.
 //!
+//! Two steady-state invariants are asserted here:
+//!
+//! * **zero kernel-path heap allocations** — pool misses do not grow once
+//!   the pool is warm;
+//! * **zero weight re-packs** — `gemm_packs_per_step()` reads zero after
+//!   every run: weights pack once at stage build, optimizer updates land
+//!   in the packed panels in place, and none of the `S × M` slice GEMMs
+//!   per step re-packs anything (this is the CI gate the persistent
+//!   packed-weight cache is held to).
+//!
 //! Single test function on purpose: the pool is process-global, so the
 //! counter assertions need this binary's tests to run without interleaving
 //! pool users (integration-test binaries are separate processes, so other
@@ -11,7 +21,7 @@
 
 use slimpipe_exec::model::ExecConfig;
 use slimpipe_exec::train::run_reference;
-use slimpipe_tensor::pool;
+use slimpipe_tensor::{matmul, pool};
 
 #[test]
 fn steady_state_step_is_allocation_free_and_pooling_preserves_numerics() {
@@ -43,6 +53,15 @@ fn steady_state_step_is_allocation_free_and_pooling_preserves_numerics() {
         warm_stats.hits, after.hits, warm_stats.recycles, after.recycles
     );
     assert!(after.hits > warm_stats.hits, "warm run must be served by the pool");
+
+    // ---- zero weight re-packs per steady-state step: the final training
+    // step of the warm run marked the pack epoch after all stages were
+    // built, and nothing inside a step may pack ----
+    assert_eq!(
+        matmul::gemm_packs_per_step(),
+        0,
+        "steady-state training steps must not re-pack weights"
+    );
 
     // ---- pooling must not change the numbers: recycled buffers are either
     // zeroed on take or fully overwritten, so a warm run is bit-identical ----
@@ -87,6 +106,11 @@ fn steady_state_step_is_allocation_free_and_pooling_preserves_numerics() {
     assert_eq!(
         after_wide.misses, wide_stats.misses,
         "worker-pool execution must stay allocation-free in steady state"
+    );
+    assert_eq!(
+        matmul::gemm_packs_per_step(),
+        0,
+        "parallel steady-state steps must not re-pack weights either"
     );
     assert_eq!(narrow.losses, wide_cold.losses, "pool width must not change loss bits");
     assert_eq!(narrow.losses, wide_warm.losses, "warm wide run must match too");

@@ -34,6 +34,7 @@ pub mod swiglu;
 pub mod tensor;
 
 pub use attention::{merge_partials, AttnPartial, FlashStats};
+pub use matmul::{Epilogue, PackedMat, PackedWeight, Prologue};
 pub use memtrack::MemCounter;
 pub use pool::PoolStats;
 pub use tensor::Tensor;

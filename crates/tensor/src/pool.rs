@@ -33,6 +33,95 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+/// Alignment of [`AlignedVec`] buffers: one cache line, which is also the
+/// widest SIMD vector (AVX-512) — pack panels start on a clean boundary.
+pub const BUF_ALIGN: usize = 64;
+
+/// A heap buffer of `f32` whose base address is [`BUF_ALIGN`]-byte aligned.
+///
+/// `Vec<f32>` only guarantees 4-byte alignment, and a `Vec` constructed
+/// from an over-aligned allocation would be UB to drop (the deallocation
+/// layout must match), so aligned buffers get their own owning type. The
+/// GEMM pack panels live in these: the micro-kernel streams them with full
+/// cache-line loads and no split-line penalty. Dropping an `AlignedVec`
+/// frees the memory; hot-path users return buffers via
+/// [`recycle_aligned`] instead so steady-state packs stay allocation-free.
+pub struct AlignedVec {
+    ptr: std::ptr::NonNull<f32>,
+    len: usize,
+}
+
+// Safety: the buffer is uniquely owned heap memory; f32 is Send + Sync.
+unsafe impl Send for AlignedVec {}
+unsafe impl Sync for AlignedVec {}
+
+impl AlignedVec {
+    fn layout(len: usize) -> std::alloc::Layout {
+        std::alloc::Layout::from_size_align(len * 4, BUF_ALIGN).expect("aligned layout")
+    }
+
+    /// Freshly allocated, zero-filled buffer of `len` elements.
+    pub fn new(len: usize) -> Self {
+        if len == 0 {
+            return Self { ptr: std::ptr::NonNull::dangling(), len: 0 };
+        }
+        // Safety: len > 0 so the layout is non-zero-sized.
+        let raw = unsafe { std::alloc::alloc_zeroed(Self::layout(len)) } as *mut f32;
+        let ptr = std::ptr::NonNull::new(raw)
+            .unwrap_or_else(|| std::alloc::handle_alloc_error(Self::layout(len)));
+        Self { ptr, len }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The base address is always [`BUF_ALIGN`]-byte aligned (asserted in
+    /// `tests/pool_stress.rs`).
+    #[inline]
+    pub fn as_ptr(&self) -> *const f32 {
+        self.ptr.as_ptr()
+    }
+}
+
+impl std::ops::Deref for AlignedVec {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        // Safety: ptr/len describe a live allocation we own (or a dangling
+        // pointer with len 0, which is a valid empty slice).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl std::ops::DerefMut for AlignedVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // Safety: allocated with exactly this layout in `new`.
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) }
+        }
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedVec(len={})", self.len)
+    }
+}
+
 /// Free buffers kept per exact size before further recycles are dropped.
 const MAX_BUFFERS_PER_SIZE: usize = 256;
 
@@ -43,7 +132,11 @@ const POOL_SHARDS: usize = 16;
 /// One free-list shard: size class → stack of returned buffers.
 type Shard = Mutex<HashMap<usize, Vec<Vec<f32>>>>;
 
+/// One aligned-free-list shard (same sharding scheme, [`AlignedVec`]s).
+type AlignedShard = Mutex<HashMap<usize, Vec<AlignedVec>>>;
+
 static FREE: OnceLock<Vec<Shard>> = OnceLock::new();
+static ALIGNED_FREE: OnceLock<Vec<AlignedShard>> = OnceLock::new();
 static BANKED: OnceLock<MemCounter> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
@@ -54,12 +147,21 @@ fn shards() -> &'static [Shard] {
     FREE.get_or_init(|| (0..POOL_SHARDS).map(|_| Mutex::new(HashMap::new())).collect())
 }
 
-/// Shard owning size class `len` (Fibonacci hash — adjacent tensor sizes
-/// land on different shards). Keeps 16 well-mixed top bits before the
-/// modulo, so raising `POOL_SHARDS` really adds shards.
-fn shard_for(len: usize) -> &'static Shard {
+fn aligned_shards() -> &'static [AlignedShard] {
+    ALIGNED_FREE.get_or_init(|| (0..POOL_SHARDS).map(|_| Mutex::new(HashMap::new())).collect())
+}
+
+/// Shard index owning size class `len` (Fibonacci hash — adjacent tensor
+/// sizes land on different shards). Keeps 16 well-mixed top bits before
+/// the modulo, so raising `POOL_SHARDS` really adds shards. The plain and
+/// aligned free lists share the scheme.
+fn shard_idx(len: usize) -> usize {
     let h = (len as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    &shards()[(h >> 48) as usize % POOL_SHARDS]
+    (h >> 48) as usize % POOL_SHARDS
+}
+
+fn shard_for(len: usize) -> &'static Shard {
+    &shards()[shard_idx(len)]
 }
 
 /// Byte meter of buffers currently banked in the pool (peak tracked).
@@ -102,6 +204,12 @@ pub fn reset_stats() {
 /// cold pool against a warm one.
 pub fn clear() {
     for shard in shards() {
+        let mut map = shard.lock().unwrap();
+        for (len, bucket) in map.drain() {
+            banked_mem().free((len * bucket.len() * 4) as u64);
+        }
+    }
+    for shard in aligned_shards() {
         let mut map = shard.lock().unwrap();
         for (len, bucket) in map.drain() {
             banked_mem().free((len * bucket.len() * 4) as u64);
@@ -154,6 +262,45 @@ pub fn recycle(mut v: Vec<f32>) {
     }
     let len = v.len();
     let mut map = shard_for(len).lock().unwrap();
+    let bucket = map.entry(len).or_default();
+    if bucket.len() >= MAX_BUFFERS_PER_SIZE {
+        DISCARDS.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    bucket.push(v);
+    banked_mem().alloc((len * 4) as u64);
+    RECYCLES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A [`BUF_ALIGN`]-byte-aligned buffer of exactly `len` elements with
+/// **arbitrary contents** — the allocation behind GEMM pack panels, whose
+/// every element the pack step overwrites. Counted in the same
+/// hit/miss/recycle stats as the plain takes, so the steady-state
+/// "allocation-free" assertions cover the packed-weight path too.
+pub fn take_aligned(len: usize) -> AlignedVec {
+    let popped = {
+        let mut map = aligned_shards()[shard_idx(len)].lock().unwrap();
+        map.get_mut(&len).and_then(Vec::pop)
+    };
+    if let Some(v) = popped {
+        banked_mem().free((len * 4) as u64);
+        HITS.fetch_add(1, Ordering::Relaxed);
+        debug_assert_eq!(v.len(), len);
+        v
+    } else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        AlignedVec::new(len)
+    }
+}
+
+/// Return an aligned buffer to the pool (the counterpart of
+/// [`take_aligned`]; a plain drop would free the memory instead).
+pub fn recycle_aligned(v: AlignedVec) {
+    if v.is_empty() {
+        return;
+    }
+    let len = v.len();
+    let mut map = aligned_shards()[shard_idx(len)].lock().unwrap();
     let bucket = map.entry(len).or_default();
     if bucket.len() >= MAX_BUFFERS_PER_SIZE {
         DISCARDS.fetch_add(1, Ordering::Relaxed);
@@ -230,6 +377,32 @@ mod tests {
             assert_eq!(take_raw(s).len(), s);
         }
         clear();
+    }
+
+    #[test]
+    fn aligned_takes_round_trip_and_stay_aligned() {
+        let _g = LOCK.lock().unwrap();
+        clear();
+        let before = stats();
+        let mut v = take_aligned(1000);
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v.as_ptr() as usize % BUF_ALIGN, 0, "fresh buffer misaligned");
+        v[3] = 3.0;
+        recycle_aligned(v);
+        let v2 = take_aligned(1000);
+        assert_eq!(v2.as_ptr() as usize % BUF_ALIGN, 0, "recycled buffer misaligned");
+        assert_eq!(v2[3], 3.0, "aligned takes are raw — contents survive");
+        let after = stats();
+        assert_eq!(after.hits - before.hits, 1);
+        assert_eq!(after.misses - before.misses, 1);
+        // Plain and aligned lists are distinct: a same-size plain take
+        // must not be served the aligned buffer (or vice versa).
+        recycle_aligned(v2);
+        let plain = take_raw(1000);
+        assert_eq!(stats().misses - before.misses, 2, "plain take must miss");
+        recycle(plain);
+        clear();
+        assert_eq!(banked_mem().current(), 0, "clear drains aligned lists too");
     }
 
     #[test]

@@ -10,6 +10,21 @@ use crate::tensor::Tensor;
 
 const EPS: f32 = 1e-6;
 
+/// Per-row inverse RMS, computed with exactly the expression
+/// [`forward`] uses — the prologue input for GEMM-fused RMSNorm
+/// (`slimpipe_tensor::matmul::Prologue::NormRows`): the fused product
+/// `(x · inv) · gain` is then bit-identical to the materialised forward.
+/// Pool-backed; the caller recycles.
+pub fn inv_rms(x: &Tensor) -> Vec<f32> {
+    let mut out = crate::pool::take_raw(x.rows());
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = x.row(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        *o = 1.0 / (ms + EPS).sqrt();
+    }
+    out
+}
+
 /// `y[r, :] = x[r, :] / rms(x[r, :]) * gain`
 pub fn forward(x: &Tensor, gain: &[f32]) -> Tensor {
     assert_eq!(x.cols(), gain.len(), "gain length mismatch");
@@ -66,6 +81,21 @@ mod tests {
             let ms: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>() / 16.0;
             assert!((ms - 1.0).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn inv_rms_reproduces_forward_bitwise() {
+        let x = seeded_uniform(5, 16, 33);
+        let gain: Vec<f32> = (0..16).map(|i| 0.9 + 0.02 * i as f32).collect();
+        let y = forward(&x, &gain);
+        let inv = inv_rms(&x);
+        for (r, ir) in inv.iter().enumerate().take(x.rows()) {
+            for (c, g) in gain.iter().enumerate() {
+                let fused = (x.at(r, c) * ir) * g;
+                assert_eq!(fused, y.at(r, c), "({r},{c})");
+            }
+        }
+        crate::pool::recycle(inv);
     }
 
     #[test]

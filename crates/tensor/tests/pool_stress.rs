@@ -35,6 +35,27 @@ fn pool_survives_concurrent_hammering_without_leaking() {
         });
     });
 
+    // ---- phase 1.5: the aligned path (GEMM pack panels) under the same
+    // hammering — every buffer must come back 64-byte aligned, and the
+    // traffic shares the hit/miss/recycle counters ----
+    let aligned_rounds = 500usize;
+    rayon::with_num_threads(8, || {
+        use rayon::prelude::*;
+        (0..aligned_rounds).into_par_iter().for_each(|i| {
+            let len = SIZES[(i * 3) % SIZES.len()];
+            let mut v = pool::take_aligned(len);
+            assert_eq!(
+                v.as_ptr() as usize % pool::BUF_ALIGN,
+                0,
+                "pack panel buffer must be {}-byte aligned",
+                pool::BUF_ALIGN
+            );
+            v[0] = i as f32;
+            black_box(&v);
+            pool::recycle_aligned(v);
+        });
+    });
+
     // ---- phase 2: cross-thread traffic — buffers taken by pool tasks are
     // recycled by *other* OS threads (the executor's pattern: activations
     // allocated on one stage retire on another) ----
@@ -61,9 +82,9 @@ fn pool_survives_concurrent_hammering_without_leaking() {
         }
     });
 
-    // ---- conservation laws over the counters ----
+    // ---- conservation laws over the counters (plain + aligned) ----
     let s = pool::stats();
-    let takes = (rounds + 400) as u64;
+    let takes = (rounds + aligned_rounds + 400) as u64;
     assert_eq!(s.hits + s.misses, takes, "every take is a hit or a miss");
     // Quiescent: nothing is in flight, so every fresh allocation (miss) is
     // either banked now (a recycle that wasn't later re-taken) or was
@@ -73,7 +94,7 @@ fn pool_survives_concurrent_hammering_without_leaking() {
         (s.recycles - s.hits) + s.discards,
         "allocated buffers must all be banked or discarded: {s:?}"
     );
-    // 2400 takes over 5 classes stays far below the per-class cap.
+    // 2900 takes over 5 classes stays far below the per-class cap.
     assert_eq!(s.discards, 0, "no size class should have overflowed: {s:?}");
     // Concurrency bounds the misses: at most one fresh allocation per
     // simultaneously-live buffer per class, and phase 2 keeps at most 400

@@ -11,8 +11,10 @@ use slimpipe_tensor::crossentropy::{
     combine_stats, forward_backward, loss_from_stats, shard_stats,
 };
 use slimpipe_tensor::init::{seeded_tokens, seeded_uniform};
-use slimpipe_tensor::matmul::{matmul, matmul_nt, matmul_tn};
-use slimpipe_tensor::Tensor;
+use slimpipe_tensor::matmul::{
+    matmul, matmul_fused, matmul_nt, matmul_tn, matmul_tn_acc, with_kernel_nr,
+};
+use slimpipe_tensor::{pool, rmsnorm, swiglu, Epilogue, PackedWeight, Prologue, Tensor};
 
 /// Reference GEMM: the j-innermost textbook triple loop.
 fn naive_gemm(a: &Tensor, b: &Tensor) -> Tensor {
@@ -166,6 +168,80 @@ proptest! {
             dk_cat.set_rows(c * chunk_len, dk);
         }
         prop_assert!(dk_cat.max_abs_diff(&dkv_ref[0].0) < 1e-3);
+    }
+
+    /// Fused prologue/epilogue GEMMs ≡ the separate-pass composition,
+    /// **bit-for-bit**, for arbitrary shapes, across worker-pool widths
+    /// and both micro-kernel widths — the invariant the fused layer hot
+    /// loop rests on. Covers: RMSNorm prologue (row and transposed
+    /// orientations), SwiGLU prologue, residual-add epilogue, and the
+    /// gradient-accumulation entry (`C += AᵀB`).
+    #[test]
+    fn fused_gemm_equals_separate_passes_bitwise(
+        m in 1usize..70,
+        k in 1usize..96,
+        n in 1usize..70,
+        seed in 0u64..500,
+        nr_sel in 0usize..2,
+        threads_sel in 0usize..2,
+    ) {
+        let nr = [8usize, 16][nr_sel];
+        let threads = [1usize, 4][threads_sel];
+        with_kernel_nr(nr, || rayon::with_num_threads(threads, || {
+            let x = seeded_uniform(m, k, seed);
+            let w = seeded_uniform(k, n, seed + 1);
+            let gain: Vec<f32> = (0..k).map(|i| 0.8 + 0.01 * i as f32).collect();
+            let pw = PackedWeight::new(w.clone());
+
+            // RMSNorm prologue ≡ materialised rmsnorm + plain matmul.
+            let inv = rmsnorm::inv_rms(&x);
+            let fused = matmul_fused(
+                &x,
+                pw.nn(),
+                Prologue::NormRows { inv: &inv, gain: &gain },
+                Epilogue::None,
+            );
+            let normed = rmsnorm::forward(&x, &gain);
+            let unfused = matmul(&normed, &w);
+            assert_eq!(fused, unfused, "norm prologue ({m},{k},{n}) nr={nr} t={threads}");
+            fused.recycle();
+
+            // SwiGLU prologue + residual epilogue ≡ swiglu + matmul + add.
+            let gate = seeded_uniform(m, k, seed + 2);
+            let up = seeded_uniform(m, k, seed + 3);
+            let resid = seeded_uniform(m, n, seed + 4);
+            let fused = matmul_fused(
+                &gate,
+                pw.nn(),
+                Prologue::SwigluRows { up: &up },
+                Epilogue::Add(&resid),
+            );
+            let act = swiglu::forward(&gate, &up);
+            let mut unfused = matmul(&act, &w);
+            act.recycle();
+            unfused.add_assign(&resid);
+            assert_eq!(fused, unfused, "swiglu+add ({m},{k},{n}) nr={nr} t={threads}");
+            fused.recycle();
+
+            // Transposed-norm prologue on the accumulate entry ≡
+            // rmsnorm + matmul_tn + add_assign — the dW shape: A is the
+            // (tokens, features) activation whose transpose feeds the
+            // GEMM, so `inv` rides the k index and `gain` the output row.
+            let dy = seeded_uniform(m, n, seed + 5);
+            let mut g_fused = seeded_uniform(k, n, seed + 6);
+            let mut g_unfused = g_fused.clone();
+            matmul_tn_acc(
+                &mut g_fused,
+                &x,
+                &dy,
+                Prologue::NormCols { inv: &inv, gain: &gain },
+            );
+            g_unfused.add_assign(&matmul_tn(&normed, &dy));
+            assert_eq!(g_fused, g_unfused, "tn_acc norm ({m},{k},{n}) nr={nr} t={threads}");
+
+            normed.recycle();
+            pool::recycle(inv);
+        }));
     }
 
     /// Sharded cross-entropy equals monolithic for any divisor sharding.
