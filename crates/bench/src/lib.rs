@@ -115,6 +115,7 @@ pub fn scheme_env(
         cp: 1,
         ep: 1,
         seq,
+        mb_seqs: None,
         slicing: slimpipe_core::SlicePolicy::Uniform,
         ckpt,
         exchange: slim,

@@ -80,6 +80,7 @@ pub fn generate(p: usize, v: usize, m: usize, n: usize) -> Result<Schedule, Sche
         chunks: v,
         microbatches: m,
         slices: n,
+        mb_slices: None,
         split_backward: false,
         stage_map: Schedule::contiguous_stage_map(p, v),
         ops,

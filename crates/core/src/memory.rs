@@ -6,7 +6,7 @@
 //! chunk)` pass, so converting to bytes only needs the per-unit activation
 //! size. The theory module's formulas are tested against these walks.
 
-use slimpipe_sched::{PassKind, Schedule};
+use slimpipe_sched::{PassKind, Schedule, WorkItem};
 
 /// Peak in-flight work units on `device`. For split-backward schemes the
 /// stash is released by `BackwardWeight` (the weight gradient still needs
@@ -72,6 +72,67 @@ pub fn peak_last_stage_units(sched: &Schedule, device: usize) -> usize {
 pub fn peak_bytes(sched: &Schedule, device: usize, m_a: f64) -> f64 {
     let unit = m_a / (sched.devices * sched.chunks * sched.slices) as f64;
     peak_units(sched, device) as f64 * unit
+}
+
+/// Peak resident bytes on `device` under a *per-unit* byte weighting: the
+/// same schedule walk as [`peak_units`], but each in-flight unit contributes
+/// `unit_bytes(op)` instead of 1. This is the accounting non-uniform
+/// slicings and ragged microbatches need — a long early slice must weigh
+/// more than a short late one — and it reduces exactly to
+/// `peak_units · unit` when every unit has equal weight.
+pub fn peak_bytes_by(
+    sched: &Schedule,
+    device: usize,
+    unit_bytes: &dyn Fn(&WorkItem) -> f64,
+) -> f64 {
+    peak_bytes_by_filtered(sched, device, unit_bytes, None)
+}
+
+/// [`peak_bytes_by`] restricted to the chunk hosting the *last* global
+/// stage on `device` (0.0 if the device does not host it) — the weighted
+/// counterpart of [`peak_last_stage_units`], sizing the logits stash.
+pub fn peak_last_stage_bytes_by(
+    sched: &Schedule,
+    device: usize,
+    unit_bytes: &dyn Fn(&WorkItem) -> f64,
+) -> f64 {
+    let last = sched.num_stages() - 1;
+    let Some(chunk) = (0..sched.chunks).find(|&c| sched.stage_of(device, c) == last)
+    else {
+        return 0.0;
+    };
+    peak_bytes_by_filtered(sched, device, unit_bytes, Some(chunk))
+}
+
+fn peak_bytes_by_filtered(
+    sched: &Schedule,
+    device: usize,
+    unit_bytes: &dyn Fn(&WorkItem) -> f64,
+    only_chunk: Option<usize>,
+) -> f64 {
+    let release = if sched.split_backward {
+        PassKind::BackwardWeight
+    } else {
+        PassKind::Backward
+    };
+    let mut resident = 0.0f64;
+    let mut peak = 0.0f64;
+    for op in &sched.ops[device] {
+        if let Some(c) = only_chunk {
+            if op.chunk as usize != c {
+                continue;
+            }
+        }
+        // Weights are keyed by the unit (its Forward spelling), so alloc
+        // and free see the same value.
+        if op.kind == PassKind::Forward {
+            resident += unit_bytes(op);
+        } else if op.kind == release {
+            resident -= unit_bytes(&op.with_kind(PassKind::Forward));
+        }
+        peak = peak.max(resident);
+    }
+    peak
 }
 
 /// Relative activation memory (units of `M_a`) of the worst device — the
@@ -163,5 +224,34 @@ mod tests {
         let b1 = peak_bytes(&s, 0, 32.0);
         let b2 = peak_bytes(&s, 0, 64.0);
         assert!((b2 / b1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_peak_units() {
+        for s in [
+            crate::schedule::generate(4, 2, 8).unwrap(),
+            crate::schedule::generate_var(2, &[4, 8, 2]).unwrap(),
+            slimpipe_sched::onefoneb::generate(4, 8).unwrap(),
+        ] {
+            for d in 0..s.devices {
+                let w = peak_bytes_by(&s, d, &|_| 3.0);
+                assert!(
+                    (w - 3.0 * peak_units(&s, d) as f64).abs() < 1e-9,
+                    "{}: device {d}",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_walk_sees_heavy_early_slices() {
+        // Two slices, the first 3x the second: a schedule holding both in
+        // flight peaks at 4 units-worth, not 2 equal units.
+        let s = crate::schedule::generate(1, 1, 2).unwrap();
+        let w = peak_bytes_by(&s, 0, &|op| if op.slice == 0 { 3.0 } else { 1.0 });
+        assert_eq!(w, 4.0);
+        // Last-stage variant agrees on a single-device schedule.
+        assert_eq!(peak_last_stage_bytes_by(&s, 0, &|_| 1.0), 2.0);
     }
 }

@@ -20,50 +20,104 @@ use slimpipe_sched::{Schedule, ScheduleError, WorkItem};
 /// Build the plain (non-interleaved) SlimPipe schedule: `p` devices,
 /// `m` microbatches, `n` slices per microbatch.
 pub fn generate(p: usize, m: usize, n: usize) -> Result<Schedule, ScheduleError> {
-    if p == 0 || m == 0 || n == 0 {
+    if m == 0 {
         return Err(ScheduleError::Infeasible("p, m, n must be positive".into()));
     }
-    if !n.is_multiple_of(p) {
-        return Err(ScheduleError::Infeasible(format!(
-            "SlimPipe requires the slice count ({n}) to be a multiple of the \
-             pipeline size ({p})"
-        )));
+    generate_var(p, &vec![n; m])
+}
+
+/// Build the SlimPipe schedule with a *per-microbatch* slice count —
+/// microbatch `mb` is cut into `mb_slices[mb]` slices (each a multiple of
+/// `p`, so the §4.2.1 staircase structure holds within every microbatch).
+///
+/// Construction is the same as the uniform generator's: forwards run in
+/// `(microbatch asc, slice asc)` order, backwards in `(microbatch asc,
+/// slice DESC)` order, and rank `r` warms up with `n₀ + 2(p-1-r)` forwards
+/// (`n₀` = the first microbatch's slice count — the accumulation that sets
+/// the Eq. 1 peak) before strictly alternating backward/forward. With all
+/// counts equal this reduces exactly to [`generate`] (and the returned
+/// schedule's `mb_slices` is normalised to `None` so downstream uniform
+/// paths are unchanged).
+pub fn generate_var(p: usize, mb_slices: &[usize]) -> Result<Schedule, ScheduleError> {
+    let m = mb_slices.len();
+    if p == 0 || m == 0 || mb_slices.contains(&0) {
+        return Err(ScheduleError::Infeasible("p, m, n must be positive".into()));
     }
-    let total = m * n;
-    let f_unit = |k: usize| -> WorkItem {
-        WorkItem::f((k / n) as u32, (k % n) as u32, 0)
-    };
-    let b_unit = |k: usize| -> WorkItem {
-        WorkItem::b((k / n) as u32, (n - 1 - k % n) as u32, 0)
-    };
+    for &n in mb_slices {
+        if !n.is_multiple_of(p) {
+            return Err(ScheduleError::Infeasible(format!(
+                "SlimPipe requires every slice count ({n}) to be a multiple \
+                 of the pipeline size ({p})"
+            )));
+        }
+    }
+    // Flattened unit streams every rank consumes in the same order.
+    let f_units: Vec<WorkItem> = mb_slices
+        .iter()
+        .enumerate()
+        .flat_map(|(mb, &n)| (0..n).map(move |s| WorkItem::f(mb as u32, s as u32, 0)))
+        .collect();
+    let b_units: Vec<WorkItem> = mb_slices
+        .iter()
+        .enumerate()
+        .flat_map(|(mb, &n)| (0..n).rev().map(move |s| WorkItem::b(mb as u32, s as u32, 0)))
+        .collect();
+    let total = f_units.len();
+    let n0 = mb_slices[0];
+    // Flattened forward index of each backward unit's own forward — the
+    // local-readiness bound: backward `k` cannot be issued before this many
+    // forwards have run on the same rank.
+    let fwd_prefix: Vec<usize> = mb_slices
+        .iter()
+        .scan(0usize, |acc, &n| {
+            let p = *acc;
+            *acc += n;
+            Some(p)
+        })
+        .collect();
+    let fidx_of_b: Vec<usize> = b_units
+        .iter()
+        .map(|u| fwd_prefix[u.mb as usize] + u.slice as usize)
+        .collect();
     let mut ops = Vec::with_capacity(p);
     for r in 0..p {
-        let warmup = (n + 2 * (p - 1 - r)).min(total);
+        let warmup = (n0 + 2 * (p - 1 - r)).min(total);
         let mut dev = Vec::with_capacity(2 * total);
         let mut f = 0usize;
         let mut b = 0usize;
         for _ in 0..warmup {
-            dev.push(f_unit(f));
+            dev.push(f_units[f]);
             f += 1;
         }
         while f < total {
-            dev.push(b_unit(b));
-            b += 1;
-            dev.push(f_unit(f));
+            // Strict backward/forward alternation, except when the next
+            // backward's own forward is still ahead of us (a later
+            // microbatch with more slices than the first): catch up with
+            // forwards first. Uniform counts never take this branch, so
+            // the uniform op lists are byte-identical to the classic
+            // generator's.
+            if fidx_of_b[b] < f {
+                dev.push(b_units[b]);
+                b += 1;
+            }
+            dev.push(f_units[f]);
             f += 1;
         }
         while b < total {
-            dev.push(b_unit(b));
+            dev.push(b_units[b]);
             b += 1;
         }
         ops.push(dev);
     }
+    let max_n = mb_slices.iter().copied().max().unwrap();
+    let uniform = mb_slices.iter().all(|&n| n == max_n);
     Ok(Schedule {
         name: "SlimPipe".into(),
         devices: p,
         chunks: 1,
         microbatches: m,
-        slices: n,
+        slices: max_n,
+        mb_slices: (!uniform).then(|| mb_slices.to_vec()),
         split_backward: false,
         stage_map: Schedule::contiguous_stage_map(p, 1),
         ops,
@@ -98,6 +152,64 @@ mod tests {
     fn rejects_n_not_multiple_of_p() {
         assert!(generate(4, 2, 6).is_err());
         assert!(generate(4, 2, 8).is_ok());
+        assert!(generate_var(4, &[8, 6]).is_err());
+        assert!(generate_var(4, &[8, 0]).is_err());
+    }
+
+    #[test]
+    fn variable_counts_validate_for_a_grid() {
+        for p in [1usize, 2, 4] {
+            for counts in [
+                vec![p, 2 * p],
+                vec![2 * p, p],
+                vec![4 * p, p, 2 * p],
+                vec![p, p, 4 * p, 2 * p],
+                vec![3 * p, 2 * p, p],
+            ] {
+                let s = generate_var(p, &counts).unwrap();
+                validate(&s).unwrap_or_else(|e| panic!("p={p} counts={counts:?}: {e}"));
+                assert_eq!(s.mb_slices.as_deref(), Some(&counts[..]));
+                assert_eq!(s.slices, counts.iter().copied().max().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_counts_normalise_to_the_uniform_generator() {
+        let a = generate(4, 3, 8).unwrap();
+        let b = generate_var(4, &[8, 8, 8]).unwrap();
+        assert!(b.mb_slices.is_none());
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.slices, b.slices);
+    }
+
+    #[test]
+    fn variable_counts_keep_backward_lifo_and_forward_order() {
+        let s = generate_var(2, &[4, 8, 2]).unwrap();
+        for dev in &s.ops {
+            // Forwards appear in (mb asc, slice asc) order; backwards in
+            // (mb asc, slice desc) order.
+            let fwd: Vec<(u32, u32)> = dev
+                .iter()
+                .filter(|o| o.kind == PassKind::Forward)
+                .map(|o| (o.mb, o.slice))
+                .collect();
+            let mut sorted = fwd.clone();
+            sorted.sort_unstable();
+            assert_eq!(fwd, sorted);
+            let bwd: Vec<(u32, u32)> = dev
+                .iter()
+                .filter(|o| o.kind == PassKind::Backward)
+                .map(|o| (o.mb, o.slice))
+                .collect();
+            let mut expect = Vec::new();
+            for (mb, &n) in [4usize, 8, 2].iter().enumerate() {
+                for sl in (0..n).rev() {
+                    expect.push((mb as u32, sl as u32));
+                }
+            }
+            assert_eq!(bwd, expect);
+        }
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub enum SlicePolicy {
     /// Caller-supplied boundaries (`bounds.len() == n + 1`, `bounds[0] == 0`,
     /// strictly increasing, `bounds[n] ==` the sequence length).
     Explicit(Vec<u64>),
+    /// Caller-supplied boundaries *per microbatch* — what the slicing
+    /// planner emits: `per_mb[mb]` is microbatch `mb`'s bounds vector, so
+    /// both the bounds and the slice count may differ across microbatches
+    /// (ragged workloads slice each sequence on its own terms).
+    ExplicitPerMb(Vec<Vec<u64>>),
 }
 
 impl SlicePolicy {
@@ -36,6 +41,7 @@ impl SlicePolicy {
             SlicePolicy::Uniform => "uniform",
             SlicePolicy::PairBalanced => "pair_balanced",
             SlicePolicy::Explicit(_) => "explicit",
+            SlicePolicy::ExplicitPerMb(_) => "planned",
         }
     }
 }
@@ -112,7 +118,8 @@ impl Slicing {
 
     /// The slicing a policy induces for one sequence of `seq` tokens cut
     /// into `n` slices — the single constructor the executor, simulator,
-    /// and benches all route through.
+    /// and benches all route through. Per-microbatch policies need a
+    /// microbatch index: use [`Slicing::for_microbatch`].
     pub fn from_policy(policy: &SlicePolicy, seq: u64, n: usize) -> Self {
         match policy {
             SlicePolicy::Uniform => Self::even(seq, n),
@@ -121,6 +128,30 @@ impl Slicing {
                 assert_eq!(bounds.len(), n + 1, "explicit bounds for {n} slices");
                 Self::explicit(seq, bounds.clone())
             }
+            SlicePolicy::ExplicitPerMb(_) => {
+                panic!("per-microbatch bounds need a microbatch index; use Slicing::for_microbatch")
+            }
+        }
+    }
+
+    /// The slicing a policy induces for microbatch `mb` of `seq` tokens.
+    /// `n` is the requested slice count for this microbatch — ignored by
+    /// [`SlicePolicy::ExplicitPerMb`], whose stored bounds carry their own
+    /// count (asserted equal when the caller passes the per-mb count it
+    /// derived from the same plan).
+    pub fn for_microbatch(policy: &SlicePolicy, mb: usize, seq: u64, n: usize) -> Self {
+        match policy {
+            SlicePolicy::ExplicitPerMb(per_mb) => {
+                let bounds = &per_mb[mb];
+                assert_eq!(
+                    bounds.len(),
+                    n + 1,
+                    "microbatch {mb}: per-mb bounds describe {} slices, caller expects {n}",
+                    bounds.len() - 1
+                );
+                Self::explicit(seq, bounds.clone())
+            }
+            other => Self::from_policy(other, seq, n),
         }
     }
 

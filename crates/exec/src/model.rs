@@ -26,8 +26,14 @@ pub struct ExecConfig {
     /// Default sequence length of a microbatch (tokens). Individual
     /// microbatches may override it through [`ExecConfig::mb_seqs`].
     pub seq: usize,
-    /// Slices per microbatch (1 = microbatch granularity).
+    /// Slices per microbatch (1 = microbatch granularity). Individual
+    /// microbatches may override it through [`ExecConfig::mb_slices`].
     pub slices: usize,
+    /// Per-microbatch slice counts (must have `microbatches` entries when
+    /// set). `None` = every microbatch is cut into `slices` slices. What
+    /// the slicing planner emits for workloads whose microbatches deserve
+    /// different granularities.
+    pub mb_slices: Option<Vec<usize>>,
     /// How each microbatch's sequence is cut into those slices.
     pub slicing: SlicePolicy,
     pub microbatches: usize,
@@ -57,6 +63,7 @@ impl ExecConfig {
             vocab: 96,
             seq: 64,
             slices: 4,
+            mb_slices: None,
             slicing: SlicePolicy::Uniform,
             microbatches: 2,
             mb_seqs: None,
@@ -88,6 +95,14 @@ impl ExecConfig {
         }
     }
 
+    /// Slice count of microbatch `mb` (per-microbatch counts respected).
+    pub fn slices_of(&self, mb: usize) -> usize {
+        match &self.mb_slices {
+            Some(ns) => ns[mb],
+            None => self.slices,
+        }
+    }
+
     /// Tokens across the whole iteration — the loss normaliser.
     pub fn total_tokens(&self) -> usize {
         (0..self.microbatches).map(|mb| self.mb_seq(mb)).sum()
@@ -95,7 +110,7 @@ impl ExecConfig {
 
     /// The slice partition of microbatch `mb` under this config's policy.
     pub fn slicing_of(&self, mb: usize) -> Slicing {
-        Slicing::from_policy(&self.slicing, self.mb_seq(mb) as u64, self.slices)
+        Slicing::for_microbatch(&self.slicing, mb, self.mb_seq(mb) as u64, self.slices_of(mb))
     }
 
     /// All microbatch slicings, in order — what stages and the driver
@@ -126,6 +141,7 @@ impl ExecConfig {
     pub fn slice_len(&self) -> usize {
         assert_eq!(self.slicing, SlicePolicy::Uniform, "slice_len is uniform-only");
         assert!(self.mb_seqs.is_none(), "slice_len is non-ragged-only");
+        assert!(self.mb_slices.is_none(), "slice_len needs a global slice count");
         assert!(self.seq.is_multiple_of(self.slices), "slices must divide seq");
         self.seq / self.slices
     }
@@ -159,25 +175,49 @@ impl ExecConfig {
                 ));
             }
         }
-        for mb in 0..self.microbatches {
-            let seq = self.mb_seq(mb);
-            if seq < self.slices {
+        if let Some(ns) = &self.mb_slices {
+            if ns.len() != self.microbatches {
                 return Err(format!(
-                    "microbatch {mb}: {seq} tokens cannot fill {} slices",
-                    self.slices
+                    "mb_slices has {} entries for {} microbatches",
+                    ns.len(),
+                    self.microbatches
                 ));
             }
-            if let SlicePolicy::Explicit(bounds) = &self.slicing {
-                if bounds.len() != self.slices + 1 {
+            if ns.contains(&0) {
+                return Err("per-microbatch slice counts must be positive".into());
+            }
+        }
+        if let SlicePolicy::ExplicitPerMb(per_mb) = &self.slicing {
+            if per_mb.len() != self.microbatches {
+                return Err(format!(
+                    "per-microbatch bounds cover {} of {} microbatches",
+                    per_mb.len(),
+                    self.microbatches
+                ));
+            }
+        }
+        for mb in 0..self.microbatches {
+            let seq = self.mb_seq(mb);
+            let n = self.slices_of(mb);
+            if seq < n {
+                return Err(format!(
+                    "microbatch {mb}: {seq} tokens cannot fill {n} slices"
+                ));
+            }
+            let bounds = match &self.slicing {
+                SlicePolicy::Explicit(bounds) => Some(bounds),
+                SlicePolicy::ExplicitPerMb(per_mb) => Some(&per_mb[mb]),
+                _ => None,
+            };
+            if let Some(bounds) = bounds {
+                if bounds.len() != n + 1 {
                     return Err(format!(
-                        "explicit bounds have {} entries for {} slices",
-                        bounds.len(),
-                        self.slices
+                        "microbatch {mb}: explicit bounds have {} entries for {n} slices",
+                        bounds.len()
                     ));
                 }
                 // Shared invariants (start at 0, strictly increasing, end
-                // at this microbatch's seq — so explicit slicing requires
-                // equal-length microbatches) live in Slicing::try_explicit.
+                // at this microbatch's seq) live in Slicing::try_explicit.
                 Slicing::try_explicit(seq as u64, bounds.clone())
                     .map_err(|e| format!("microbatch {mb}: {e}"))?;
             }

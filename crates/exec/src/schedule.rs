@@ -27,14 +27,26 @@ pub fn build_schedule(kind: PipelineKind, cfg: &ExecConfig) -> Schedule {
     let sched = match kind {
         PipelineKind::GPipe => {
             assert_eq!(n, 1, "GPipe is microbatch-granular");
+            assert!(cfg.mb_slices.is_none(), "GPipe is microbatch-granular");
             slimpipe_sched::gpipe::generate(p, m)
         }
         PipelineKind::OneFOneB => {
             assert_eq!(n, 1, "1F1B is microbatch-granular");
+            assert!(cfg.mb_slices.is_none(), "1F1B is microbatch-granular");
             slimpipe_sched::onefoneb::generate(p, m)
         }
-        PipelineKind::TeraPipe => slimpipe_sched::terapipe::generate(p, m, n),
-        PipelineKind::SlimPipe => slimpipe_core::schedule::generate(p, m, n),
+        PipelineKind::TeraPipe => {
+            assert!(
+                cfg.mb_slices.is_none(),
+                "TeraPipe's generator has one global slice count"
+            );
+            slimpipe_sched::terapipe::generate(p, m, n)
+        }
+        // SlimPipe is the scheme that supports per-microbatch counts.
+        PipelineKind::SlimPipe => {
+            let counts: Vec<usize> = (0..m).map(|mb| cfg.slices_of(mb)).collect();
+            slimpipe_core::schedule::generate_var(p, &counts)
+        }
     }
     .expect("schedule parameters rejected");
     validate(&sched).expect("generated schedule failed validation");

@@ -79,7 +79,8 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
     // plan derived from its actual bounds. Equal slicings (the whole run,
     // when not ragged) share one map, and the maps are Arc'd so stage
     // threads clone pointers, not plans.
-    let exmaps: Option<Arc<Vec<ExchangeMap>>> = (cfg.exchange && cfg.slices > 1).then(|| {
+    let any_sliced = (0..cfg.microbatches).any(|mb| cfg.slices_of(mb) > 1);
+    let exmaps: Option<Arc<Vec<ExchangeMap>>> = (cfg.exchange && any_sliced).then(|| {
         let slicings = cfg.slicings();
         let mut maps: Vec<ExchangeMap> = Vec::with_capacity(slicings.len());
         for (i, s) in slicings.iter().enumerate() {
@@ -302,6 +303,7 @@ pub fn run_reference(cfg: &ExecConfig, steps: usize, lr: f32) -> RunResult {
     let ref_cfg = ExecConfig {
         stages: 1,
         slices: 1,
+        mb_slices: None,
         slicing: slimpipe_core::SlicePolicy::Uniform,
         vocab_parallel: false,
         exchange: false,

@@ -208,6 +208,91 @@ fn offload_composes_with_pair_balanced_and_ragged() {
     assert_equivalent(&got, &want, 3e-3);
 }
 
+/// Per-microbatch slice counts (the planner's output axis): microbatches
+/// cut at different granularities run the real pipeline and match the
+/// reference, with and without ragged lengths / exchange / vocabulary
+/// parallelism.
+#[test]
+fn per_microbatch_slice_counts_match_reference() {
+    let base = ExecConfig {
+        stages: 2,
+        slices: 8,
+        microbatches: 3,
+        mb_slices: Some(vec![2, 4, 8]),
+        ..ExecConfig::small()
+    };
+    let ragged = ExecConfig {
+        mb_seqs: Some(vec![48, 64, 96]),
+        mb_slices: Some(vec![2, 4, 6]),
+        ..base.clone()
+    };
+    let configs = [
+        ("plain", base.clone()),
+        ("exchange", ExecConfig { exchange: true, ..base.clone() }),
+        ("vocab_parallel", ExecConfig { vocab_parallel: true, ..base.clone() }),
+        ("ragged", ragged.clone()),
+        (
+            "ragged+everything",
+            ExecConfig { exchange: true, vocab_parallel: true, ..ragged },
+        ),
+    ];
+    for (name, cfg) in configs {
+        let want = run_reference(&cfg, 2, 0.2);
+        let got = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
+        let c = slimpipe_exec::verify::compare(&got, &want);
+        assert!(
+            c.max_loss_diff < 3e-3 && c.worst_grad_rel < 3e-3,
+            "{name}: loss diff {} / worst grad {} at {}",
+            c.max_loss_diff,
+            c.worst_grad_rel,
+            c.worst_grad_name
+        );
+    }
+}
+
+/// Exchange under per-microbatch slice counts stays a pure relocation of
+/// work: bit-identical to local execution at every pool width.
+#[test]
+fn per_microbatch_counts_exchange_is_bit_identical_to_local() {
+    let _g = WIDTH_LOCK.lock().unwrap();
+    let cfg = ExecConfig {
+        stages: 2,
+        slices: 8,
+        microbatches: 2,
+        mb_slices: Some(vec![8, 4]),
+        mb_seqs: Some(vec![64, 48]),
+        ..ExecConfig::small()
+    };
+    let local = run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
+    let exchanged =
+        run_pipeline(&ExecConfig { exchange: true, ..cfg.clone() }, PipelineKind::SlimPipe, 2, 0.2);
+    assert_bits_equal(&exchanged, &local, "per-mb-count exchange vs local");
+
+    rayon::set_num_threads(4);
+    let exchanged_wide =
+        run_pipeline(&ExecConfig { exchange: true, ..cfg }, PipelineKind::SlimPipe, 2, 0.2);
+    rayon::set_num_threads(0);
+    assert_bits_equal(&exchanged_wide, &local, "per-mb-count exchange at width 4");
+}
+
+/// A global slice count spelled as per-microbatch counts is bit-identical
+/// to the global spelling — schedules, stashes, exchange maps, and the
+/// byte-exact memory accounting all collapse to the same run.
+#[test]
+fn per_microbatch_spelling_of_global_count_is_bit_identical() {
+    let global = ExecConfig {
+        stages: 2,
+        slices: 4,
+        microbatches: 2,
+        ..ExecConfig::small()
+    };
+    let per_mb = ExecConfig { mb_slices: Some(vec![4, 4]), ..global.clone() };
+    let a = run_pipeline(&global, PipelineKind::SlimPipe, 2, 0.2);
+    let b = run_pipeline(&per_mb, PipelineKind::SlimPipe, 2, 0.2);
+    assert_bits_equal(&b, &a, "per-mb spelling vs global");
+    assert_eq!(a.peak_act_bytes, b.peak_act_bytes);
+}
+
 /// Peak-memory story survives the policy axis: pair-balanced slicing's
 /// early slices are *long* (the §4.1.1 memory problem), so its device-0
 /// peak is at least the uniform run's.

@@ -83,6 +83,7 @@ pub fn estimate(
         cp: cfg.cp,
         ep: cfg.ep,
         seq,
+        mb_seqs: None,
         slicing: slimpipe_core::SlicePolicy::Uniform,
         ckpt: cfg.ckpt,
         exchange: slim,

@@ -1,0 +1,158 @@
+//! The planner's output: an executable explicit slice plan — per-microbatch
+//! slice counts and token bounds — plus the predictions that justified it,
+//! and its lowering into an [`ExecConfig`] the executor runs directly.
+
+use slimpipe_core::{SlicePolicy, Slicing};
+use slimpipe_exec::ExecConfig;
+use std::fmt::Write as _;
+
+/// An executable slice plan for one workload.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Per-microbatch slice counts (`mb_bounds[mb].len() - 1`).
+    pub mb_slices: Vec<usize>,
+    /// Per-microbatch slice bounds (`bounds[0] == 0`, strictly increasing,
+    /// last == that microbatch's sequence length).
+    pub mb_bounds: Vec<Vec<u64>>,
+    /// Closed-form makespan estimate (seconds): bottleneck busy time plus
+    /// a `(p-1)`-deep fill/drain allowance.
+    pub predicted_makespan: f64,
+    /// Bubble fraction implied by [`Plan::predicted_makespan`].
+    pub predicted_bubble: f64,
+    /// Discrete-event simulated makespan (seconds) under the profile.
+    pub simulated_makespan: f64,
+    /// Discrete-event simulated bubble fraction under the profile.
+    pub simulated_bubble: f64,
+    /// Predicted peak activation bytes per device (the byte-model walk the
+    /// memory cap was enforced against).
+    pub predicted_peak_bytes: Vec<f64>,
+    /// Predicted forward+backward cost (seconds) per `(mb, slice)` unit on
+    /// an interior stage — the balance the bounds achieve.
+    pub unit_costs: Vec<Vec<f64>>,
+}
+
+impl Plan {
+    /// The plan's slice partitions, one per microbatch.
+    pub fn slicings(&self) -> Vec<Slicing> {
+        self.mb_bounds
+            .iter()
+            .map(|b| Slicing::explicit(*b.last().expect("non-empty bounds"), b.clone()))
+            .collect()
+    }
+
+    /// True when some microbatches got a different slice count than others
+    /// (the axis global-`n` configs cannot express).
+    pub fn has_per_mb_counts(&self) -> bool {
+        self.mb_slices.windows(2).any(|w| w[0] != w[1])
+    }
+
+    /// Lower the plan onto `base`: the returned config runs these exact
+    /// bounds (and per-microbatch counts, when they differ). Panics only if
+    /// the plan does not fit `base` — the planner emits plans for the
+    /// workload it was given, so a mismatch is a caller bug.
+    pub fn to_exec_config(&self, base: &ExecConfig) -> ExecConfig {
+        let max_n = self.mb_slices.iter().copied().max().expect("non-empty plan");
+        let uniform_counts = !self.has_per_mb_counts();
+        let cfg = ExecConfig {
+            slices: max_n,
+            mb_slices: (!uniform_counts).then(|| self.mb_slices.clone()),
+            slicing: SlicePolicy::ExplicitPerMb(self.mb_bounds.clone()),
+            ..base.clone()
+        };
+        cfg.validate().expect("planner emitted a plan its own workload rejects");
+        cfg
+    }
+
+    /// Human-readable plan table: per-microbatch bounds, slice token
+    /// lengths, and predicted per-slice costs.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "predicted makespan {:.3} ms (bubble {:.4}) | simulated {:.3} ms (bubble {:.4})",
+            self.predicted_makespan * 1e3,
+            self.predicted_bubble,
+            self.simulated_makespan * 1e3,
+            self.simulated_bubble
+        );
+        let peaks: Vec<String> = self
+            .predicted_peak_bytes
+            .iter()
+            .map(|b| format!("{:.1} KiB", b / 1024.0))
+            .collect();
+        let _ = writeln!(out, "predicted peak act bytes/device: [{}]", peaks.join(", "));
+        for (mb, bounds) in self.mb_bounds.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "mb {mb}: n={} bounds {:?}",
+                self.mb_slices[mb], bounds
+            );
+            let lens: Vec<u64> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+            let costs: Vec<String> = self.unit_costs[mb]
+                .iter()
+                .map(|c| format!("{:.1}", c * 1e6))
+                .collect();
+            let _ = writeln!(out, "      len {lens:?}");
+            let _ = writeln!(out, "      f+b cost (us) [{}]", costs.join(", "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_plan() -> Plan {
+        Plan {
+            mb_slices: vec![2, 4],
+            mb_bounds: vec![vec![0, 40, 64], vec![0, 20, 34, 50, 64]],
+            predicted_makespan: 1e-3,
+            predicted_bubble: 0.1,
+            simulated_makespan: 1.1e-3,
+            simulated_bubble: 0.12,
+            predicted_peak_bytes: vec![1024.0, 2048.0],
+            unit_costs: vec![vec![1e-6, 2e-6], vec![1e-6; 4]],
+        }
+    }
+
+    #[test]
+    fn lowering_produces_a_valid_config() {
+        let base = ExecConfig {
+            stages: 2,
+            microbatches: 2,
+            ..ExecConfig::small()
+        };
+        let cfg = toy_plan().to_exec_config(&base);
+        assert_eq!(cfg.slices, 4);
+        assert_eq!(cfg.mb_slices, Some(vec![2, 4]));
+        assert_eq!(cfg.slicing.tag(), "planned");
+        cfg.validate().unwrap();
+        assert_eq!(cfg.slicing_of(0).bounds, vec![0, 40, 64]);
+        assert_eq!(cfg.slicing_of(1).n(), 4);
+    }
+
+    #[test]
+    fn uniform_counts_lower_without_mb_slices() {
+        let mut p = toy_plan();
+        p.mb_slices = vec![2, 2];
+        p.mb_bounds = vec![vec![0, 40, 64], vec![0, 30, 64]];
+        p.unit_costs = vec![vec![1e-6; 2], vec![1e-6; 2]];
+        let base = ExecConfig {
+            stages: 2,
+            microbatches: 2,
+            ..ExecConfig::small()
+        };
+        let cfg = p.to_exec_config(&base);
+        assert!(cfg.mb_slices.is_none());
+        assert_eq!(cfg.slices, 2);
+        assert!(!p.has_per_mb_counts());
+    }
+
+    #[test]
+    fn table_renders_every_microbatch() {
+        let t = toy_plan().render_table();
+        assert!(t.contains("mb 0") && t.contains("mb 1"));
+        assert!(t.contains("bubble"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests over the slicing planner: every emitted plan is a valid
+//! partition the executor's config validation accepts, token totals are
+//! conserved, the memory cap is respected, and on uniform workloads the
+//! planned bounds never lose to the `PairBalanced` baseline on simulated
+//! bubble fraction.
+
+use proptest::prelude::*;
+use slimpipe_core::{SlicePolicy, Slicing};
+use slimpipe_exec::ExecConfig;
+use slimpipe_planner::{plan, reference_profile, simulate_config, PlanError, PlanOpts};
+
+/// A randomised but always-executable workload: `stages` divides layers,
+/// microbatch lengths can ragged-vary, and every length fits at least one
+/// pipeline-sized slice per device.
+fn workload(stages: usize, mbs: usize, seqs: Vec<usize>) -> ExecConfig {
+    let seq = *seqs.iter().max().unwrap();
+    ExecConfig {
+        stages,
+        layers: 4,
+        microbatches: mbs,
+        seq,
+        mb_seqs: Some(seqs),
+        ..ExecConfig::small()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Planner output is always a valid partition: `Slicing::try_explicit`
+    /// accepts every emitted bounds vector, per-microbatch token totals
+    /// are conserved, counts are positive multiples of the pipeline size,
+    /// and the lowered `ExecConfig` passes validation.
+    #[test]
+    fn plans_are_valid_partitions(
+        stages in 1usize..3,
+        mbs in 1usize..4,
+        base_seq in 24usize..100,
+        spread in 0usize..60,
+    ) {
+        let stages = stages * 2; // 2 or 4 — must divide layers=4
+        let seqs: Vec<usize> = (0..mbs)
+            .map(|i| base_seq + (i * 17) % spread.max(1) + i * spread / 2)
+            .map(|s| s.max(stages))
+            .collect();
+        let cfg = workload(stages, mbs, seqs.clone());
+        let profile = reference_profile();
+        let p = plan(&cfg, &profile, &PlanOpts::default()).unwrap();
+        prop_assert_eq!(p.mb_bounds.len(), mbs);
+        for (mb, bounds) in p.mb_bounds.iter().enumerate() {
+            let s = Slicing::try_explicit(seqs[mb] as u64, bounds.clone());
+            prop_assert!(s.is_ok(), "mb {}: {:?}", mb, s.err());
+            let s = s.unwrap();
+            prop_assert_eq!(s.n(), p.mb_slices[mb]);
+            prop_assert!(p.mb_slices[mb].is_multiple_of(stages));
+            // Token totals conserved: slice lengths tile the sequence.
+            let total: u64 = (0..s.n()).map(|i| s.len(i)).sum();
+            prop_assert_eq!(total, seqs[mb] as u64);
+        }
+        let lowered = p.to_exec_config(&cfg);
+        prop_assert!(lowered.validate().is_ok());
+    }
+
+    /// Any plan emitted under a memory cap predicts peaks within the cap;
+    /// impossible caps are reported as infeasible, never silently violated.
+    #[test]
+    fn memory_cap_is_respected(
+        mbs in 1usize..4,
+        seq in 32usize..96,
+        cap_frac_pct in 30u32..120,
+    ) {
+        let cfg = workload(2, mbs, vec![seq; mbs]);
+        let profile = reference_profile();
+        let free = plan(&cfg, &profile, &PlanOpts::default()).unwrap();
+        let free_peak = free.predicted_peak_bytes.iter().copied().fold(0.0, f64::max);
+        let cap = (free_peak * cap_frac_pct as f64 / 100.0) as u64;
+        let opts = PlanOpts { mem_cap_bytes: Some(cap), ..PlanOpts::default() };
+        match plan(&cfg, &profile, &opts) {
+            Ok(p) => {
+                let worst = p.predicted_peak_bytes.iter().copied().fold(0.0, f64::max);
+                prop_assert!(worst <= cap as f64 + 1e-6, "{worst} > cap {cap}");
+            }
+            Err(PlanError::Infeasible(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// On a uniform workload the planned bounds' simulated bubble fraction
+    /// is ≤ `PairBalanced`'s at the same slice counts (the planner
+    /// evaluates the pair-balanced partition as a candidate, so it can tie
+    /// but never lose).
+    #[test]
+    fn planned_bubble_never_loses_to_pair_balanced(
+        mbs in 1usize..4,
+        seq in 32usize..128,
+    ) {
+        let cfg = workload(2, mbs, vec![seq; mbs]);
+        let profile = reference_profile();
+        let p = plan(&cfg, &profile, &PlanOpts::default()).unwrap();
+        let planned_cfg = p.to_exec_config(&cfg);
+        let planned = simulate_config(&planned_cfg, &profile);
+        let baseline_cfg = ExecConfig {
+            slicing: SlicePolicy::PairBalanced,
+            slices: planned_cfg.slices,
+            mb_slices: planned_cfg.mb_slices.clone(),
+            ..cfg.clone()
+        };
+        let baseline = simulate_config(&baseline_cfg, &profile);
+        prop_assert!(
+            planned.bubble_fraction <= baseline.bubble_fraction + 1e-9,
+            "planned {} > pair-balanced {}",
+            planned.bubble_fraction,
+            baseline.bubble_fraction
+        );
+        prop_assert!(planned.makespan <= baseline.makespan + 1e-12);
+    }
+}

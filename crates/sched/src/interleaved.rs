@@ -82,6 +82,7 @@ pub fn generate(p: usize, v: usize, m: usize) -> Result<Schedule, ScheduleError>
         chunks: v,
         microbatches: m,
         slices: 1,
+        mb_slices: None,
         split_backward: false,
         stage_map: Schedule::contiguous_stage_map(p, v),
         ops,

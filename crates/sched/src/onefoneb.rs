@@ -39,6 +39,7 @@ pub fn generate(p: usize, m: usize) -> Result<Schedule, ScheduleError> {
         chunks: 1,
         microbatches: m,
         slices: 1,
+        mb_slices: None,
         split_backward: false,
         stage_map: Schedule::contiguous_stage_map(p, 1),
         ops,

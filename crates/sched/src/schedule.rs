@@ -33,7 +33,15 @@ pub struct Schedule {
     /// Microbatches per iteration `m`.
     pub microbatches: usize,
     /// Sequence slices per microbatch `n` (1 = microbatch granularity).
+    /// When [`Schedule::mb_slices`] is set this is the *maximum* per-
+    /// microbatch count (slice indices on any device stay below it);
+    /// consumers that need microbatch `mb`'s actual count must call
+    /// [`Schedule::slices_of`].
     pub slices: usize,
+    /// Per-microbatch slice counts (`mb_slices[mb]` slices for microbatch
+    /// `mb`). `None` = every microbatch has `slices` slices — the uniform
+    /// case every scheme except SlimPipe's variable-count generator uses.
+    pub mb_slices: Option<Vec<usize>>,
     /// Whether `Backward` is the input-grad half with separate
     /// `BackwardWeight` items (ZB schemes).
     pub split_backward: bool,
@@ -47,6 +55,20 @@ impl Schedule {
     /// Total number of global stages `p·v`.
     pub fn num_stages(&self) -> usize {
         self.devices * self.chunks
+    }
+
+    /// Slice count of microbatch `mb` (per-microbatch when
+    /// [`Schedule::mb_slices`] is set, `slices` otherwise).
+    pub fn slices_of(&self, mb: usize) -> usize {
+        match &self.mb_slices {
+            Some(ns) => ns[mb],
+            None => self.slices,
+        }
+    }
+
+    /// Work units (microbatch-slices) per chunk: `Σ_mb slices_of(mb)`.
+    pub fn units_per_chunk(&self) -> usize {
+        (0..self.microbatches).map(|mb| self.slices_of(mb)).sum()
     }
 
     /// Inverse of `stage_map`: which `(device, chunk)` hosts `stage`.
@@ -68,7 +90,7 @@ impl Schedule {
 
     /// Number of work units of each kind one device must execute.
     pub fn units_per_device(&self) -> usize {
-        self.chunks * self.microbatches * self.slices
+        self.chunks * self.units_per_chunk()
     }
 
     /// Standard interleaved placement: stage `c·p + d` on device `d`.
@@ -137,6 +159,7 @@ mod tests {
             chunks: 2,
             microbatches: 1,
             slices: 1,
+            mb_slices: None,
             split_backward: false,
             stage_map: Schedule::v_stage_map(4),
             ops: vec![vec![]; 4],

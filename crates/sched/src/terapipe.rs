@@ -38,6 +38,7 @@ pub fn generate(p: usize, m: usize, n: usize) -> Result<Schedule, ScheduleError>
         chunks: 1,
         microbatches: m,
         slices: n,
+        mb_slices: None,
         split_backward: false,
         stage_map: Schedule::contiguous_stage_map(p, 1),
         ops,

@@ -30,7 +30,7 @@ pub fn deps_satisfied(
 ) -> bool {
     let stage = sched.stage_of(device, op.chunk as usize);
     let last_stage = sched.num_stages() - 1;
-    let n = sched.slices as u32;
+    let n = sched.slices_of(op.mb as usize) as u32;
     match op.kind {
         PassKind::Forward => {
             let prev_stage_ok = stage == 0
@@ -68,6 +68,21 @@ pub fn validate(sched: &Schedule) -> Result<(), String> {
     if sched.stage_map.len() != sched.devices {
         return Err("stage_map row count != devices".into());
     }
+    if let Some(ns) = &sched.mb_slices {
+        if ns.len() != sched.microbatches {
+            return Err(format!(
+                "mb_slices has {} entries for {} microbatches",
+                ns.len(),
+                sched.microbatches
+            ));
+        }
+        if let Some(&bad) = ns.iter().find(|&&n| n == 0 || n > sched.slices) {
+            return Err(format!(
+                "per-microbatch slice count {bad} outside 1..={}",
+                sched.slices
+            ));
+        }
+    }
     let mut seen_stage = vec![false; sched.num_stages()];
     for row in &sched.stage_map {
         if row.len() != sched.chunks {
@@ -90,7 +105,7 @@ pub fn validate(sched: &Schedule) -> Result<(), String> {
         }
         for c in 0..sched.chunks as u32 {
             for mb in 0..sched.microbatches as u32 {
-                for sl in 0..sched.slices as u32 {
+                for sl in 0..sched.slices_of(mb as usize) as u32 {
                     let mut expected = vec![WorkItem::f(mb, sl, c), WorkItem::b(mb, sl, c)];
                     if sched.split_backward {
                         expected.push(WorkItem::w(mb, sl, c));
@@ -161,6 +176,7 @@ mod tests {
             chunks: 1,
             microbatches: 1,
             slices: 1,
+            mb_slices: None,
             split_backward: false,
             stage_map: Schedule::contiguous_stage_map(2, 1),
             ops: vec![
@@ -208,6 +224,7 @@ mod tests {
             chunks: 1,
             microbatches: 1,
             slices: 2,
+            mb_slices: None,
             split_backward: false,
             stage_map: vec![vec![0]],
             ops: vec![vec![

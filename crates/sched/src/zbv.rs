@@ -204,6 +204,7 @@ fn greedy(
         chunks: v,
         microbatches: m,
         slices: 1,
+        mb_slices: None,
         split_backward: true,
         stage_map,
         ops: devs.into_iter().map(|d| d.ops).collect(),

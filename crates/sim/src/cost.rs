@@ -19,10 +19,16 @@ pub struct PipelineEnv {
     pub cp: usize,
     /// Expert-parallel size `e` (1 for dense models).
     pub ep: usize,
-    /// Full sequence length of one microbatch (tokens).
+    /// Full sequence length of one microbatch (tokens). Individual
+    /// microbatches may override it through [`PipelineEnv::mb_seqs`].
     pub seq: u64,
-    /// How the sequence is cut into the schedule's slices — the same
-    /// policy axis the executor runs, so per-slice workloads agree.
+    /// Ragged microbatches: per-microbatch sequence lengths (must have one
+    /// entry per schedule microbatch when set). `None` = every microbatch
+    /// is `seq` tokens.
+    pub mb_seqs: Option<Vec<u64>>,
+    /// How each sequence is cut into the schedule's slices — the same
+    /// policy axis the executor runs, so per-slice workloads agree
+    /// (per-microbatch bounds included).
     pub slicing: SlicePolicy,
     /// Activation rematerialisation mode.
     pub ckpt: Checkpoint,
@@ -49,12 +55,21 @@ impl PipelineEnv {
             cp: 1,
             ep: 1,
             seq,
+            mb_seqs: None,
             slicing: SlicePolicy::Uniform,
             ckpt: Checkpoint::None,
             exchange: true,
             early_kv: true,
             vocab_parallel: true,
             comm_overlap: 0.5,
+        }
+    }
+
+    /// Sequence length of microbatch `mb` (ragged-aware).
+    pub fn seq_of(&self, mb: usize) -> u64 {
+        match &self.mb_seqs {
+            Some(seqs) => seqs[mb],
+            None => self.seq,
         }
     }
 }
@@ -68,57 +83,81 @@ pub struct OpCost {
     pub send_bytes: f64,
 }
 
+/// Cost provider contract the discrete-event engine simulates against:
+/// anything that can price one work item on one device and describe the
+/// inter-stage link. [`CostModel`] (the analytic cluster model) implements
+/// it; `slimpipe-planner` plugs in a micro-profiled model of the real
+/// executor kernels through the same interface.
+pub trait UnitCostModel {
+    /// The schedule being priced.
+    fn schedule(&self) -> &Schedule;
+    /// Duration + downstream traffic of one op on `device`.
+    fn op_cost(&self, device: usize, op: &WorkItem) -> OpCost;
+    /// Link used between adjacent pipeline stages.
+    fn pipeline_link(&self) -> slimpipe_cluster::Link;
+}
+
 /// Concrete cost model bound to one (schedule, environment) pair.
 pub struct CostModel<'a> {
     pub sched: &'a Schedule,
     pub env: &'a PipelineEnv,
-    /// The slice partition of one microbatch under `env.slicing` — the same
+    /// Per-microbatch slice partitions under `env.slicing` — the same
     /// `Slicing::pairs` source of truth the executor indexes by, so
     /// simulator and executor agree on per-slice attention workloads by
-    /// construction. `None` only for degenerate `slices > seq` geometries
-    /// (which an analytical sweep may price but no executor can run); those
-    /// fall back to uniform averages instead of panicking the estimator.
-    slicing: Option<Slicing>,
+    /// construction. An entry is `None` only for degenerate `slices > seq`
+    /// geometries (which an analytical sweep may price but no executor can
+    /// run); those fall back to uniform averages instead of panicking the
+    /// estimator.
+    slicings: Vec<Option<Slicing>>,
 }
 
 impl<'a> CostModel<'a> {
     pub fn new(sched: &'a Schedule, env: &'a PipelineEnv) -> Self {
-        let slicing = (sched.slices as u64 <= env.seq && env.seq > 0)
-            .then(|| Slicing::from_policy(&env.slicing, env.seq, sched.slices));
-        Self { sched, env, slicing }
+        let slicings = (0..sched.microbatches)
+            .map(|mb| {
+                let seq = env.seq_of(mb);
+                let n = sched.slices_of(mb);
+                (n as u64 <= seq && seq > 0)
+                    .then(|| Slicing::for_microbatch(&env.slicing, mb, seq, n))
+            })
+            .collect();
+        Self { sched, env, slicings }
     }
 
-    /// Tokens one pass of `slice` processes on one rank (that slice's
+    /// Tokens one pass of `(mb, slice)` processes on one rank (that slice's
     /// actual token length / CP) — from the same [`Slicing`] bounds as the
-    /// attention pairs, so non-uniform policies price GEMMs and collectives
-    /// per-slice too.
-    fn unit_tokens(&self, slice: u32) -> f64 {
-        let raw = if self.sched.slices > 1 {
-            match &self.slicing {
+    /// attention pairs, so non-uniform policies and ragged microbatches
+    /// price GEMMs and collectives per-slice too.
+    fn unit_tokens(&self, mb: u32, slice: u32) -> f64 {
+        let n = self.sched.slices_of(mb as usize);
+        let seq = self.env.seq_of(mb as usize);
+        let raw = if n > 1 {
+            match &self.slicings[mb as usize] {
                 Some(s) => s.len(slice as usize) as f64,
-                None => self.env.seq as f64 / self.sched.slices as f64,
+                None => seq as f64 / n as f64,
             }
         } else {
-            self.env.seq as f64
+            seq as f64
         };
         raw / self.env.cp as f64
     }
 
     /// Attention pairs one pass attends on one rank, from the same
     /// [`Slicing`] bounds the executor runs.
-    fn unit_pairs(&self, slice: u32) -> f64 {
-        let n = self.sched.slices as u64;
-        let raw = if self.sched.slices > 1 {
-            match (&self.slicing, self.env.exchange) {
+    fn unit_pairs(&self, mb: u32, slice: u32) -> f64 {
+        let n = self.sched.slices_of(mb as usize) as u64;
+        let seq = self.env.seq_of(mb as usize);
+        let raw = if n > 1 {
+            match (&self.slicings[mb as usize], self.env.exchange) {
                 // Context exchange equalises the per-round attention load:
                 // every pass carries the average share (residual spread is
                 // at most one KV slice — §4.2.2). The average is also the
                 // degenerate-geometry fallback.
-                (_, true) | (None, _) => causal_pairs(0, self.env.seq) as f64 / n as f64,
+                (_, true) | (None, _) => causal_pairs(0, seq) as f64 / n as f64,
                 (Some(s), false) => s.pairs(slice as usize) as f64,
             }
         } else {
-            causal_pairs(0, self.env.seq) as f64
+            causal_pairs(0, seq) as f64
         };
         raw / self.env.cp as f64
     }
@@ -166,8 +205,9 @@ impl<'a> CostModel<'a> {
     }
 
     /// Exposed (non-overlapped) context-exchange communication per pass.
-    fn exchange_comm(&self, tokens: f64) -> f64 {
-        if !self.env.exchange || self.sched.slices <= 1 {
+    fn exchange_comm(&self, mb: u32, tokens: f64) -> f64 {
+        let n_mb = self.sched.slices_of(mb as usize);
+        if !self.env.exchange || n_mb <= 1 {
             return 0.0;
         }
         let m = &self.env.model;
@@ -187,11 +227,11 @@ impl<'a> CostModel<'a> {
             // slice length — the moved chunks are other (for non-uniform
             // policies: differently-sized) slices' caches, not the current
             // slice's.
-            let (p, n) = (self.sched.devices as f64, self.sched.slices as f64);
+            let (p, n) = (self.sched.devices as f64, n_mb as f64);
             let avg_slices = (((self.sched.devices - 1) / 2) as f64 * (n - p + 1.0)
-                + ((self.sched.slices - 1) / 2) as f64 * (p - 1.0))
+                + ((n_mb - 1) / 2) as f64 * (p - 1.0))
                 / n;
-            let mean_tokens = self.env.seq as f64 / n / self.env.cp as f64;
+            let mean_tokens = self.env.seq_of(mb as usize) as f64 / n / self.env.cp as f64;
             let kv = 2.0
                 * avg_slices
                 * mean_tokens
@@ -208,7 +248,7 @@ impl<'a> CostModel<'a> {
     /// `(flops, broadcast_seconds)`.
     fn output_layer_share(&self, device: usize, op: &WorkItem) -> (f64, f64) {
         let m = &self.env.model;
-        let tokens = self.unit_tokens(op.slice).round() as u64;
+        let tokens = self.unit_tokens(op.mb, op.slice).round() as u64;
         if self.env.vocab_parallel {
             // Distributed over all p devices: each device contributes its
             // share when the unit passes through its last local chunk.
@@ -238,8 +278,8 @@ impl<'a> CostModel<'a> {
         let env = self.env;
         let m = &env.model;
         let layers = self.layers_per_chunk();
-        let tokens = self.unit_tokens(op.slice);
-        let pairs = self.unit_pairs(op.slice);
+        let tokens = self.unit_tokens(op.mb, op.slice);
+        let pairs = self.unit_pairs(op.mb, op.slice);
         let lf = m.layer_fwd_flops(tokens.round() as u64, pairs.round() as u128);
         let gemm_f = lf.gemm * layers / env.tp as f64;
         let attn_f = lf.attn * layers / env.tp as f64;
@@ -262,7 +302,7 @@ impl<'a> CostModel<'a> {
                             + self.ep_comm_per_layer(tokens))
                         * (1.0 - env.comm_overlap)
                     + layers * env.eff.layer_overhead(Phase::Forward)
-                    + self.exchange_comm(tokens)
+                    + self.exchange_comm(op.mb, tokens)
             }
             PassKind::Backward => {
                 let (gemm_mult, attn_mult) = if self.sched.split_backward {
@@ -293,7 +333,7 @@ impl<'a> CostModel<'a> {
                             + self.ep_comm_per_layer(tokens))
                         * (1.0 - env.comm_overlap)
                     + layers * env.eff.layer_overhead(Phase::Backward)
-                    + self.exchange_comm(tokens)
+                    + self.exchange_comm(op.mb, tokens)
             }
             PassKind::BackwardWeight => {
                 // Weight-grad half: dW GEMMs only (attention has no weights).
@@ -315,6 +355,20 @@ impl<'a> CostModel<'a> {
         self.env
             .cluster
             .pipeline_link(self.env.tp * self.env.cp * self.env.ep.max(1))
+    }
+}
+
+impl UnitCostModel for CostModel<'_> {
+    fn schedule(&self) -> &Schedule {
+        self.sched
+    }
+
+    fn op_cost(&self, device: usize, op: &WorkItem) -> OpCost {
+        CostModel::op_cost(self, device, op)
+    }
+
+    fn pipeline_link(&self) -> slimpipe_cluster::Link {
+        CostModel::pipeline_link(self)
     }
 }
 

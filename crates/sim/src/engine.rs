@@ -9,7 +9,7 @@
 //! `slimpipe_sched::validate`, so the loop terminates in at most
 //! `total_ops` rounds.
 
-use crate::cost::CostModel;
+use crate::cost::UnitCostModel;
 use crate::metrics;
 use slimpipe_sched::PassKind;
 use std::collections::HashMap;
@@ -35,9 +35,11 @@ impl SimReport {
     }
 }
 
-/// Simulate `sched` under the cost model `cm`.
-pub fn simulate(cm: &CostModel<'_>) -> SimReport {
-    let sched = cm.sched;
+/// Simulate a schedule under any [`UnitCostModel`] — the analytic cluster
+/// model ([`crate::CostModel`]) or a calibrated profile of the real
+/// executor kernels (the planner's).
+pub fn simulate<C: UnitCostModel + ?Sized>(cm: &C) -> SimReport {
+    let sched = cm.schedule();
     let p = sched.devices;
     let link = cm.pipeline_link();
     // finish[(kind, stage, mb, slice)] = (finish_time, device)
@@ -52,7 +54,6 @@ pub fn simulate(cm: &CostModel<'_>) -> SimReport {
         .collect();
     let total: usize = sched.ops.iter().map(|o| o.len()).sum();
     let mut done = 0usize;
-    let n = sched.slices as u32;
     let last_stage = sched.num_stages() - 1;
 
     // Earliest time all dependencies of op (on device d) are available,
@@ -90,7 +91,7 @@ pub fn simulate(cm: &CostModel<'_>) -> SimReport {
                 if stage < last_stage {
                     t = t.max(arrival((PassKind::Backward, stage + 1, op.mb, op.slice), true)?);
                 }
-                if op.slice + 1 < n {
+                if op.slice + 1 < sched.slices_of(op.mb as usize) as u32 {
                     t = t.max(arrival(
                         (PassKind::Backward, stage, op.mb, op.slice + 1),
                         false,
@@ -138,7 +139,7 @@ pub fn simulate(cm: &CostModel<'_>) -> SimReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::PipelineEnv;
+    use crate::cost::{CostModel, PipelineEnv};
     use slimpipe_model::ModelConfig;
 
     fn env(seq: u64) -> PipelineEnv {

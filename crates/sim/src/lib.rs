@@ -16,5 +16,5 @@ pub mod engine;
 pub mod memory;
 pub mod metrics;
 
-pub use cost::{CostModel, PipelineEnv};
+pub use cost::{CostModel, OpCost, PipelineEnv, UnitCostModel};
 pub use engine::{simulate, SimReport};

@@ -5,39 +5,105 @@
 //! (`slimpipe_core::memory`); this module converts units to bytes using the
 //! environment (sequence length, TP/CP sharding, checkpointing mode) and
 //! adds the fp32 logits stash of the output layer.
+//!
+//! Non-uniform slicings, per-microbatch slice counts, and ragged
+//! `mb_seqs` are priced by a *weighted* walk over the same per-microbatch
+//! [`Slicing`] the cost model reads — a long early slice holds
+//! proportionally more resident bytes than a short late one, instead of
+//! every unit being assumed `seq/n` tokens. On uniform geometry the
+//! weighted walk reduces exactly to the classic closed form.
 
 use crate::cost::PipelineEnv;
-use slimpipe_core::memory::{peak_last_stage_units, peak_units};
-use slimpipe_sched::Schedule;
+use slimpipe_core::memory::{
+    peak_bytes_by, peak_last_stage_bytes_by, peak_units, peak_last_stage_units,
+};
+use slimpipe_core::{SlicePolicy, Slicing};
+use slimpipe_sched::{Schedule, WorkItem};
+
+/// True when every unit of the run has the same token count, so the
+/// classic `m_a/(p·v·n)` unit size is exact (and bit-stable with the
+/// pre-weighted accounting).
+fn uniform_geometry(sched: &Schedule, env: &PipelineEnv) -> bool {
+    env.mb_seqs.is_none()
+        && sched.mb_slices.is_none()
+        && matches!(env.slicing, SlicePolicy::Uniform)
+        && (sched.slices as u64 == 0 || env.seq.is_multiple_of(sched.slices as u64))
+}
+
+/// Per-microbatch slice partitions — the same construction the cost model
+/// performs, so memory and makespan read one ground truth. `None` entries
+/// mark degenerate `slices > seq` geometries (uniform-average fallback).
+fn slicings(sched: &Schedule, env: &PipelineEnv) -> Vec<Option<Slicing>> {
+    (0..sched.microbatches)
+        .map(|mb| {
+            let seq = env.seq_of(mb);
+            let n = sched.slices_of(mb);
+            (n as u64 <= seq && seq > 0)
+                .then(|| Slicing::for_microbatch(&env.slicing, mb, seq, n))
+        })
+        .collect()
+}
+
+/// Fraction of microbatch `mb`'s tokens that unit `(mb, slice)` carries.
+fn token_fraction(slicings: &[Option<Slicing>], sched: &Schedule, op: &WorkItem) -> f64 {
+    match &slicings[op.mb as usize] {
+        Some(s) => s.len(op.slice as usize) as f64 / s.seq as f64,
+        None => 1.0 / sched.slices_of(op.mb as usize) as f64,
+    }
+}
 
 /// Peak activation bytes (including KV cache — it is part of the stash) on
 /// `device`.
 pub fn device_peak_act_bytes(sched: &Schedule, env: &PipelineEnv, device: usize) -> f64 {
-    // M_a for one microbatch on one rank: activations shard by TP (with SP)
-    // and by CP (each CP rank holds its sequence shard).
-    let m_a = env.model.microbatch_act_bytes(env.seq, env.tp, env.ckpt) / env.cp as f64;
-    let unit = m_a / (sched.devices * sched.chunks * sched.slices) as f64;
-    peak_units(sched, device) as f64 * unit
+    if uniform_geometry(sched, env) {
+        // M_a for one microbatch on one rank: activations shard by TP (with
+        // SP) and by CP (each CP rank holds its sequence shard).
+        let m_a = env.model.microbatch_act_bytes(env.seq, env.tp, env.ckpt) / env.cp as f64;
+        let unit = m_a / (sched.devices * sched.chunks * sched.slices) as f64;
+        return peak_units(sched, device) as f64 * unit;
+    }
+    let sl = slicings(sched, env);
+    let unit_bytes = |op: &WorkItem| -> f64 {
+        let m_a = env.model.microbatch_act_bytes(env.seq_of(op.mb as usize), env.tp, env.ckpt)
+            / env.cp as f64;
+        m_a / (sched.devices * sched.chunks) as f64 * token_fraction(&sl, sched, op)
+    };
+    peak_bytes_by(sched, device, &unit_bytes)
 }
 
 /// Peak fp32 logits bytes on `device`.
 pub fn device_peak_logits_bytes(sched: &Schedule, env: &PipelineEnv, device: usize) -> f64 {
-    let tokens_per_unit =
-        env.seq as f64 / sched.slices as f64 / env.cp as f64;
-    if env.vocab_parallel {
-        // Every device holds a 1/(t·p) logits shard for the units in flight
-        // at its final chunk (≈ overall in-flight peak / chunk count).
-        let inflight = peak_units(sched, device).div_ceil(sched.chunks.max(1));
-        let per_unit = env
-            .model
-            .logits_bytes(tokens_per_unit.round() as u64, env.tp * sched.devices);
-        inflight as f64 * per_unit
-    } else {
+    if uniform_geometry(sched, env) {
+        let tokens_per_unit = env.seq as f64 / sched.slices as f64 / env.cp as f64;
+        if env.vocab_parallel {
+            // Every device holds a 1/(t·p) logits shard for the units in
+            // flight at its final chunk (≈ overall in-flight peak / chunk
+            // count).
+            let inflight = peak_units(sched, device).div_ceil(sched.chunks.max(1));
+            let per_unit = env
+                .model
+                .logits_bytes(tokens_per_unit.round() as u64, env.tp * sched.devices);
+            return inflight as f64 * per_unit;
+        }
         let units = peak_last_stage_units(sched, device);
-        let per_unit = env
-            .model
-            .logits_bytes(tokens_per_unit.round() as u64, env.tp);
-        units as f64 * per_unit
+        let per_unit = env.model.logits_bytes(tokens_per_unit.round() as u64, env.tp);
+        return units as f64 * per_unit;
+    }
+    let sl = slicings(sched, env);
+    let unit_tokens = |op: &WorkItem| -> f64 {
+        env.seq_of(op.mb as usize) as f64 * token_fraction(&sl, sched, op) / env.cp as f64
+    };
+    if env.vocab_parallel {
+        let shards = env.tp * sched.devices;
+        let bytes = |op: &WorkItem| -> f64 {
+            env.model.logits_bytes(unit_tokens(op).round() as u64, shards)
+        };
+        peak_bytes_by(sched, device, &bytes) / sched.chunks.max(1) as f64
+    } else {
+        let bytes = |op: &WorkItem| -> f64 {
+            env.model.logits_bytes(unit_tokens(op).round() as u64, env.tp)
+        };
+        peak_last_stage_bytes_by(sched, device, &bytes)
     }
 }
 
@@ -124,5 +190,68 @@ mod tests {
         e.cp = 4;
         let c4 = device_peak_act_bytes(&sched, &e, 0);
         assert!((c1 / c4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_uniform_bounds_match_the_uniform_closed_form() {
+        // The weighted walk must agree with the classic unit formula when
+        // the explicit bounds spell the uniform partition.
+        let e = env(131_072);
+        let sched = slimpipe_core::schedule::generate(4, 4, 16).unwrap();
+        let l = 131_072 / 16;
+        let mut explicit = e.clone();
+        explicit.slicing =
+            slimpipe_core::SlicePolicy::Explicit((0..=16u64).map(|i| i * l).collect());
+        for d in 0..4 {
+            let a = device_peak_act_bytes(&sched, &e, d);
+            let b = device_peak_act_bytes(&sched, &explicit, d);
+            assert!((a - b).abs() / a < 1e-12, "device {d}: {a} vs {b}");
+            let la = device_peak_logits_bytes(&sched, &e, d);
+            let lb = device_peak_logits_bytes(&sched, &explicit, d);
+            assert!((la - lb).abs() <= la * 0.1 + 1.0, "device {d}: {la} vs {lb}");
+        }
+    }
+
+    #[test]
+    fn pair_balanced_first_device_peaks_above_uniform() {
+        // §4.1.1's memory argument, now visible to the simulator: pair-
+        // balanced early slices are long, so the warm-up accumulation on
+        // device 0 (which stashes the earliest slices of several
+        // microbatches) weighs more than uniform slicing's.
+        let mut e = env(131_072);
+        e.exchange = false;
+        let sched = slimpipe_core::schedule::generate(4, 4, 16).unwrap();
+        let uniform = device_peak_act_bytes(&sched, &e, 0);
+        e.slicing = slimpipe_core::SlicePolicy::PairBalanced;
+        let balanced = device_peak_act_bytes(&sched, &e, 0);
+        assert!(
+            balanced > uniform * 1.05,
+            "pair-balanced {balanced} should exceed uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn ragged_microbatches_price_their_own_lengths() {
+        // Two microbatches, the second twice the first: the weighted walk
+        // must land between the all-short and all-long uniform runs, and a
+        // run whose ragged lengths all equal `seq` must match the uniform
+        // formula exactly.
+        let sched = slimpipe_core::schedule::generate(2, 2, 4).unwrap();
+        let mut e = env(65_536);
+        e.mb_seqs = Some(vec![65_536, 65_536]);
+        let same = device_peak_act_bytes(&sched, &e, 0);
+        e.mb_seqs = None;
+        let uniform = device_peak_act_bytes(&sched, &e, 0);
+        assert!((same - uniform).abs() / uniform < 1e-12);
+
+        e.mb_seqs = Some(vec![65_536, 131_072]);
+        let ragged = device_peak_act_bytes(&sched, &e, 0);
+        e.mb_seqs = None;
+        e.seq = 131_072;
+        let long = device_peak_act_bytes(&sched, &e, 0);
+        assert!(
+            ragged > uniform && ragged < long,
+            "ragged {ragged} should sit between {uniform} and {long}"
+        );
     }
 }

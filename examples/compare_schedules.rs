@@ -49,6 +49,7 @@ fn main() {
             cp: 1,
             ep: 1,
             seq,
+            mb_seqs: None,
             slicing: slimpipe::core::SlicePolicy::Uniform,
             ckpt: Checkpoint::Full,
             exchange: slim,

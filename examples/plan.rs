@@ -1,0 +1,77 @@
+//! Plan a slicing for the reference executor workload and a ragged one,
+//! and print the human-readable plan tables: per-microbatch bounds,
+//! predicted per-slice costs, and the simulated bubble fraction against
+//! the `Uniform` and `PairBalanced` baselines.
+//!
+//! ```text
+//! cargo run --release --example plan
+//! ```
+//!
+//! Uses the committed reference profile; pass `--calibrate` to re-fit a
+//! profile on this host first (noisy machines will see different absolute
+//! numbers, same structure).
+
+use slimpipe::core::SlicePolicy;
+use slimpipe::exec::ExecConfig;
+use slimpipe::planner::{
+    calibrate, plan, reference_profile, simulate_config, CalibrationOpts, PlanOpts,
+};
+
+fn main() {
+    let profile = if std::env::args().any(|a| a == "--calibrate") {
+        eprintln!("calibrating on this host...");
+        calibrate(&ExecConfig::small(), &CalibrationOpts::default())
+    } else {
+        reference_profile()
+    };
+
+    let workloads = [
+        (
+            "reference (uniform 2x64 tokens)",
+            ExecConfig { stages: 2, microbatches: 2, ..ExecConfig::small() },
+        ),
+        (
+            "ragged (32 + 192 tokens)",
+            ExecConfig {
+                stages: 2,
+                microbatches: 2,
+                seq: 192,
+                mb_seqs: Some(vec![32, 192]),
+                ..ExecConfig::small()
+            },
+        ),
+    ];
+
+    for (name, base) in workloads {
+        println!("=== {name} ===");
+        let p = plan(&base, &profile, &PlanOpts::default()).expect("plannable workload");
+        print!("{}", p.render_table());
+        let planned_cfg = p.to_exec_config(&base);
+        println!(
+            "slice counts: {:?}{}",
+            p.mb_slices,
+            if p.has_per_mb_counts() { "  (per-microbatch)" } else { "  (global)" }
+        );
+        // Baselines at the same slice counts, under the same profile.
+        for policy in [SlicePolicy::Uniform, SlicePolicy::PairBalanced] {
+            let tag = policy.tag();
+            let baseline = ExecConfig {
+                slicing: policy,
+                slices: planned_cfg.slices,
+                mb_slices: planned_cfg.mb_slices.clone(),
+                ..base.clone()
+            };
+            let r = simulate_config(&baseline, &profile);
+            println!(
+                "baseline {tag:<14} makespan {:.3} ms   bubble {:.4}",
+                r.makespan * 1e3,
+                r.bubble_fraction
+            );
+        }
+        println!(
+            "planned {:<15} makespan {:.3} ms   bubble {:.4}",
+            "", p.simulated_makespan * 1e3, p.simulated_bubble
+        );
+        println!();
+    }
+}

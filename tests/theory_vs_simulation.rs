@@ -19,6 +19,7 @@ fn env(model: ModelConfig, seq: u64, slim: bool) -> PipelineEnv {
         cp: 1,
         ep: 1,
         seq,
+        mb_seqs: None,
         slicing: slimpipe::core::SlicePolicy::Uniform,
         ckpt: Checkpoint::Full,
         exchange: slim,
