@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slimpipe_exec::model::ExecConfig;
 use slimpipe_exec::schedule::PipelineKind;
 use slimpipe_exec::train::{run_pipeline, run_reference};
-use slimpipe_exec::SlicePolicy;
+use slimpipe_exec::{DegradePolicy, FaultKind, FaultPlan, FaultSite, SlicePolicy};
 use slimpipe_tensor::pool;
 use std::hint::black_box;
 
@@ -93,6 +93,43 @@ fn bench_slicing_policies(c: &mut Criterion) {
     g.finish();
 }
 
+/// The fault-tolerance hot-path tax: identical training steps with the
+/// runtime fully armed — a fault plan that is consulted at every op but
+/// never fires, a non-abort degradation policy, and the guarded
+/// rendezvous/watchdog machinery live on every channel wait. Each armed
+/// series is measured back-to-back with a clean twin of the same workload
+/// (temporal noise on a shared host dwarfs the effect when the comparison
+/// spans the whole bench run); `bench_check` holds armed within the
+/// regression gate of its twin: recovery must cost nothing when nothing
+/// fails.
+fn bench_fault_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_fault_overhead");
+    g.sample_size(10);
+    let base = ExecConfig { slices: 8, ..cfg() };
+    // Armed but idle: the site is valid geometry but the iteration is
+    // never reached, so the plan is scanned on every forward op and never
+    // matches.
+    let idle_plan = FaultPlan::single(
+        FaultSite { iteration: usize::MAX, stage: 1, mb: 0, slice: 0 },
+        FaultKind::StagePanic,
+    );
+    for (name, exchange, vp) in [("plain", false, false), ("both", true, true)] {
+        let clean = ExecConfig { exchange, vocab_parallel: vp, ..base.clone() };
+        let armed = ExecConfig {
+            policy: DegradePolicy::SkipMicrobatch,
+            fault_plan: Some(idle_plan.clone()),
+            ..clean.clone()
+        };
+        g.bench_with_input(BenchmarkId::new("clean", name), &name, |b, _| {
+            b.iter(|| black_box(run_pipeline(&clean, PipelineKind::SlimPipe, 1, 0.1)))
+        });
+        g.bench_with_input(BenchmarkId::new("armed", name), &name, |b, _| {
+            b.iter(|| black_box(run_pipeline(&armed, PipelineKind::SlimPipe, 1, 0.1)))
+        });
+    }
+    g.finish();
+}
+
 /// The pool's end-to-end effect: identical training steps with the pool
 /// emptied before every iteration (every kernel allocation is a fresh
 /// malloc) vs. left warm (steady-state, allocation-free).
@@ -124,6 +161,7 @@ criterion_group!(
     bench_reference,
     bench_pipelines,
     bench_feature_toggles,
+    bench_fault_overhead,
     bench_slicing_policies,
     bench_pool_cold_vs_warm,
 );

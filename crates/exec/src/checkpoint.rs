@@ -1,0 +1,491 @@
+//! Iteration-boundary checkpoint/restore.
+//!
+//! At an iteration boundary every parameter the run owns — per-stage layer
+//! weights and norms, the embedding table, the final norm, the output
+//! projection or its vocabulary shards — plus the iteration counter is
+//! serialized to a single binary blob with a CRC-32 trailer. f32 payloads
+//! are stored as exact little-endian bit patterns and repacking a restored
+//! weight is a deterministic function of its tensor, so a resumed run is
+//! **bit-identical** to the uninterrupted one (asserted in
+//! `tests/faults.rs`).
+//!
+//! There is no optimizer state beyond the weights (plain SGD) and no data
+//! RNG state beyond the config seed and the iteration counter (training
+//! data is a pure function of `(seed, mb)`), so the file records exactly
+//! what resumption needs and nothing else. A config fingerprint guards
+//! against resuming under a different geometry.
+
+use crate::comm::VocabShard;
+use crate::fault::ExecError;
+use crate::layer::LayerParams;
+use crate::model::ExecConfig;
+use crate::stage::Stage;
+use slimpipe_tensor::{PackedWeight, Tensor};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SLPCKPT1";
+const VERSION: u32 = 1;
+
+/// Table-driven CRC-32 (IEEE 802.3 polynomial, reflected). Implemented
+/// in-tree — the registry is unreachable, and 20 lines beat a dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// One layer's weights, as plain tensors (bit-exact copies of the packed
+/// weights' backing tensors).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerState {
+    pub wq: Tensor,
+    pub wk: Tensor,
+    pub wv: Tensor,
+    pub wo: Tensor,
+    pub w_gate: Tensor,
+    pub w_up: Tensor,
+    pub w_down: Tensor,
+    pub norm1: Vec<f32>,
+    pub norm2: Vec<f32>,
+}
+
+/// One pipeline stage's parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageState {
+    pub layers: Vec<LayerState>,
+    pub embed: Option<Tensor>,
+    pub final_norm: Option<Vec<f32>>,
+    pub out_proj: Option<Tensor>,
+}
+
+/// One vocabulary shard's weight (shard gradients are zero at an iteration
+/// boundary — `SgdStep` clears them).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardState {
+    pub offset: u64,
+    pub w: Tensor,
+}
+
+/// A full run snapshot at an iteration boundary: everything needed to
+/// resume bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointState {
+    /// Iterations already completed (including their SGD step).
+    pub iteration: u64,
+    pub stages: Vec<StageState>,
+    pub shards: Option<Vec<ShardState>>,
+}
+
+/// Geometry fingerprint: resuming under a different shape or seed would
+/// silently produce garbage, so the file refuses to load.
+fn fingerprint(cfg: &ExecConfig) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for v in [
+        cfg.layers as u64,
+        cfg.heads as u64,
+        cfg.kv_heads as u64,
+        cfg.head_dim as u64,
+        cfg.ffn as u64,
+        cfg.vocab as u64,
+        cfg.stages as u64,
+        cfg.vocab_parallel as u64,
+        cfg.seed,
+    ] {
+        mix(v);
+    }
+    h
+}
+
+// ---- binary writer/reader helpers (little-endian throughout) ----
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, v: &[f32]) {
+    put_u64(out, v.len() as u64);
+    for x in v {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    put_u64(out, t.rows() as u64);
+    put_u64(out, t.cols() as u64);
+    for x in t.as_slice() {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ExecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ExecError::Checkpoint("truncated checkpoint".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, ExecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, ExecError> {
+        let n = self.u64()? as usize;
+        let raw = self.take(n.checked_mul(4).ok_or_else(|| {
+            ExecError::Checkpoint("overflowing vector length".into())
+        })?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, ExecError> {
+        let rows = self.u64()? as usize;
+        let cols = self.u64()? as usize;
+        let n = rows.checked_mul(cols).and_then(|n| n.checked_mul(4)).ok_or_else(|| {
+            ExecError::Checkpoint("overflowing tensor shape".into())
+        })?;
+        let raw = self.take(n)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        Ok(Tensor::from_vec(rows, cols, data))
+    }
+
+    fn opt<T>(
+        &mut self,
+        read: impl FnOnce(&mut Self) -> Result<T, ExecError>,
+    ) -> Result<Option<T>, ExecError> {
+        match self.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(read(self)?)),
+            b => Err(ExecError::Checkpoint(format!("bad option tag {b}"))),
+        }
+    }
+}
+
+fn put_opt<T>(out: &mut Vec<u8>, v: Option<&T>, write: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            write(out, t);
+        }
+    }
+}
+
+impl CheckpointState {
+    /// Snapshot the run at an iteration boundary. `iteration` counts
+    /// completed iterations (their SGD steps applied).
+    pub fn capture(iteration: usize, stages: &[Stage], shards: Option<&[VocabShard]>) -> Self {
+        let stages = stages
+            .iter()
+            .map(|st| StageState {
+                layers: st
+                    .layers
+                    .iter()
+                    .map(|l| LayerState {
+                        wq: l.wq.tensor().clone(),
+                        wk: l.wk.tensor().clone(),
+                        wv: l.wv.tensor().clone(),
+                        wo: l.wo.tensor().clone(),
+                        w_gate: l.w_gate.tensor().clone(),
+                        w_up: l.w_up.tensor().clone(),
+                        w_down: l.w_down.tensor().clone(),
+                        norm1: l.norm1.clone(),
+                        norm2: l.norm2.clone(),
+                    })
+                    .collect(),
+                embed: st.embed.as_ref().map(|(t, _)| t.clone()),
+                final_norm: st.final_norm.as_ref().map(|(g, _)| g.clone()),
+                out_proj: st.out_proj.as_ref().map(|(w, _)| w.tensor().clone()),
+            })
+            .collect();
+        let shards = shards.map(|ss| {
+            ss.iter()
+                .map(|s| ShardState { offset: s.offset as u64, w: s.w.tensor().clone() })
+                .collect()
+        });
+        Self { iteration: iteration as u64, stages, shards }
+    }
+
+    /// Overwrite `stage`'s parameters with this snapshot's. Repacking is a
+    /// deterministic function of the tensor, so the restored stage computes
+    /// bit-identically to the captured one. Gradients stay zero (they are
+    /// zero at every iteration boundary).
+    pub fn apply_to(&self, stage: &mut Stage) -> Result<(), ExecError> {
+        let ss = self.stages.get(stage.device).ok_or_else(|| {
+            ExecError::Checkpoint(format!("no stage {} in checkpoint", stage.device))
+        })?;
+        if ss.layers.len() != stage.layers.len() {
+            return Err(ExecError::Checkpoint(format!(
+                "stage {}: checkpoint has {} layers, stage has {}",
+                stage.device,
+                ss.layers.len(),
+                stage.layers.len()
+            )));
+        }
+        for (l, s) in stage.layers.iter_mut().zip(&ss.layers) {
+            *l = LayerParams {
+                wq: PackedWeight::new(s.wq.clone()),
+                wk: PackedWeight::new(s.wk.clone()),
+                wv: PackedWeight::new(s.wv.clone()),
+                wo: PackedWeight::new(s.wo.clone()),
+                w_gate: PackedWeight::new(s.w_gate.clone()),
+                w_up: PackedWeight::new(s.w_up.clone()),
+                w_down: PackedWeight::new(s.w_down.clone()),
+                norm1: s.norm1.clone(),
+                norm2: s.norm2.clone(),
+            };
+        }
+        if let (Some((t, _)), Some(saved)) = (&mut stage.embed, &ss.embed) {
+            *t = saved.clone();
+        }
+        if let (Some((g, _)), Some(saved)) = (&mut stage.final_norm, &ss.final_norm) {
+            *g = saved.clone();
+        }
+        if let (Some((w, _)), Some(saved)) = (&mut stage.out_proj, &ss.out_proj) {
+            *w = PackedWeight::new(saved.clone());
+        }
+        Ok(())
+    }
+
+    /// Rebuild vocabulary shards from the snapshot (gradients zeroed, as
+    /// they are at every boundary).
+    pub fn to_shards(&self, cfg: &ExecConfig) -> Option<Vec<VocabShard>> {
+        self.shards.as_ref().map(|ss| {
+            ss.iter()
+                .map(|s| VocabShard {
+                    w: PackedWeight::new(s.w.clone()),
+                    grad: Tensor::zeros(cfg.hidden(), s.w.cols()),
+                    offset: s.offset as usize,
+                })
+                .collect()
+        })
+    }
+
+    /// Serialize: magic, version, config fingerprint, iteration, payload,
+    /// CRC-32 trailer over everything after the magic.
+    pub fn to_bytes(&self, cfg: &ExecConfig) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        put_u64(&mut out, fingerprint(cfg));
+        put_u64(&mut out, self.iteration);
+        put_u64(&mut out, self.stages.len() as u64);
+        for st in &self.stages {
+            put_u64(&mut out, st.layers.len() as u64);
+            for l in &st.layers {
+                for t in [&l.wq, &l.wk, &l.wv, &l.wo, &l.w_gate, &l.w_up, &l.w_down] {
+                    put_tensor(&mut out, t);
+                }
+                put_f32s(&mut out, &l.norm1);
+                put_f32s(&mut out, &l.norm2);
+            }
+            put_opt(&mut out, st.embed.as_ref(), put_tensor);
+            put_opt(&mut out, st.final_norm.as_ref(), |o, v| put_f32s(o, v));
+            put_opt(&mut out, st.out_proj.as_ref(), put_tensor);
+        }
+        put_opt(&mut out, self.shards.as_ref(), |o, ss| {
+            put_u64(o, ss.len() as u64);
+            for s in ss {
+                put_u64(o, s.offset);
+                put_tensor(o, &s.w);
+            }
+        });
+        let crc = crc32(&out[MAGIC.len()..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Deserialize and verify magic, CRC, version, and config fingerprint.
+    pub fn from_bytes(bytes: &[u8], cfg: &ExecConfig) -> Result<Self, ExecError> {
+        if bytes.len() < MAGIC.len() + 4 + 8 + 8 + 4 {
+            return Err(ExecError::Checkpoint("file too short".into()));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(ExecError::Checkpoint("bad magic (not a checkpoint file)".into()));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let want_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+        let got_crc = crc32(&body[MAGIC.len()..]);
+        if want_crc != got_crc {
+            return Err(ExecError::Checkpoint(format!(
+                "checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
+            )));
+        }
+        let mut r = Reader { buf: body, pos: MAGIC.len() };
+        let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+        if version != VERSION {
+            return Err(ExecError::Checkpoint(format!("unsupported version {version}")));
+        }
+        let fp = r.u64()?;
+        if fp != fingerprint(cfg) {
+            return Err(ExecError::Checkpoint(
+                "config fingerprint mismatch: checkpoint was written under a different \
+                 geometry or seed"
+                    .into(),
+            ));
+        }
+        let iteration = r.u64()?;
+        let n_stages = r.u64()? as usize;
+        let mut stages = Vec::with_capacity(n_stages);
+        for _ in 0..n_stages {
+            let n_layers = r.u64()? as usize;
+            let mut layers = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                layers.push(LayerState {
+                    wq: r.tensor()?,
+                    wk: r.tensor()?,
+                    wv: r.tensor()?,
+                    wo: r.tensor()?,
+                    w_gate: r.tensor()?,
+                    w_up: r.tensor()?,
+                    w_down: r.tensor()?,
+                    norm1: r.f32s()?,
+                    norm2: r.f32s()?,
+                });
+            }
+            let embed = r.opt(|r| r.tensor())?;
+            let final_norm = r.opt(|r| r.f32s())?;
+            let out_proj = r.opt(|r| r.tensor())?;
+            stages.push(StageState { layers, embed, final_norm, out_proj });
+        }
+        let shards = r.opt(|r| {
+            let n = r.u64()? as usize;
+            let mut ss = Vec::with_capacity(n);
+            for _ in 0..n {
+                ss.push(ShardState { offset: r.u64()?, w: r.tensor()? });
+            }
+            Ok(ss)
+        })?;
+        Ok(Self { iteration, stages, shards })
+    }
+
+    /// Write atomically (temp file + rename): a run killed mid-write never
+    /// leaves a torn checkpoint behind.
+    pub fn save(&self, path: &Path, cfg: &ExecConfig) -> Result<(), ExecError> {
+        let bytes = self.to_bytes(cfg);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| ExecError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| ExecError::Checkpoint(format!("rename to {}: {e}", path.display())))?;
+        Ok(())
+    }
+
+    pub fn load(path: &Path, cfg: &ExecConfig) -> Result<Self, ExecError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ExecError::Checkpoint(format!("read {}: {e}", path.display())))?;
+        Self::from_bytes(&bytes, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_bit_exactly() {
+        let cfg = ExecConfig::small();
+        let stages: Vec<Stage> =
+            (0..cfg.stages).map(|d| Stage::build(&cfg, d)).collect();
+        let state = CheckpointState::capture(3, &stages, None);
+        let bytes = state.to_bytes(&cfg);
+        let back = CheckpointState::from_bytes(&bytes, &cfg).unwrap();
+        assert_eq!(back, state, "round-trip must be bit-exact");
+        assert_eq!(back.iteration, 3);
+    }
+
+    #[test]
+    fn corruption_is_detected_by_checksum() {
+        let cfg = ExecConfig::small();
+        let stages: Vec<Stage> = (0..cfg.stages).map(|d| Stage::build(&cfg, d)).collect();
+        let mut bytes = CheckpointState::capture(0, &stages, None).to_bytes(&cfg);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01; // single bit flip
+        match CheckpointState::from_bytes(&bytes, &cfg) {
+            Err(ExecError::Checkpoint(msg)) => {
+                assert!(msg.contains("checksum"), "unexpected message: {msg}")
+            }
+            other => panic!("corruption must be detected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let cfg = ExecConfig::small();
+        let stages: Vec<Stage> = (0..cfg.stages).map(|d| Stage::build(&cfg, d)).collect();
+        let bytes = CheckpointState::capture(0, &stages, None).to_bytes(&cfg);
+        let other = ExecConfig { seed: cfg.seed + 1, ..cfg.clone() };
+        match CheckpointState::from_bytes(&bytes, &other) {
+            Err(ExecError::Checkpoint(msg)) => {
+                assert!(msg.contains("fingerprint"), "unexpected message: {msg}")
+            }
+            other => panic!("fingerprint mismatch must be refused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_reproduces_captured_weights() {
+        let cfg = ExecConfig::small();
+        let mut stages: Vec<Stage> =
+            (0..cfg.stages).map(|d| Stage::build(&cfg, d)).collect();
+        // Perturb so restore actually has to do something.
+        stages[0].layers[0].norm1[0] = 2.5;
+        let state = CheckpointState::capture(1, &stages, None);
+        let mut fresh: Vec<Stage> = (0..cfg.stages).map(|d| Stage::build(&cfg, d)).collect();
+        assert_ne!(fresh[0].layers[0].norm1[0], 2.5);
+        for st in &mut fresh {
+            state.apply_to(st).unwrap();
+        }
+        assert_eq!(fresh[0].layers[0].norm1[0], 2.5);
+        for (a, b) in fresh.iter().zip(&stages) {
+            for (la, lb) in a.layers.iter().zip(&b.layers) {
+                assert_eq!(la.wq.tensor(), lb.wq.tensor());
+                assert_eq!(la.w_down.tensor(), lb.w_down.tensor());
+            }
+        }
+    }
+}

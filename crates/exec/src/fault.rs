@@ -1,0 +1,407 @@
+//! Fault model of the executor: structured errors, deterministic fault
+//! injection, degradation policies, and the shared run-control block that
+//! drains a failing pipeline instead of hanging or aborting the process.
+//!
+//! Design rules:
+//!
+//! * **Structured failure** — every way a run can die maps to one
+//!   [`ExecError`] variant naming the failed unit `(iteration, stage, mb,
+//!   slice)`. Stage and server threads are wrapped in `catch_unwind`, so
+//!   even a panic becomes an `ExecError` instead of a process abort.
+//! * **No hangs** — every cross-thread wait is a `recv_timeout` loop that
+//!   watches the shared abort flag and a watchdog deadline; a wedged
+//!   rendezvous reports the blocked `(stage, unit)` pair.
+//! * **Deterministic injection** — a [`FaultPlan`] names exact `(iteration,
+//!   stage, mb, slice)` sites. Fault handling decisions are made on the
+//!   owning stage thread in schedule order, so every recovery path is as
+//!   reproducible as a fault-free run and can be conformance-tested across
+//!   `RAYON_NUM_THREADS` like any other regime.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Which rendezvous a stage was blocked on when the watchdog fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Port {
+    /// Waiting for the upstream stage's forward activation.
+    Forward,
+    /// Waiting for the downstream stage's backward gradient.
+    Backward,
+    /// Waiting for a compute server's reply.
+    Server,
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Port::Forward => "forward",
+            Port::Backward => "backward",
+            Port::Server => "server",
+        })
+    }
+}
+
+/// Structured executor failure. Every variant names the unit that failed,
+/// so a dead run is a diagnosis, not a stack trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// A stage thread panicked (caught; the process survives).
+    StagePanic { stage: usize, iteration: usize, mb: u32, slice: u32, msg: String },
+    /// A compute server's channel disconnected: the server thread is gone.
+    ServerDied { device: usize, stage: usize, mb: u32, slice: u32 },
+    /// An exchange rendezvous exhausted its retry budget.
+    ExchangeTimeout { stage: usize, device: usize, mb: u32, slice: u32, chunk: usize, attempts: u32 },
+    /// The watchdog caught a stage blocked on a rendezvous past the
+    /// deadline and reports the blocked (stage, unit) pair.
+    RendezvousStuck { stage: usize, mb: u32, slice: u32, port: Port, waited_ms: u64 },
+    /// A NaN/Inf loss or gradient under [`DegradePolicy::Abort`] (or one
+    /// that no policy could contain).
+    NonFinite { stage: usize, iteration: usize, mb: u32, slice: u32, what: String },
+    /// This thread stopped because another unit failed first; the primary
+    /// error is recorded in the run control block.
+    Aborted { stage: usize },
+    /// A peer's channel disconnected without a recorded primary error.
+    Disconnected { stage: usize, port: Port },
+    InvalidConfig(String),
+    /// Checkpoint serialization / restore failure (path, corruption, or a
+    /// config fingerprint mismatch).
+    Checkpoint(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::StagePanic { stage, iteration, mb, slice, msg } => write!(
+                f,
+                "stage {stage} panicked at iteration {iteration}, unit (mb {mb}, slice {slice}): {msg}"
+            ),
+            ExecError::ServerDied { device, stage, mb, slice } => write!(
+                f,
+                "compute server {device} died (stage {stage} waiting at unit (mb {mb}, slice {slice}))"
+            ),
+            ExecError::ExchangeTimeout { stage, device, mb, slice, chunk, attempts } => write!(
+                f,
+                "exchange rendezvous timed out after {attempts} attempts: stage {stage} \
+                 awaiting chunk {chunk} of unit (mb {mb}, slice {slice}) from device {device}"
+            ),
+            ExecError::RendezvousStuck { stage, mb, slice, port, waited_ms } => write!(
+                f,
+                "watchdog: stage {stage} stuck {waited_ms} ms on {port} rendezvous of unit \
+                 (mb {mb}, slice {slice})"
+            ),
+            ExecError::NonFinite { stage, iteration, mb, slice, what } => write!(
+                f,
+                "non-finite {what} at stage {stage}, iteration {iteration}, unit (mb {mb}, slice {slice})"
+            ),
+            ExecError::Aborted { stage } => {
+                write!(f, "stage {stage} drained after another unit failed")
+            }
+            ExecError::Disconnected { stage, port } => {
+                write!(f, "stage {stage}: {port} peer disconnected without reporting an error")
+            }
+            ExecError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ExecError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl ExecError {
+    /// Primary errors are root causes; secondary errors are the echoes
+    /// other threads report while the pipeline drains. The control block
+    /// lets a primary error displace a secondary one so the run always
+    /// surfaces the root cause regardless of thread timing.
+    fn is_primary(&self) -> bool {
+        !matches!(self, ExecError::Aborted { .. } | ExecError::Disconnected { .. })
+    }
+}
+
+/// A fault-injection site: the exact schedule coordinate where the fault
+/// fires. Stages match sites against their own `(iteration, stage)` and the
+/// op's `(mb, slice)`, so injection is deterministic by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSite {
+    pub iteration: usize,
+    pub stage: usize,
+    pub mb: u32,
+    pub slice: u32,
+}
+
+/// What happens at a matched site.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The stage thread panics before executing the op.
+    StagePanic,
+    /// The given device's compute server is told to die before the op.
+    ServerDeath { device: usize },
+    /// The first remote-chunk reply of this op's exchange is lost; the
+    /// retry path must recover it.
+    DropReply,
+    /// Every remote-chunk reply of this op is delayed by `ms` on the
+    /// serving side.
+    DelayReply { ms: u64 },
+    /// The op's input activation is poisoned with NaNs (simulated transfer
+    /// corruption; stages > 0 only — stage 0 receives tokens, not floats).
+    CorruptActivation,
+    /// The stage stops making progress at the site until the run aborts
+    /// (bounded at 10× the watchdog so a single-stage run still ends). A
+    /// peer's watchdog must catch it and report the stuck pair.
+    Stall,
+}
+
+/// Deterministic fault schedule: fires `kind` whenever execution passes
+/// `site`. Part of `ExecConfig`, so a faulty run is exactly as declarative
+/// and reproducible as a clean one.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    pub faults: Vec<(FaultSite, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// One fault at one site.
+    pub fn single(site: FaultSite, kind: FaultKind) -> Self {
+        Self { faults: vec![(site, kind)] }
+    }
+
+    /// Faults matching the given schedule coordinate.
+    pub fn at(
+        &self,
+        iteration: usize,
+        stage: usize,
+        mb: u32,
+        slice: u32,
+    ) -> impl Iterator<Item = &FaultKind> {
+        self.faults.iter().filter_map(move |(s, k)| {
+            (s.iteration == iteration && s.stage == stage && s.mb == mb && s.slice == slice)
+                .then_some(k)
+        })
+    }
+}
+
+/// What the runtime does when a unit's loss goes non-finite or an exchange
+/// rendezvous cannot be completed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Fail the run with a structured [`ExecError`] (the default: training
+    /// scripts should notice).
+    #[default]
+    Abort,
+    /// Drop the poisoned microbatch and renormalize the iteration's loss
+    /// and gradients over the surviving tokens.
+    SkipMicrobatch,
+    /// Exchange trouble only: recompute the chunk locally and stop
+    /// exchanging for the rest of the iteration. (KV chunks are always
+    /// locally resident — exchange is an optimization, so the fallback is
+    /// bit-identical.) Non-finite losses degrade like `SkipMicrobatch`.
+    LocalFallback,
+}
+
+/// Counters a run reports about its recovery activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Exchange replies that needed at least one resubmission.
+    pub exchange_retries: u64,
+    /// Chunk jobs recomputed locally after exchange gave up.
+    pub local_fallbacks: u64,
+    /// Microbatches dropped and renormalized away.
+    pub skipped_microbatches: u64,
+}
+
+/// Shared run-control block: the first failure aborts the run; every other
+/// thread sees the flag at its next rendezvous and drains.
+#[derive(Default)]
+pub struct RunCtl {
+    abort: AtomicBool,
+    err: Mutex<Option<ExecError>>,
+    pub exchange_retries: AtomicU64,
+    pub local_fallbacks: AtomicU64,
+    pub skipped_microbatches: AtomicU64,
+}
+
+impl RunCtl {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a failure and raise the abort flag. The first *primary*
+    /// error wins; a primary error displaces a previously recorded
+    /// secondary one (a draining thread may observe the disconnect before
+    /// the failing thread records its root cause).
+    pub fn fail(&self, e: ExecError) {
+        self.abort.store(true, Ordering::Release);
+        let mut slot = self.err.lock().unwrap();
+        match &*slot {
+            None => *slot = Some(e),
+            Some(cur) if !cur.is_primary() && e.is_primary() => *slot = Some(e),
+            Some(_) => {}
+        }
+    }
+
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    pub fn take_error(&self) -> Option<ExecError> {
+        self.err.lock().unwrap().take()
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            exchange_retries: self.exchange_retries.load(Ordering::Relaxed),
+            local_fallbacks: self.local_fallbacks.load(Ordering::Relaxed),
+            skipped_microbatches: self.skipped_microbatches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Poll interval of guarded waits: long enough to stay off the hot path,
+/// short enough that an abort drains the pipeline promptly.
+pub const ABORT_POLL: Duration = Duration::from_millis(25);
+
+/// Grace period after an unexplained disconnect before concluding the peer
+/// died silently (its `catch_unwind` may still be recording the root
+/// cause).
+pub const DISCONNECT_GRACE: Duration = Duration::from_millis(250);
+
+/// A guarded blocking receive: waits for a message, watching the abort
+/// flag every [`ABORT_POLL`] and giving up after `watchdog` with a
+/// stuck-rendezvous report naming the blocked `(stage, unit)` pair. On a
+/// disconnect it waits [`DISCONNECT_GRACE`] for the peer's root cause to
+/// land in `ctl` before reporting the disconnect itself.
+pub fn recv_guarded<T>(
+    rx: &crossbeam::channel::Receiver<T>,
+    ctl: &RunCtl,
+    watchdog: Duration,
+    stage: usize,
+    mb: u32,
+    slice: u32,
+    port: Port,
+) -> Result<T, ExecError> {
+    use crossbeam::channel::RecvTimeoutError;
+    let start = Instant::now();
+    loop {
+        match rx.recv_timeout(ABORT_POLL) {
+            Ok(v) => return Ok(v),
+            Err(RecvTimeoutError::Timeout) => {
+                if ctl.aborted() {
+                    return Err(ExecError::Aborted { stage });
+                }
+                let waited = start.elapsed();
+                if waited >= watchdog {
+                    let e = ExecError::RendezvousStuck {
+                        stage,
+                        mb,
+                        slice,
+                        port,
+                        waited_ms: waited.as_millis() as u64,
+                    };
+                    ctl.fail(e.clone());
+                    return Err(e);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                let grace_start = Instant::now();
+                while grace_start.elapsed() < DISCONNECT_GRACE {
+                    if ctl.aborted() {
+                        return Err(ExecError::Aborted { stage });
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if ctl.aborted() {
+                    return Err(ExecError::Aborted { stage });
+                }
+                let e = ExecError::Disconnected { stage, port };
+                ctl.fail(e.clone());
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Payload type for injected panics, so the quiet panic hook (tests) and
+/// the containment layer can tell injected faults from real bugs.
+pub struct InjectedPanic(pub String);
+
+/// Extract a panic payload into a human-readable message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(ip) = payload.downcast_ref::<InjectedPanic>() {
+        ip.0.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn primary_error_displaces_secondary() {
+        let ctl = RunCtl::new();
+        ctl.fail(ExecError::Aborted { stage: 1 });
+        assert!(ctl.aborted());
+        ctl.fail(ExecError::NonFinite {
+            stage: 0,
+            iteration: 2,
+            mb: 1,
+            slice: 0,
+            what: "loss".into(),
+        });
+        // A second primary must NOT displace the first.
+        ctl.fail(ExecError::StagePanic {
+            stage: 1,
+            iteration: 0,
+            mb: 0,
+            slice: 0,
+            msg: "later".into(),
+        });
+        match ctl.take_error() {
+            Some(ExecError::NonFinite { stage: 0, iteration: 2, .. }) => {}
+            other => panic!("expected the first primary error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_guarded_reports_stuck_pair() {
+        let (_tx, rx) = unbounded::<u8>();
+        let ctl = RunCtl::new();
+        let err = recv_guarded(&rx, &ctl, Duration::from_millis(60), 3, 1, 2, Port::Backward)
+            .unwrap_err();
+        match err {
+            ExecError::RendezvousStuck { stage: 3, mb: 1, slice: 2, port: Port::Backward, waited_ms } => {
+                assert!(waited_ms >= 60);
+            }
+            other => panic!("expected RendezvousStuck, got {other}"),
+        }
+        assert!(ctl.aborted(), "watchdog failure must abort the run");
+    }
+
+    #[test]
+    fn recv_guarded_drains_on_abort() {
+        let (_tx, rx) = unbounded::<u8>();
+        let ctl = RunCtl::new();
+        ctl.fail(ExecError::Aborted { stage: 0 });
+        let err =
+            recv_guarded(&rx, &ctl, Duration::from_secs(60), 1, 0, 0, Port::Forward).unwrap_err();
+        assert_eq!(err, ExecError::Aborted { stage: 1 });
+    }
+
+    #[test]
+    fn fault_plan_matches_exact_sites_only() {
+        let site = FaultSite { iteration: 1, stage: 0, mb: 1, slice: 2 };
+        let plan = FaultPlan::single(site, FaultKind::StagePanic);
+        assert_eq!(plan.at(1, 0, 1, 2).count(), 1);
+        assert_eq!(plan.at(0, 0, 1, 2).count(), 0);
+        assert_eq!(plan.at(1, 1, 1, 2).count(), 0);
+        assert_eq!(plan.at(1, 0, 0, 2).count(), 0);
+        assert_eq!(plan.at(1, 0, 1, 1).count(), 0);
+    }
+}

@@ -48,6 +48,7 @@
 //! bit-identical for every `RAYON_NUM_THREADS`, which is what the
 //! executor-level determinism claims in `tests/conformance.rs` rest on.
 
+use crate::fault::ExecError;
 use crate::model::ExecConfig;
 use slimpipe_tensor::attention::{AttnPartial, HeadCfg};
 use slimpipe_tensor::init::seeded_xavier;
@@ -150,6 +151,20 @@ impl LayerGrads {
         self.w_down.fill(0.0);
         self.norm1.fill(0.0);
         self.norm2.fill(0.0);
+    }
+
+    /// Rescale every accumulator in place (skip-and-renormalize).
+    pub fn scale(&mut self, factor: f32) {
+        self.wq.scale(factor);
+        self.wk.scale(factor);
+        self.wv.scale(factor);
+        self.wo.scale(factor);
+        self.w_gate.scale(factor);
+        self.w_up.scale(factor);
+        self.w_down.scale(factor);
+        for v in self.norm1.iter_mut().chain(self.norm2.iter_mut()) {
+            *v *= factor;
+        }
     }
 
     /// Flat view for fingerprinting / comparisons.
@@ -305,7 +320,11 @@ impl SliceCache {
 
 /// How attention chunk work is executed (locally, or partly shipped to
 /// other devices by context exchange). The closure receives the chunk task
-/// list and must return the merged partial — see `crate::comm`.
+/// list and must return the merged partial — see `crate::comm`. Fallible:
+/// the exchange runtime can fail a rendezvous (dead server, exhausted
+/// retries) and reports it as a structured [`ExecError`] instead of
+/// panicking, so a lost device drains the pipeline rather than aborting
+/// the process.
 pub trait AttnExecutor {
     /// Forward: attention of `q` against visible chunks; returns merged
     /// output + lse.
@@ -316,7 +335,7 @@ pub trait AttnExecutor {
         offsets: &[usize],
         cfg: HeadCfg,
         q_offset: usize,
-    ) -> AttnPartial;
+    ) -> Result<AttnPartial, ExecError>;
 
     /// Backward: per-chunk dK/dV plus the summed dQ.
     #[allow(clippy::too_many_arguments)]
@@ -330,10 +349,10 @@ pub trait AttnExecutor {
         lse: &[f32],
         cfg: HeadCfg,
         q_offset: usize,
-    ) -> (Tensor, Vec<(Tensor, Tensor)>);
+    ) -> Result<(Tensor, Vec<(Tensor, Tensor)>), ExecError>;
 }
 
-/// Purely local execution.
+/// Purely local execution (infallible — errors only arise from exchange).
 pub struct LocalAttn;
 
 impl AttnExecutor for LocalAttn {
@@ -344,8 +363,8 @@ impl AttnExecutor for LocalAttn {
         offsets: &[usize],
         cfg: HeadCfg,
         q_offset: usize,
-    ) -> AttnPartial {
-        attention::forward_chunked(q, chunks, offsets, cfg, q_offset)
+    ) -> Result<AttnPartial, ExecError> {
+        Ok(attention::forward_chunked(q, chunks, offsets, cfg, q_offset))
     }
 
     fn attn_backward(
@@ -358,8 +377,8 @@ impl AttnExecutor for LocalAttn {
         lse: &[f32],
         cfg: HeadCfg,
         q_offset: usize,
-    ) -> (Tensor, Vec<(Tensor, Tensor)>) {
-        attention::backward_chunked(q, chunks, offsets, d_o, o, lse, cfg, q_offset)
+    ) -> Result<(Tensor, Vec<(Tensor, Tensor)>), ExecError> {
+        Ok(attention::backward_chunked(q, chunks, offsets, d_o, o, lse, cfg, q_offset))
     }
 }
 
@@ -379,7 +398,7 @@ pub fn layer_forward(
     slice: usize,
     q_offset: usize,
     attn: &mut dyn AttnExecutor,
-) -> (Tensor, SliceCache) {
+) -> Result<(Tensor, SliceCache), ExecError> {
     let inv1 = rmsnorm::inv_rms(&x);
     let pro1 = Prologue::NormRows { inv: &inv1, gain: &p.norm1 };
     let q = matmul_fused(&x, p.wq.nn(), pro1, Epilogue::None);
@@ -389,7 +408,7 @@ pub fn layer_forward(
     kv.push(k, v, q_offset);
     let part = {
         let (chunks, offsets) = kv.visible(slice);
-        attn.attn_forward(&q, &chunks, &offsets, cfg, q_offset)
+        attn.attn_forward(&q, &chunks, &offsets, cfg, q_offset)?
     };
     // resid_mid = x + attn_proj, the add fused into the projection's
     // writeback.
@@ -416,7 +435,7 @@ pub fn layer_forward(
         gate,
         up,
     };
-    (y, cache)
+    Ok((y, cache))
 }
 
 /// Backward one slice through one layer (must run in LIFO slice order).
@@ -433,7 +452,7 @@ pub fn layer_backward(
     slice: usize,
     q_offset: usize,
     attn: &mut dyn AttnExecutor,
-) -> Tensor {
+) -> Result<Tensor, ExecError> {
     dkv.ensure(slice + 1);
     // ---- MLP path (normed2 and the SwiGLU product are recomputed inside
     // the GEMM packs — nothing is materialised) ----
@@ -475,7 +494,7 @@ pub fn layer_backward(
             &cache.lse,
             cfg,
             q_offset,
-        )
+        )?
     };
     d_o.recycle();
     // Park contributions for earlier chunks; combine our own (diagonal)
@@ -520,7 +539,7 @@ pub fn layer_backward(
     let mut d_x = d_resid_mid;
     d_x.add_assign_recycle(d_x_from_norm);
     cache.recycle();
-    d_x
+    Ok(d_x)
 }
 
 #[cfg(test)]
@@ -543,13 +562,14 @@ mod tests {
         // Monolithic.
         let mut kv1 = KvCache::default();
         let (y_ref, cache_ref) =
-            layer_forward(&p, hc, x.clone(), &mut kv1, 0, 0, &mut LocalAttn);
+            layer_forward(&p, hc, x.clone(), &mut kv1, 0, 0, &mut LocalAttn).unwrap();
         let mut g_ref = LayerGrads::zeros(&cfg);
         let mut dkv1 = DkvAccum::default();
         let dx_ref = layer_backward(
             &p, &mut g_ref, hc, cache_ref, d_y.clone(), &mut kv1, &mut dkv1, 0, 0,
             &mut LocalAttn,
-        );
+        )
+        .unwrap();
 
         // Sliced: forward in order, backward LIFO.
         let l = cfg.slice_len();
@@ -558,7 +578,7 @@ mod tests {
         let mut y_cat = Tensor::zeros(cfg.seq, cfg.hidden());
         for j in 0..cfg.slices {
             let xs = x.rows_slice(j * l, l);
-            let (y, c) = layer_forward(&p, hc, xs, &mut kv, j, j * l, &mut LocalAttn);
+            let (y, c) = layer_forward(&p, hc, xs, &mut kv, j, j * l, &mut LocalAttn).unwrap();
             y_cat.set_rows(j * l, &y);
             caches.push(c);
         }
@@ -574,7 +594,8 @@ mod tests {
             let dx = layer_backward(
                 &p, &mut g, hc, cache, dys, &mut kv, &mut dkv, j, j * l,
                 &mut LocalAttn,
-            );
+            )
+            .unwrap();
             dx_cat.set_rows(j * l, &dx);
         }
         assert!(dx_cat.max_abs_diff(&dx_ref) < 1e-3, "dx mismatch");
@@ -609,7 +630,8 @@ mod tests {
             let mut caches = Vec::new();
             for j in 0..cfg.slices {
                 let (_, c) =
-                    layer_forward(&p, hc, x.rows_slice(j * l, l), &mut kv, j, j * l, &mut LocalAttn);
+                    layer_forward(&p, hc, x.rows_slice(j * l, l), &mut kv, j, j * l, &mut LocalAttn)
+                        .unwrap();
                 caches.push(c);
             }
             let mut g = LayerGrads::zeros(&cfg);
@@ -621,7 +643,8 @@ mod tests {
                 let cache = caches.pop().expect("LIFO stash");
                 let dx = layer_backward(
                     &p, &mut g, hc, cache, dys, &mut kv, &mut dkv, j, j * l, &mut LocalAttn,
-                );
+                )
+                .unwrap();
                 dx_cat.set_rows(j * l, &dx);
             }
             (dx_cat, g)
@@ -645,7 +668,7 @@ mod tests {
         let mut caches = Vec::new();
         for j in 0..cfg.slices {
             let xs = x.rows_slice(j * l, l);
-            let (_, c) = layer_forward(&p, hc, xs, &mut kv, j, j * l, &mut LocalAttn);
+            let (_, c) = layer_forward(&p, hc, xs, &mut kv, j, j * l, &mut LocalAttn).unwrap();
             caches.push(c);
         }
         let full = kv.bytes();
@@ -659,7 +682,8 @@ mod tests {
             layer_backward(
                 &p, &mut g, hc, cache, d_y, &mut kv, &mut dkv, j, j * l,
                 &mut LocalAttn,
-            );
+            )
+            .unwrap();
             // Chunk j gone; chunks 0..j still resident.
             assert_eq!(kv.bytes(), full * j as u64 / cfg.slices as u64);
         }

@@ -27,7 +27,9 @@
 //! and the same parameter gradients as a single-device reference, to f32
 //! reassociation tolerance.
 
+pub mod checkpoint;
 pub mod comm;
+pub mod fault;
 pub mod layer;
 pub mod model;
 pub mod offload;
@@ -37,6 +39,8 @@ pub mod stage;
 pub mod train;
 pub mod verify;
 
-pub use model::ExecConfig;
+pub use checkpoint::CheckpointState;
+pub use fault::{DegradePolicy, ExecError, FaultKind, FaultPlan, FaultSite};
+pub use model::{CheckpointCfg, ExecConfig};
 pub use slimpipe_core::{SlicePolicy, Slicing};
-pub use train::{run_pipeline, run_reference, RunResult};
+pub use train::{run_pipeline, run_reference, try_resume_pipeline, try_run_pipeline, RunResult};

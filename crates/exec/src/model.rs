@@ -7,11 +7,21 @@
 //! `slice * slice_len`. Microbatches may be ragged (per-microbatch sequence
 //! lengths via [`ExecConfig::mb_seqs`]).
 
+use crate::fault::{DegradePolicy, FaultKind, FaultPlan};
 use slimpipe_core::{SlicePolicy, Slicing};
 use slimpipe_tensor::attention::HeadCfg;
 use slimpipe_tensor::init::seeded_xavier;
 use slimpipe_tensor::Tensor;
 use std::ops::Range;
+use std::path::PathBuf;
+
+/// Iteration-boundary checkpointing: write a snapshot to `path` after
+/// every `every` completed iterations.
+#[derive(Clone, Debug)]
+pub struct CheckpointCfg {
+    pub every: usize,
+    pub path: PathBuf,
+}
 
 /// Shape and run parameters of an executor model. Kept small — these train
 /// for real on CPU threads.
@@ -48,6 +58,19 @@ pub struct ExecConfig {
     /// host memory (§6.5). `None` disables offloading.
     pub offload_budget: Option<u64>,
     pub seed: u64,
+    /// What the runtime does about a non-finite loss or an unrecoverable
+    /// exchange rendezvous.
+    pub policy: DegradePolicy,
+    /// Deterministic fault-injection schedule (`None` = clean run).
+    pub fault_plan: Option<FaultPlan>,
+    /// Stuck-rendezvous watchdog per blocking wait, in milliseconds.
+    pub watchdog_ms: u64,
+    /// Per-attempt timeout for an exchange reply, in milliseconds.
+    pub exchange_timeout_ms: u64,
+    /// Resubmission budget for a timed-out exchange reply.
+    pub exchange_retries: u32,
+    /// Iteration-boundary checkpointing (`None` = never snapshot).
+    pub checkpoint: Option<CheckpointCfg>,
 }
 
 impl ExecConfig {
@@ -72,6 +95,15 @@ impl ExecConfig {
             exchange: false,
             offload_budget: None,
             seed: 7,
+            policy: DegradePolicy::Abort,
+            fault_plan: None,
+            // Generous defaults: on an unloaded host a healthy rendezvous
+            // completes in microseconds; these only fire when a peer is
+            // genuinely gone or wedged.
+            watchdog_ms: 10_000,
+            exchange_timeout_ms: 2_000,
+            exchange_retries: 3,
+            checkpoint: None,
         }
     }
 
@@ -221,6 +253,45 @@ impl ExecConfig {
                 Slicing::try_explicit(seq as u64, bounds.clone())
                     .map_err(|e| format!("microbatch {mb}: {e}"))?;
             }
+        }
+        if let Some(plan) = &self.fault_plan {
+            for (site, kind) in &plan.faults {
+                if site.stage >= self.stages {
+                    return Err(format!(
+                        "fault site names stage {} of {}",
+                        site.stage, self.stages
+                    ));
+                }
+                if site.mb as usize >= self.microbatches {
+                    return Err(format!(
+                        "fault site names microbatch {} of {}",
+                        site.mb, self.microbatches
+                    ));
+                }
+                if matches!(kind, FaultKind::CorruptActivation) && site.stage == 0 {
+                    return Err(
+                        "CorruptActivation models transfer corruption: stage 0 receives \
+                         tokens, not activations"
+                            .into(),
+                    );
+                }
+                if let FaultKind::ServerDeath { device } = kind {
+                    if *device >= self.stages {
+                        return Err(format!(
+                            "fault kills server {} of {}",
+                            device, self.stages
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(ck) = &self.checkpoint {
+            if ck.every == 0 {
+                return Err("checkpoint interval must be positive".into());
+            }
+        }
+        if self.watchdog_ms == 0 || self.exchange_timeout_ms == 0 {
+            return Err("watchdog and exchange timeouts must be positive".into());
         }
         Ok(())
     }

@@ -17,6 +17,7 @@
 //! with byte-exact communication meters, and both are verified to equal
 //! monolithic attention.
 
+use crate::fault::ExecError;
 use slimpipe_core::Slicing;
 use slimpipe_tensor::attention::{fold_partial, forward_chunked, AttnPartial, HeadCfg};
 use slimpipe_tensor::Tensor;
@@ -46,7 +47,9 @@ fn kv_bytes(k: &Tensor, v: &Tensor) -> u64 {
 
 /// Classic ring attention: KV shards rotate; every rank's query stays put.
 /// Communication: every non-local `(K, V)` shard visits every rank once.
-pub fn ring_classic(ranks: &[CpRank], cfg: HeadCfg) -> CpResult {
+/// Fails with a structured error (instead of panicking) when a rank ends
+/// the ring with nothing to attend — a malformed scenario.
+pub fn ring_classic(ranks: &[CpRank], cfg: HeadCfg) -> Result<CpResult, ExecError> {
     let c = ranks.len();
     let mut outputs = Vec::with_capacity(c);
     let mut comm = 0u64;
@@ -63,14 +66,19 @@ pub fn ring_classic(ranks: &[CpRank], cfg: HeadCfg) -> CpResult {
                 fold_partial(&mut acc, p, cfg);
             }
         }
-        outputs.push(acc.expect("at least the local shard"));
+        let merged = acc.ok_or_else(|| {
+            ExecError::InvalidConfig(format!("CP rank {me} saw no KV shard in the ring"))
+        })?;
+        outputs.push(merged);
     }
-    CpResult { outputs, comm_bytes: comm }
+    Ok(CpResult { outputs, comm_bytes: comm })
 }
 
 /// Commutated ring attention (§5): `(Q, O, lse)` rotates; KV never moves.
-/// Communication: one query + one output + one lse vector per hop.
-pub fn ring_commutated(ranks: &[CpRank], cfg: HeadCfg) -> CpResult {
+/// Communication: one query + one output + one lse vector per hop. Fails
+/// with a structured error (instead of panicking) when a rank ends the
+/// ring with nothing to attend — a malformed scenario.
+pub fn ring_commutated(ranks: &[CpRank], cfg: HeadCfg) -> Result<CpResult, ExecError> {
     let c = ranks.len();
     let mut outputs = Vec::with_capacity(c);
     let mut comm = 0u64;
@@ -95,9 +103,12 @@ pub fn ring_commutated(ranks: &[CpRank], cfg: HeadCfg) -> CpResult {
         }
         // Final (O, lse) returns home.
         comm += acc.as_ref().map(|a| a.o.bytes()).unwrap_or(0);
-        outputs.push(acc.expect("at least the local shard"));
+        let merged = acc.ok_or_else(|| {
+            ExecError::InvalidConfig(format!("CP rank {me} saw no KV shard in the ring"))
+        })?;
+        outputs.push(merged);
     }
-    CpResult { outputs, comm_bytes: comm }
+    Ok(CpResult { outputs, comm_bytes: comm })
 }
 
 /// Build a CP scenario: a sequence processed in uniform slices of length
@@ -202,8 +213,8 @@ pub fn microbatch_comm(c: usize, slice_len: usize, n: usize, cfg: HeadCfg) -> (u
     let (mut classic, mut commutated) = (0u64, 0u64);
     for j in 0..n {
         let (ranks, _, _, _) = build_scenario(c, slice_len, j, cfg, 42 + j as u64);
-        classic += ring_classic(&ranks, cfg).comm_bytes;
-        commutated += ring_commutated(&ranks, cfg).comm_bytes;
+        classic += ring_classic(&ranks, cfg).expect("scenario has KV shards").comm_bytes;
+        commutated += ring_commutated(&ranks, cfg).expect("scenario has KV shards").comm_bytes;
     }
     (classic, commutated)
 }
@@ -237,7 +248,7 @@ mod tests {
     fn classic_ring_is_exact() {
         for j in [0usize, 2, 5] {
             let (ranks, _, _, _) = build_scenario(4, 32, j, CFG, 42 + j as u64);
-            let r = ring_classic(&ranks, CFG);
+            let r = ring_classic(&ranks, CFG).unwrap();
             verify_against_monolithic(&r, 4, 32, j);
         }
     }
@@ -247,7 +258,7 @@ mod tests {
         for c in [2usize, 4] {
             for j in [0usize, 3, 6] {
                 let (ranks, _, _, _) = build_scenario(c, 32, j, CFG, 42 + j as u64);
-                let r = ring_commutated(&ranks, CFG);
+                let r = ring_commutated(&ranks, CFG).unwrap();
                 verify_against_monolithic(&r, c, 32, j);
             }
         }
@@ -270,7 +281,9 @@ mod tests {
                     CFG,
                     q_start as usize,
                 );
-                for variant in [ring_classic(&ranks, CFG), ring_commutated(&ranks, CFG)] {
+                for variant in
+                    [ring_classic(&ranks, CFG).unwrap(), ring_commutated(&ranks, CFG).unwrap()]
+                {
                     let mut row = 0usize;
                     for out in &variant.outputs {
                         let want = reference.o.rows_slice(row, out.o.rows());
@@ -293,15 +306,15 @@ mod tests {
         let early = {
             let (ranks, _, _, _) = build_scenario(c, l, 0, CFG, 1);
             (
-                ring_classic(&ranks, CFG).comm_bytes,
-                ring_commutated(&ranks, CFG).comm_bytes,
+                ring_classic(&ranks, CFG).unwrap().comm_bytes,
+                ring_commutated(&ranks, CFG).unwrap().comm_bytes,
             )
         };
         let late = {
             let (ranks, _, _, _) = build_scenario(c, l, 7, CFG, 1);
             (
-                ring_classic(&ranks, CFG).comm_bytes,
-                ring_commutated(&ranks, CFG).comm_bytes,
+                ring_classic(&ranks, CFG).unwrap().comm_bytes,
+                ring_commutated(&ranks, CFG).unwrap().comm_bytes,
             )
         };
         // Classic: the whole 8-chunk cache rotates → ~8× the volume.
@@ -338,7 +351,7 @@ mod tests {
     #[test]
     fn single_rank_needs_no_communication_in_classic_ring() {
         let (ranks, _, _, _) = build_scenario(1, 32, 3, CFG, 9);
-        let r = ring_classic(&ranks, CFG);
+        let r = ring_classic(&ranks, CFG).unwrap();
         assert_eq!(r.comm_bytes, 0);
     }
 }

@@ -8,6 +8,7 @@
 //! measurement.
 
 use crate::comm::VocabParallel;
+use crate::fault::ExecError;
 use crate::offload::OffloadEngine;
 use crate::layer::{
     layer_backward, layer_forward, AttnExecutor, DkvAccum, KvCache, LayerGrads, LayerParams,
@@ -154,7 +155,7 @@ impl Stage {
         targets: Option<&[u32]>,
         attn: &mut dyn AttnExecutor,
         vp: Option<&VocabParallel<'_>>,
-    ) -> StageOutput {
+    ) -> Result<StageOutput, ExecError> {
         let x = match input {
             Ok(act) => act,
             Err(toks) => {
@@ -175,7 +176,7 @@ impl Stage {
         let mut caches = Vec::with_capacity(self.layers.len());
         for (li, layer) in self.layers.iter().enumerate() {
             let (y, cache) =
-                layer_forward(layer, hc, cur, &mut kv[li], slice as usize, q_offset, attn);
+                layer_forward(layer, hc, cur, &mut kv[li], slice as usize, q_offset, attn)?;
             cur = y;
             caches.push(cache);
         }
@@ -194,7 +195,7 @@ impl Stage {
         }
 
         if !self.is_last() {
-            return StageOutput::Activation(cur);
+            return Ok(StageOutput::Activation(cur));
         }
         // ---- loss head ----
         let targets = targets.expect("last stage needs targets");
@@ -203,8 +204,9 @@ impl Stage {
             // Vocabulary-parallel: the normed hidden ships to the shard
             // servers, so it must be materialised here.
             let normed = rmsnorm::forward(&cur, norm_gain);
-            let (loss, lse) = vp.loss_forward(&normed, targets);
+            let r = vp.loss_forward(&normed, targets);
             normed.recycle();
+            let (loss, lse) = r?;
             (loss, HeadCache::VocabParallel { hidden_in: cur, lse })
         } else {
             // Classic: the final norm rides the logits GEMM's pack.
@@ -224,7 +226,7 @@ impl Stage {
         };
         self.mem.alloc(head_cache.bytes());
         self.head_stash.insert((mb, slice), head_cache);
-        StageOutput::Loss(loss * self.loss_scale() as f64)
+        Ok(StageOutput::Loss(loss * self.loss_scale() as f64))
     }
 
     /// Backward one unit. The last stage generates its own `d_y` from the
@@ -239,7 +241,7 @@ impl Stage {
         targets: Option<&[u32]>,
         attn: &mut dyn AttnExecutor,
         vp: Option<&VocabParallel<'_>>,
-    ) -> Option<Tensor> {
+    ) -> Result<Option<Tensor>, ExecError> {
         let mut d_y = if self.is_last() {
             let head = self.head_stash.remove(&(mb, slice)).expect("head stash missing");
             self.mem.free(head.bytes());
@@ -266,9 +268,9 @@ impl Stage {
                     let normed = rmsnorm::forward(&hidden_in, norm_gain);
                     let targets = targets.expect("last stage needs targets");
                     let scale = 1.0 / self.cfg.total_tokens() as f32;
-                    let d_normed = vp.loss_backward(&normed, targets, &lse, scale);
+                    let r = vp.loss_backward(&normed, targets, &lse, scale);
                     normed.recycle();
-                    (hidden_in, d_normed)
+                    (hidden_in, r?)
                 }
             };
             let (d_hidden, d_gain) = rmsnorm::backward(&hidden_in, norm_gain, &d_normed);
@@ -312,7 +314,7 @@ impl Stage {
                 slice as usize,
                 q_offset,
                 attn,
-            );
+            )?;
             let kv_after = kv[li].bytes() + dkv[li].bytes();
             // KV chunks freed minus dK/dV deposited for earlier chunks.
             if kv_after > kv_before {
@@ -326,9 +328,75 @@ impl Stage {
             let (_, table_grad) = self.embed.as_mut().expect("stage 0 owns the embedding");
             embedding::backward(&toks, &d_y, table_grad);
             d_y.recycle();
-            None
+            Ok(None)
         } else {
-            Some(d_y)
+            Ok(Some(d_y))
+        }
+    }
+
+    /// Drop every resource of unit `(mb, slice)` without running any math —
+    /// the skip-and-renormalize path. A poisoned microbatch must not be
+    /// zero-backwarded (0 × NaN is still NaN through the contaminated KV
+    /// cache); it is *drained*: stashes, KV chunks, head caches, offloaded
+    /// buffers, and token ids are released with exact byte accounting, as
+    /// if the unit's backward had retired it.
+    pub fn drain_unit(&mut self, mb: u32, slice: u32) {
+        if let Some(head) = self.head_stash.remove(&(mb, slice)) {
+            self.mem.free(head.bytes());
+        }
+        if let Some(eng) = &mut self.offload {
+            if let Some(fetched) = eng.fetch((mb, slice), &self.mem) {
+                self.stash.insert((mb, slice), fetched);
+            }
+            eng.note_consumed((mb, slice));
+        }
+        if let Some(caches) = self.stash.remove(&(mb, slice)) {
+            self.mem.free(caches.iter().map(|c| c.bytes()).sum());
+            for c in caches {
+                c.recycle();
+            }
+        }
+        if let Some(kv) = self.kv.get_mut(&mb) {
+            let mut freed = 0;
+            for c in kv.iter_mut() {
+                if (slice as usize) < c.chunks.len() {
+                    freed += c.release(slice as usize);
+                }
+            }
+            self.mem.free(freed);
+        }
+        if let Some(dkv) = self.dkv.get_mut(&mb) {
+            for a in dkv.iter_mut() {
+                if (slice as usize) < a.slots.len() {
+                    if let Some((dk, dv)) = a.take(slice as usize) {
+                        self.mem.free(dk.bytes() + dv.bytes());
+                        dk.recycle();
+                        dv.recycle();
+                    }
+                }
+            }
+        }
+        self.tokens.remove(&(mb, slice));
+    }
+
+    /// Rescale every local gradient accumulator. Skip-and-renormalize: after
+    /// dropping `k` of `M` microbatches, surviving gradients (pre-scaled by
+    /// `1/total_tokens`) are multiplied by `total/(total - skipped)` so the
+    /// update is the exact mean over surviving tokens.
+    pub fn scale_grads(&mut self, factor: f32) {
+        for g in &mut self.grads {
+            g.scale(factor);
+        }
+        if let Some((_, g)) = &mut self.embed {
+            g.scale(factor);
+        }
+        if let Some((_, g)) = &mut self.out_proj {
+            g.scale(factor);
+        }
+        if let Some((_, g)) = &mut self.final_norm {
+            for v in g.iter_mut() {
+                *v *= factor;
+            }
         }
     }
 
@@ -382,11 +450,11 @@ mod tests {
         let mut st = Stage::build(&cfg, 0);
         let toks = seeded_tokens(cfg.seq, cfg.vocab, 1);
         let targets = seeded_tokens(cfg.seq, cfg.vocab, 2);
-        let out = st.forward(0, 0, Err(toks), Some(&targets), &mut LocalAttn, None);
+        let out = st.forward(0, 0, Err(toks), Some(&targets), &mut LocalAttn, None).unwrap();
         let StageOutput::Loss(loss) = out else { panic!("expected loss") };
         assert!(loss.is_finite() && loss > 0.0);
         assert!(st.mem.current() > 0, "stash should be resident");
-        let up = st.backward(0, 0, None, Some(&targets), &mut LocalAttn, None);
+        let up = st.backward(0, 0, None, Some(&targets), &mut LocalAttn, None).unwrap();
         assert!(up.is_none(), "stage 0 ends the backward");
         assert_eq!(st.mem.current(), 0, "all stashes freed after backward");
         // Gradients are non-zero.
@@ -402,17 +470,13 @@ mod tests {
         let targets = seeded_tokens(cfg.seq, cfg.vocab, 2);
         let mut losses = Vec::new();
         for _ in 0..5 {
-            let StageOutput::Loss(l) = st.forward(
-                0,
-                0,
-                Err(toks.clone()),
-                Some(&targets),
-                &mut LocalAttn,
-                None,
-            ) else {
+            let StageOutput::Loss(l) = st
+                .forward(0, 0, Err(toks.clone()), Some(&targets), &mut LocalAttn, None)
+                .unwrap()
+            else {
                 panic!()
             };
-            st.backward(0, 0, None, Some(&targets), &mut LocalAttn, None);
+            st.backward(0, 0, None, Some(&targets), &mut LocalAttn, None).unwrap();
             st.sgd_step(0.5);
             losses.push(l);
         }
@@ -430,7 +494,7 @@ mod tests {
         let mut st = Stage::build(&cfg, 0);
         let toks = seeded_tokens(cfg.seq, cfg.vocab, 1);
         let targets = seeded_tokens(cfg.seq, cfg.vocab, 2);
-        st.forward(0, 0, Err(toks), Some(&targets), &mut LocalAttn, None);
+        st.forward(0, 0, Err(toks), Some(&targets), &mut LocalAttn, None).unwrap();
         let head_bytes = st.head_stash.values().map(|h| h.bytes()).sum::<u64>();
         let logits_bytes = (cfg.seq * cfg.vocab * 4) as u64;
         assert!(head_bytes >= logits_bytes, "classic head must hold the logits");

@@ -5,21 +5,57 @@
 //! servers (one per device) serve context-exchange and vocabulary-shard
 //! jobs. Determinism: parameters, data, and schedules are all seeded, so a
 //! run is reproducible and comparable against the single-device reference.
+//!
+//! Fault tolerance (the [`crate::fault`] model, wired end to end):
+//!
+//! * every stage thread runs under `catch_unwind` with a live `(iteration,
+//!   mb, slice)` cursor, so a panic surfaces as a structured
+//!   [`ExecError::StagePanic`] naming the failed unit instead of aborting
+//!   the process;
+//! * every cross-stage rendezvous is a [`recv_guarded`] wait: it watches
+//!   the shared abort flag and a watchdog deadline, so the first failure
+//!   anywhere drains the whole pipeline — injected faults never hang a run;
+//! * a non-finite loss degrades per [`DegradePolicy`]: abort with a
+//!   [`ExecError::NonFinite`], or *skip-and-renormalize* — the poisoned
+//!   microbatch is drained (no math runs over contaminated state; `Skip`
+//!   messages propagate the drain upstream) and the surviving gradients and
+//!   loss are rescaled to the exact mean over surviving tokens;
+//! * at iteration boundaries the run snapshots to [`CheckpointCfg::path`];
+//!   [`try_resume_pipeline`] continues from the snapshot **bit-identically**
+//!   to the uninterrupted run (asserted in `tests/faults.rs`).
+//!
+//! Checkpointing splits the run into segments: stage threads return their
+//! [`Stage`] values at each boundary (a full synchronization point — no
+//! math is in flight), the driver captures and saves, and the next segment
+//! respawns threads around the same stage values, so segmentation itself
+//! cannot perturb the numerics.
 
-use crate::comm::{build_vocab_shards, spawn_server, ServerHandle, ServerJob, ExchangeMap, ExchangeRt, VocabParallel};
+use crate::checkpoint::CheckpointState;
+use crate::comm::{
+    build_vocab_shards, spawn_server, DeadServer, ExchangeMap, ExchangeRt, FtCtx, ServerHandle,
+    ServerJob, VocabParallel, VocabShard,
+};
+use crate::fault::{
+    panic_message, recv_guarded, DegradePolicy, ExecError, FaultKind, FaultStats, InjectedPanic,
+    Port, RunCtl, ABORT_POLL,
+};
 use crate::layer::{AttnExecutor, LayerGrads, LocalAttn};
 use crate::model::ExecConfig;
 use crate::schedule::{build_schedule, PipelineKind};
 use crate::stage::{Stage, StageOutput};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use slimpipe_sched::PassKind;
+use slimpipe_sched::{PassKind, WorkItem};
 use slimpipe_tensor::init::seeded_tokens;
 use slimpipe_tensor::Tensor;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Everything a run produces, for comparison and reporting.
 pub struct RunResult {
-    /// Mean loss per iteration.
+    /// Mean loss per iteration (over surviving tokens, when microbatches
+    /// were skipped). A resumed run reports only the iterations it ran.
     pub losses: Vec<f64>,
     /// Final-iteration gradients, global layer order.
     pub layer_grads: Vec<LayerGrads>,
@@ -32,6 +68,20 @@ pub struct RunResult {
     pub peak_act_bytes: Vec<u64>,
     /// Offload traffic per device (0 when no budget configured, §6.5).
     pub offload_transferred: Vec<u64>,
+    /// Recovery activity: retries, local fallbacks, skipped microbatches.
+    pub fault_stats: FaultStats,
+}
+
+impl std::fmt::Debug for RunResult {
+    /// Summary only — the gradient tensors are megabytes of f32.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunResult")
+            .field("losses", &self.losses)
+            .field("layers", &self.layer_grads.len())
+            .field("peak_act_bytes", &self.peak_act_bytes)
+            .field("fault_stats", &self.fault_stats)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Deterministic training data: one token stream per microbatch (ragged
@@ -47,33 +97,466 @@ pub fn make_data(cfg: &ExecConfig) -> Vec<(Vec<u32>, Vec<u32>)> {
         .collect()
 }
 
-type ActMsg = (u32, u32, Tensor);
+/// What travels over a stage boundary for one unit.
+enum ActPayload {
+    /// The boundary activation (forward) or gradient (backward).
+    Act(Tensor),
+    /// Skip-and-renormalize: this unit's microbatch was dropped; drain the
+    /// unit's resources and pass the drain along.
+    Skip,
+}
 
-/// Run `steps` training iterations of `cfg` under `kind`. The gradients of
-/// the final iteration are returned un-stepped so they can be compared
-/// across configurations.
-pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32) -> RunResult {
-    assert!(steps >= 1);
-    let sched = build_schedule(kind, cfg); // validates cfg too
-    let p = cfg.stages;
-    let data = make_data(cfg);
+type ActMsg = (u32, u32, ActPayload);
 
-    // Compute servers (vocabulary shards live inside them when enabled).
-    let mut servers: Vec<ServerHandle> = Vec::with_capacity(p);
-    let mut server_joins = Vec::with_capacity(p);
-    if cfg.vocab_parallel {
-        for shard in build_vocab_shards(cfg) {
-            let (h, j) = spawn_server(Some(shard));
-            servers.push(h);
-            server_joins.push(j);
+/// A guarded boundary send. Unbounded channels never block, so the only
+/// failure is a gone peer: if the run is already aborting this thread just
+/// drains; otherwise the disconnect is reported (the dead peer's own root
+/// cause, recorded by its `catch_unwind`, takes precedence in [`RunCtl`]).
+fn send_act(
+    tx: &Sender<ActMsg>,
+    msg: ActMsg,
+    ctl: &RunCtl,
+    stage: usize,
+    port: Port,
+) -> Result<(), ExecError> {
+    tx.send(msg).map_err(|_| {
+        if ctl.aborted() {
+            ExecError::Aborted { stage }
+        } else {
+            let e = ExecError::Disconnected { stage, port };
+            ctl.fail(e.clone());
+            e
         }
-    } else {
-        for _ in 0..p {
-            let (h, j) = spawn_server(None);
-            servers.push(h);
-            server_joins.push(j);
+    })
+}
+
+/// Submit one acked job to every server and await the acks in device order.
+fn server_barrier(
+    servers: &[ServerHandle],
+    mut job: impl FnMut(Sender<()>) -> ServerJob,
+    ctl: &RunCtl,
+    watchdog: Duration,
+    stage: usize,
+) -> Result<(), ExecError> {
+    let mut acks = Vec::with_capacity(servers.len());
+    for s in servers {
+        let (tx, rx) = unbounded();
+        s.submit(job(tx)).map_err(|DeadServer(dev)| ExecError::ServerDied {
+            device: dev,
+            stage,
+            mb: 0,
+            slice: 0,
+        })?;
+        acks.push(rx);
+    }
+    for (dev, rx) in acks.iter().enumerate() {
+        recv_guarded(rx, ctl, watchdog, stage, 0, 0, Port::Server).map_err(|e| match e {
+            ExecError::Disconnected { .. } => ExecError::ServerDied {
+                device: dev,
+                stage,
+                mb: 0,
+                slice: 0,
+            },
+            other => other,
+        })?;
+    }
+    Ok(())
+}
+
+/// Pack the live `(iteration, mb, slice)` cursor into one atomic word so
+/// the panic handler can name the failed unit.
+fn pack_cursor(step: usize, mb: u32, slice: u32) -> u64 {
+    ((step as u64) << 32) | ((mb as u64 & 0xFFFF) << 16) | (slice as u64 & 0xFFFF)
+}
+
+/// Everything one stage thread needs for one checkpoint segment.
+struct StageRun {
+    cfg: ExecConfig,
+    device: usize,
+    /// Total iterations of the whole run (gates the final SGD step).
+    steps: usize,
+    lr: f32,
+    /// Global iteration numbers this segment executes.
+    seg: Range<usize>,
+    ops: Vec<WorkItem>,
+    data: Arc<Vec<(Vec<u32>, Vec<u32>)>>,
+    /// `(mb, slice) → token range`, precomputed once.
+    ranges: Arc<Vec<Vec<Range<usize>>>>,
+    fwd_rx: Option<Receiver<ActMsg>>,
+    fwd_tx: Option<Sender<ActMsg>>,
+    bwd_rx: Option<Receiver<ActMsg>>,
+    bwd_tx: Option<Sender<ActMsg>>,
+    servers: Vec<ServerHandle>,
+    exmaps: Option<Arc<Vec<ExchangeMap>>>,
+    loss_tx: Sender<f64>,
+    ctl: Arc<RunCtl>,
+    cursor: Arc<AtomicU64>,
+}
+
+impl StageRun {
+    /// Execute this stage's op list for every iteration of the segment.
+    /// Every early return is a structured error; the caller records it in
+    /// the run control block so peers drain.
+    fn run(&self, stage: &mut Stage) -> Result<(), ExecError> {
+        let p = self.cfg.stages;
+        let d = self.device;
+        let is_last = d == p - 1;
+        let m = self.cfg.microbatches;
+        let watchdog = Duration::from_millis(self.cfg.watchdog_ms);
+        let timeout = Duration::from_millis(self.cfg.exchange_timeout_ms);
+        for step in self.seg.clone() {
+            // Mark the pack epoch: everything after stage build must run
+            // off the persistent packed-weight cache, so
+            // `gemm_packs_per_step()` reads zero once every thread is past
+            // its build (asserted in tests/pool_steady_state.rs).
+            slimpipe_tensor::matmul::begin_pack_epoch();
+            // Per-microbatch loss and skip flags, indexed by mb so the
+            // iteration loss sums in a fixed order (f64 reassociation would
+            // otherwise leak schedule interleaving into the result).
+            let mut mb_loss = vec![0.0f64; m];
+            let mut mb_skipped = vec![false; m];
+            // LocalFallback is sticky for the rest of the iteration.
+            let mut local_only = false;
+            for op in &self.ops {
+                let (mb, sl) = (op.mb, op.slice);
+                self.cursor.store(pack_cursor(step, mb, sl), Ordering::Relaxed);
+                // Deterministic fault injection, matched on the forward
+                // visit of the site. (Reply-level faults are consumed
+                // inside the exchange runtime on both passes.)
+                let mut corrupt = false;
+                if matches!(op.kind, PassKind::Forward) {
+                    if let Some(plan) = &self.cfg.fault_plan {
+                        for k in plan.at(step, d, mb, sl) {
+                            match k {
+                                FaultKind::StagePanic => {
+                                    std::panic::panic_any(InjectedPanic(format!(
+                                        "injected panic at stage {d}, iteration {step}, \
+                                         unit (mb {mb}, slice {sl})"
+                                    )))
+                                }
+                                FaultKind::ServerDeath { device } => {
+                                    // The server dies inside its own
+                                    // catch_unwind; clients observe a
+                                    // disconnected channel, never an abort.
+                                    let _ = self.servers[*device].submit(ServerJob::Crash);
+                                }
+                                FaultKind::CorruptActivation => corrupt = true,
+                                FaultKind::Stall => {
+                                    // Stop making progress until a peer's
+                                    // watchdog kills the run — bounded at
+                                    // 10× the watchdog so a single-stage
+                                    // run still terminates.
+                                    let cap = watchdog.saturating_mul(10);
+                                    let start = Instant::now();
+                                    while !self.ctl.aborted() && start.elapsed() < cap {
+                                        std::thread::sleep(ABORT_POLL);
+                                    }
+                                    if self.ctl.aborted() {
+                                        return Err(ExecError::Aborted { stage: d });
+                                    }
+                                }
+                                // Handled inside ExchangeRt per op.
+                                FaultKind::DropReply | FaultKind::DelayReply { .. } => {}
+                            }
+                        }
+                    }
+                }
+                let range = self.ranges[mb as usize][sl as usize].clone();
+                let mut local = LocalAttn;
+                let mut rt_opt = self.exmaps.as_ref().map(|maps| ExchangeRt {
+                    device: d,
+                    servers: &self.servers,
+                    map: &maps[mb as usize],
+                    ft: FtCtx {
+                        plan: self.cfg.fault_plan.as_ref(),
+                        policy: self.cfg.policy,
+                        timeout,
+                        retries: self.cfg.exchange_retries,
+                        ctl: Some(self.ctl.as_ref()),
+                        iteration: step,
+                        mb,
+                        slice: sl,
+                        local_only,
+                    },
+                });
+                let vp_holder;
+                let vp = if self.cfg.vocab_parallel && is_last {
+                    vp_holder = VocabParallel {
+                        servers: &self.servers,
+                        watchdog,
+                        ctl: Some(self.ctl.as_ref()),
+                        stage: d,
+                        mb,
+                        slice: sl,
+                    };
+                    Some(&vp_holder)
+                } else {
+                    None
+                };
+                let attn: &mut dyn AttnExecutor = match rt_opt.as_mut() {
+                    Some(rt) => rt,
+                    None => &mut local,
+                };
+                match op.kind {
+                    PassKind::Forward => {
+                        let input = if d == 0 {
+                            if is_last && mb_skipped[mb as usize] {
+                                // p == 1: the microbatch is already
+                                // poisoned; its backward op drains.
+                                continue;
+                            }
+                            Err(self.data[mb as usize].0[range.clone()].to_vec())
+                        } else {
+                            let rx =
+                                self.fwd_rx.as_ref().expect("interior stage has fwd input");
+                            let (rmb, rsl, payload) =
+                                recv_guarded(rx, &self.ctl, watchdog, d, mb, sl, Port::Forward)?;
+                            assert_eq!((rmb, rsl), (mb, sl), "fwd order mismatch");
+                            match payload {
+                                ActPayload::Skip => {
+                                    // Upstream already dropped this unit
+                                    // (defensive; skips normally originate
+                                    // at the loss and travel backward).
+                                    mb_skipped[mb as usize] = true;
+                                    mb_loss[mb as usize] = 0.0;
+                                    if let Some(tx) = &self.fwd_tx {
+                                        send_act(
+                                            tx,
+                                            (mb, sl, ActPayload::Skip),
+                                            &self.ctl,
+                                            d,
+                                            Port::Forward,
+                                        )?;
+                                    }
+                                    continue;
+                                }
+                                ActPayload::Act(mut t) => {
+                                    if corrupt {
+                                        // Simulated transfer corruption: the
+                                        // unit's activations are poisoned and
+                                        // the NaNs surface at the loss.
+                                        t.fill(f32::NAN);
+                                    }
+                                    if is_last && mb_skipped[mb as usize] {
+                                        // Later slice of an already-poisoned
+                                        // microbatch: drop it unexecuted.
+                                        t.recycle();
+                                        continue;
+                                    }
+                                    Ok(t)
+                                }
+                            }
+                        };
+                        let targets =
+                            is_last.then(|| self.data[mb as usize].1[range.clone()].to_vec());
+                        match stage.forward(mb, sl, input, targets.as_deref(), attn, vp)? {
+                            StageOutput::Activation(act) => {
+                                let tx =
+                                    self.fwd_tx.as_ref().expect("interior stage has fwd output");
+                                send_act(
+                                    tx,
+                                    (mb, sl, ActPayload::Act(act)),
+                                    &self.ctl,
+                                    d,
+                                    Port::Forward,
+                                )?;
+                            }
+                            StageOutput::Loss(lv) => {
+                                if lv.is_finite() {
+                                    mb_loss[mb as usize] += lv;
+                                } else if self.cfg.policy == DegradePolicy::Abort {
+                                    return Err(ExecError::NonFinite {
+                                        stage: d,
+                                        iteration: step,
+                                        mb,
+                                        slice: sl,
+                                        what: "loss".into(),
+                                    });
+                                } else if !mb_skipped[mb as usize] {
+                                    // Skip-and-renormalize: poison detected.
+                                    // The unit's state stays resident until
+                                    // its backward op drains it.
+                                    mb_skipped[mb as usize] = true;
+                                    mb_loss[mb as usize] = 0.0;
+                                    self.ctl.skipped_microbatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    PassKind::Backward => {
+                        let d_in = if is_last {
+                            if mb_skipped[mb as usize] {
+                                // Drain instead of computing: no math may
+                                // run over the contaminated stashes/KV.
+                                stage.drain_unit(mb, sl);
+                                if let Some(tx) = &self.bwd_tx {
+                                    send_act(
+                                        tx,
+                                        (mb, sl, ActPayload::Skip),
+                                        &self.ctl,
+                                        d,
+                                        Port::Backward,
+                                    )?;
+                                }
+                                continue;
+                            }
+                            None
+                        } else {
+                            let rx =
+                                self.bwd_rx.as_ref().expect("interior stage has bwd input");
+                            let (rmb, rsl, payload) =
+                                recv_guarded(rx, &self.ctl, watchdog, d, mb, sl, Port::Backward)?;
+                            assert_eq!((rmb, rsl), (mb, sl), "bwd order mismatch");
+                            match payload {
+                                ActPayload::Skip => {
+                                    mb_skipped[mb as usize] = true;
+                                    stage.drain_unit(mb, sl);
+                                    if let Some(tx) = &self.bwd_tx {
+                                        send_act(
+                                            tx,
+                                            (mb, sl, ActPayload::Skip),
+                                            &self.ctl,
+                                            d,
+                                            Port::Backward,
+                                        )?;
+                                    }
+                                    continue;
+                                }
+                                ActPayload::Act(g) => Some(g),
+                            }
+                        };
+                        let targets =
+                            is_last.then(|| self.data[mb as usize].1[range.clone()].to_vec());
+                        if let Some(dx) = stage.backward(mb, sl, d_in, targets.as_deref(), attn, vp)?
+                        {
+                            let tx =
+                                self.bwd_tx.as_ref().expect("non-first stage has bwd output");
+                            send_act(
+                                tx,
+                                (mb, sl, ActPayload::Act(dx)),
+                                &self.ctl,
+                                d,
+                                Port::Backward,
+                            )?;
+                        }
+                    }
+                    PassKind::BackwardWeight => {
+                        unreachable!("executor schemes do not split backward")
+                    }
+                }
+                if let Some(rt) = &rt_opt {
+                    local_only = rt.ft.local_only;
+                }
+            }
+            // ---- iteration boundary ----
+            // Skip-and-renormalize: rescale surviving gradients (pre-scaled
+            // by 1/total_tokens) to the exact mean over surviving tokens.
+            // Every stage saw every skipped microbatch's Skip drain, so the
+            // factor is identical pipeline-wide.
+            let mut factor = 1.0f64;
+            let skipped_count = mb_skipped.iter().filter(|&&s| s).count();
+            if skipped_count > 0 {
+                let total = self.cfg.total_tokens();
+                let lost: usize = (0..m).filter(|&mb| mb_skipped[mb]).map(|mb| self.cfg.mb_seq(mb)).sum();
+                if lost >= total {
+                    if is_last {
+                        return Err(ExecError::NonFinite {
+                            stage: d,
+                            iteration: step,
+                            mb: 0,
+                            slice: 0,
+                            what: "all microbatches skipped".into(),
+                        });
+                    }
+                    // Interior stages: everything drained, gradients are
+                    // zero; nothing to rescale. The last stage's error
+                    // aborts the run at the next rendezvous.
+                } else {
+                    factor = total as f64 / (total - lost) as f64;
+                    stage.scale_grads(factor as f32);
+                    if is_last && self.cfg.vocab_parallel {
+                        server_barrier(
+                            &self.servers,
+                            |reply| ServerJob::ScaleGrad { factor: factor as f32, reply },
+                            &self.ctl,
+                            watchdog,
+                            d,
+                        )?;
+                    }
+                }
+            }
+            if is_last {
+                let clean: f64 = mb_loss.iter().sum();
+                let _ = self.loss_tx.send(clean * factor);
+            }
+            if step + 1 < self.steps {
+                if self.cfg.vocab_parallel && is_last {
+                    // Step the vocabulary shards (their gradients live in
+                    // the servers). All of this iteration's vocab jobs have
+                    // completed — loss_backward is synchronous — so FIFO
+                    // ordering makes this safe.
+                    server_barrier(
+                        &self.servers,
+                        |reply| ServerJob::SgdStep { lr: self.lr, reply },
+                        &self.ctl,
+                        watchdog,
+                        d,
+                    )?;
+                }
+                stage.sgd_step(self.lr);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Spawn one compute server per device for a segment. Vocabulary shards
+/// (when given) move into the servers and come back out at segment end.
+type ServerJoin = std::thread::JoinHandle<Option<VocabShard>>;
+fn spawn_segment_servers(
+    p: usize,
+    shards: Option<Vec<VocabShard>>,
+) -> (Vec<ServerHandle>, Vec<ServerJoin>) {
+    let mut servers = Vec::with_capacity(p);
+    let mut joins = Vec::with_capacity(p);
+    match shards {
+        Some(ss) => {
+            for (dev, s) in ss.into_iter().enumerate() {
+                let (h, j) = spawn_server(dev, Some(s));
+                servers.push(h);
+                joins.push(j);
+            }
+        }
+        None => {
+            for dev in 0..p {
+                let (h, j) = spawn_server(dev, None);
+                servers.push(h);
+                joins.push(j);
+            }
         }
     }
+    (servers, joins)
+}
+
+/// Run iterations `[start, steps)` of `cfg` under `kind`, starting from
+/// fresh (optionally checkpoint-restored) stages, checkpointing at the
+/// configured boundaries. The run is split into segments at those
+/// boundaries; each segment spawns its own stage threads and servers
+/// around the persistent [`Stage`]/[`VocabShard`] values.
+fn run_from(
+    cfg: &ExecConfig,
+    kind: PipelineKind,
+    start: usize,
+    steps: usize,
+    lr: f32,
+    restore: Option<Arc<CheckpointState>>,
+    mut shards: Option<Vec<VocabShard>>,
+) -> Result<RunResult, ExecError> {
+    let sched = build_schedule(kind, cfg); // cfg was validated by the caller
+    let p = cfg.stages;
+    let data = Arc::new(make_data(cfg));
+    let ranges = Arc::new(cfg.slice_map());
+    let ctl = Arc::new(RunCtl::new());
     // One exchange map per microbatch: ragged microbatches and non-uniform
     // policies induce different slice volumes, so each microbatch gets a
     // plan derived from its actual bounds. Equal slicings (the whole run,
@@ -92,172 +575,178 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
         Arc::new(maps)
     });
 
-    // Stage-boundary channels.
-    let mut fwd_tx: Vec<Option<Sender<ActMsg>>> = Vec::new();
-    let mut fwd_rx: Vec<Option<Receiver<ActMsg>>> = vec![None];
-    let mut bwd_tx: Vec<Option<Sender<ActMsg>>> = vec![None];
-    let mut bwd_rx: Vec<Option<Receiver<ActMsg>>> = Vec::new();
-    for _ in 0..p.saturating_sub(1) {
-        let (ft, fr) = unbounded();
-        fwd_tx.push(Some(ft));
-        fwd_rx.push(Some(fr));
-        let (bt, br) = unbounded();
-        bwd_tx.push(Some(bt));
-        bwd_rx.push(Some(br));
-    }
-    fwd_tx.push(None);
-    bwd_rx.push(None);
+    let mut stages: Option<Vec<Stage>> = None;
+    let mut losses: Vec<f64> = Vec::with_capacity(steps - start);
+    let mut it = start;
+    while it < steps {
+        let seg_end = match &cfg.checkpoint {
+            Some(ck) => ((it / ck.every + 1) * ck.every).min(steps),
+            None => steps,
+        };
+        let (servers, server_joins) =
+            spawn_segment_servers(p, if cfg.vocab_parallel { shards.take() } else { None });
 
-    let (loss_tx, loss_rx) = unbounded::<f64>();
+        // Stage-boundary channels (rebuilt per segment; they are empty at
+        // every boundary).
+        let mut fwd_tx: Vec<Option<Sender<ActMsg>>> = Vec::new();
+        let mut fwd_rx: Vec<Option<Receiver<ActMsg>>> = vec![None];
+        let mut bwd_tx: Vec<Option<Sender<ActMsg>>> = vec![None];
+        let mut bwd_rx: Vec<Option<Receiver<ActMsg>>> = Vec::new();
+        for _ in 0..p.saturating_sub(1) {
+            let (ft, fr) = unbounded();
+            fwd_tx.push(Some(ft));
+            fwd_rx.push(Some(fr));
+            let (bt, br) = unbounded();
+            bwd_tx.push(Some(bt));
+            bwd_rx.push(Some(br));
+        }
+        fwd_tx.push(None);
+        bwd_rx.push(None);
+        let (loss_tx, loss_rx) = unbounded::<f64>();
 
-    let mut joins = Vec::with_capacity(p);
-    for d in 0..p {
-        let cfg = cfg.clone();
-        let ops = sched.ops[d].clone();
-        let data = data.clone();
-        let my_fwd_rx = fwd_rx[d].take();
-        let my_fwd_tx = fwd_tx[d].take();
-        let my_bwd_rx = bwd_rx[d].take();
-        let my_bwd_tx = bwd_tx[d].take();
-        let servers = servers.clone();
-        let exmaps = exmaps.clone();
-        let loss_tx = loss_tx.clone();
-        // `(mb, slice) → token range`, precomputed once — ops look their
-        // ranges up instead of recomputing `slice * slice_len` offsets.
-        let ranges = cfg.slice_map();
-        joins.push(std::thread::spawn(move || {
-            let mut stage = Stage::build(&cfg, d);
-            let is_last = d == p - 1;
-            for step in 0..steps {
-                // Mark the pack epoch: everything after stage build must
-                // run off the persistent packed-weight cache, so
-                // `gemm_packs_per_step()` reads zero once every thread is
-                // past its build (asserted in tests/pool_steady_state.rs).
-                slimpipe_tensor::matmul::begin_pack_epoch();
-                let mut iter_loss = 0.0f64;
-                for op in &ops {
-                    let mut local = LocalAttn;
-                    let mut rt;
-                    let (mb, sl) = (op.mb, op.slice);
-                    let attn: &mut dyn AttnExecutor = match &exmaps {
-                        Some(maps) => {
-                            rt = ExchangeRt {
-                                device: d,
-                                servers: &servers,
-                                map: &maps[mb as usize],
-                            };
-                            &mut rt
-                        }
-                        None => &mut local,
-                    };
-                    let vp_holder;
-                    let vp = if cfg.vocab_parallel && is_last {
-                        vp_holder = VocabParallel { servers: &servers };
-                        Some(&vp_holder)
-                    } else {
-                        None
-                    };
-                    let range = ranges[mb as usize][sl as usize].clone();
-                    match op.kind {
-                        PassKind::Forward => {
-                            let input = if d == 0 {
-                                Err(data[mb as usize].0[range.clone()].to_vec())
-                            } else {
-                                let (rmb, rsl, act) = my_fwd_rx
-                                    .as_ref()
-                                    .expect("interior stage has fwd input")
-                                    .recv()
-                                    .expect("upstream died");
-                                assert_eq!((rmb, rsl), (mb, sl), "fwd order mismatch");
-                                Ok(act)
-                            };
-                            let targets = is_last
-                                .then(|| data[mb as usize].1[range.clone()].to_vec());
-                            match stage.forward(mb, sl, input, targets.as_deref(), attn, vp)
-                            {
-                                StageOutput::Activation(act) => {
-                                    my_fwd_tx
-                                        .as_ref()
-                                        .expect("interior stage has fwd output")
-                                        .send((mb, sl, act))
-                                        .expect("downstream died");
-                                }
-                                StageOutput::Loss(lv) => iter_loss += lv,
+        let seg_stages_in: Vec<Option<Stage>> = match stages.take() {
+            Some(v) => v.into_iter().map(Some).collect(),
+            None => (0..p).map(|_| None).collect(),
+        };
+        let mut joins = Vec::with_capacity(p);
+        for (d, prebuilt) in seg_stages_in.into_iter().enumerate() {
+            let run = StageRun {
+                cfg: cfg.clone(),
+                device: d,
+                steps,
+                lr,
+                seg: it..seg_end,
+                ops: sched.ops[d].clone(),
+                data: data.clone(),
+                ranges: ranges.clone(),
+                fwd_rx: fwd_rx[d].take(),
+                fwd_tx: fwd_tx[d].take(),
+                bwd_rx: bwd_rx[d].take(),
+                bwd_tx: bwd_tx[d].take(),
+                servers: servers.clone(),
+                exmaps: exmaps.clone(),
+                loss_tx: loss_tx.clone(),
+                ctl: ctl.clone(),
+                cursor: Arc::new(AtomicU64::new(pack_cursor(it, 0, 0))),
+            };
+            let ctl = ctl.clone();
+            let restore = restore.clone();
+            joins.push(std::thread::spawn(move || -> Result<Stage, ExecError> {
+                let mut stage = match prebuilt {
+                    Some(s) => s,
+                    None => {
+                        let mut s = Stage::build(&run.cfg, d);
+                        if let Some(ck) = &restore {
+                            if let Err(e) = ck.apply_to(&mut s) {
+                                ctl.fail(e.clone());
+                                return Err(e);
                             }
                         }
-                        PassKind::Backward => {
-                            let d_in = if is_last {
-                                None
-                            } else {
-                                let (rmb, rsl, g) = my_bwd_rx
-                                    .as_ref()
-                                    .expect("interior stage has bwd input")
-                                    .recv()
-                                    .expect("downstream died");
-                                assert_eq!((rmb, rsl), (mb, sl), "bwd order mismatch");
-                                Some(g)
-                            };
-                            let targets = is_last
-                                .then(|| data[mb as usize].1[range.clone()].to_vec());
-                            if let Some(dx) =
-                                stage.backward(mb, sl, d_in, targets.as_deref(), attn, vp)
-                            {
-                                my_bwd_tx
-                                    .as_ref()
-                                    .expect("non-first stage has bwd output")
-                                    .send((mb, sl, dx))
-                                    .expect("upstream died");
-                            }
-                        }
-                        PassKind::BackwardWeight => {
-                            unreachable!("executor schemes do not split backward")
-                        }
+                        s
+                    }
+                };
+                let cursor = run.cursor.clone();
+                // Panic containment: a panicking op (injected or a real
+                // bug) becomes a StagePanic naming the failed unit, and the
+                // abort flag drains every peer.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run.run(&mut stage)
+                })) {
+                    Ok(Ok(())) => Ok(stage),
+                    Ok(Err(e)) => {
+                        ctl.fail(e.clone());
+                        Err(e)
+                    }
+                    Err(payload) => {
+                        let c = cursor.load(Ordering::Relaxed);
+                        let e = ExecError::StagePanic {
+                            stage: d,
+                            iteration: (c >> 32) as usize,
+                            mb: ((c >> 16) & 0xFFFF) as u32,
+                            slice: (c & 0xFFFF) as u32,
+                            msg: panic_message(payload.as_ref()),
+                        };
+                        ctl.fail(e.clone());
+                        Err(e)
                     }
                 }
-                if is_last {
-                    loss_tx.send(iter_loss).expect("driver died");
+            }));
+        }
+        drop(loss_tx);
+
+        let mut seg_stages: Vec<Stage> = Vec::with_capacity(p);
+        let mut thread_err: Option<ExecError> = None;
+        for (d, j) in joins.into_iter().enumerate() {
+            match j.join() {
+                Ok(Ok(st)) => seg_stages.push(st),
+                Ok(Err(e)) => {
+                    thread_err.get_or_insert(e);
                 }
-                if step + 1 < steps {
-                    if cfg.vocab_parallel && is_last {
-                        // Step the vocabulary shards (their gradients live
-                        // in the servers). All of this iteration's vocab
-                        // jobs have completed — loss_backward is
-                        // synchronous — so FIFO ordering makes this safe.
-                        let (ack_tx, ack_rx) = unbounded();
-                        for s in &servers {
-                            s.submit(ServerJob::SgdStep { lr, reply: ack_tx.clone() });
-                        }
-                        for _ in 0..servers.len() {
-                            ack_rx.recv().expect("server died");
-                        }
-                    }
-                    stage.sgd_step(lr);
+                Err(payload) => {
+                    // Outside catch_unwind — should be unreachable, but a
+                    // thread death must never hang or abort the driver.
+                    let e = ExecError::StagePanic {
+                        stage: d,
+                        iteration: it,
+                        mb: 0,
+                        slice: 0,
+                        msg: panic_message(payload.as_ref()),
+                    };
+                    ctl.fail(e.clone());
+                    thread_err.get_or_insert(e);
                 }
             }
-            stage
-        }));
-    }
-    drop(loss_tx);
-
-    let mut stages: Vec<Stage> = joins
-        .into_iter()
-        .map(|j| j.join().expect("stage thread panicked"))
-        .collect();
-    let losses: Vec<f64> = loss_rx.iter().collect();
-    assert_eq!(losses.len(), steps, "one loss per iteration");
-
-    // Collect vocabulary shards (and stop the servers).
-    let mut out_grad = Tensor::zeros(cfg.hidden(), cfg.vocab);
-    for s in &servers {
-        s.submit(ServerJob::Stop);
-    }
-    let shard_w = cfg.vocab / p;
-    for (i, j) in server_joins.into_iter().enumerate() {
-        if let Some(shard) = j.join().expect("server panicked") {
-            out_grad.set_cols(i * shard_w, &shard.grad);
         }
+        // Stop the segment's servers and recover the shards.
+        for s in &servers {
+            s.stop();
+        }
+        let mut seg_shards: Vec<Option<VocabShard>> = Vec::with_capacity(p);
+        for j in server_joins {
+            seg_shards.push(j.join().unwrap_or(None));
+        }
+        // The control block ranks root causes above drain echoes.
+        if let Some(e) = ctl.take_error().or(thread_err) {
+            return Err(e);
+        }
+        losses.extend(loss_rx.try_iter());
+        debug_assert_eq!(losses.len(), seg_end - start, "one loss per iteration");
+        if cfg.vocab_parallel {
+            let mut out = Vec::with_capacity(p);
+            for (dev, s) in seg_shards.into_iter().enumerate() {
+                match s {
+                    Some(s) => out.push(s),
+                    None => {
+                        return Err(ExecError::ServerDied {
+                            device: dev,
+                            stage: p - 1,
+                            mb: 0,
+                            slice: 0,
+                        })
+                    }
+                }
+            }
+            shards = Some(out);
+        }
+        // Snapshot at interior boundaries (the final boundary has the last
+        // iteration's gradients un-stepped by design — nothing to resume).
+        if seg_end < steps {
+            if let Some(ck) = &cfg.checkpoint {
+                CheckpointState::capture(seg_end, &seg_stages, shards.as_deref())
+                    .save(&ck.path, cfg)?;
+            }
+        }
+        stages = Some(seg_stages);
+        it = seg_end;
     }
-    if !cfg.vocab_parallel {
+
+    let mut stages = stages.expect("at least one segment ran");
+    let mut out_grad = Tensor::zeros(cfg.hidden(), cfg.vocab);
+    if let Some(shards) = &shards {
+        for s in shards {
+            out_grad.set_cols(s.offset, &s.grad);
+        }
+    } else {
         let (_, g) = stages[p - 1].out_proj.as_ref().expect("classic head");
         out_grad = g.clone();
     }
@@ -286,7 +775,7 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
         .1
         .clone();
 
-    RunResult {
+    Ok(RunResult {
         losses,
         layer_grads,
         embed_grad,
@@ -294,11 +783,73 @@ pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32)
         final_norm_grad,
         peak_act_bytes,
         offload_transferred,
+        fault_stats: ctl.stats(),
+    })
+}
+
+/// Run `steps` training iterations of `cfg` under `kind`. The gradients of
+/// the final iteration are returned un-stepped so they can be compared
+/// across configurations. Every failure mode — injected or real — returns
+/// a structured [`ExecError`]; the process neither hangs nor aborts.
+pub fn try_run_pipeline(
+    cfg: &ExecConfig,
+    kind: PipelineKind,
+    steps: usize,
+    lr: f32,
+) -> Result<RunResult, ExecError> {
+    cfg.validate().map_err(ExecError::InvalidConfig)?;
+    if steps == 0 {
+        return Err(ExecError::InvalidConfig("steps must be >= 1".into()));
     }
+    let shards = cfg.vocab_parallel.then(|| build_vocab_shards(cfg));
+    run_from(cfg, kind, 0, steps, lr, None, shards)
+}
+
+/// Resume a run from the checkpoint at `cfg.checkpoint.path` and train to
+/// `steps` total iterations. The returned losses cover only the resumed
+/// iterations, and the result is **bit-identical** to the corresponding
+/// tail of an uninterrupted [`try_run_pipeline`] run: exact f32 bit
+/// patterns are restored, repacking is deterministic, the optimizer is
+/// stateless, and data is a pure function of `(seed, mb)`.
+pub fn try_resume_pipeline(
+    cfg: &ExecConfig,
+    kind: PipelineKind,
+    steps: usize,
+    lr: f32,
+) -> Result<RunResult, ExecError> {
+    cfg.validate().map_err(ExecError::InvalidConfig)?;
+    let ck = cfg
+        .checkpoint
+        .as_ref()
+        .ok_or_else(|| ExecError::Checkpoint("resume requires cfg.checkpoint".into()))?;
+    let state = CheckpointState::load(&ck.path, cfg)?;
+    let start = state.iteration as usize;
+    if start >= steps {
+        return Err(ExecError::Checkpoint(format!(
+            "checkpoint at iteration {start} cannot resume a {steps}-step run"
+        )));
+    }
+    let shards = if cfg.vocab_parallel {
+        Some(state.to_shards(cfg).ok_or_else(|| {
+            ExecError::Checkpoint("vocab-parallel resume needs shard states".into())
+        })?)
+    } else {
+        None
+    };
+    run_from(cfg, kind, start, steps, lr, Some(Arc::new(state)), shards)
+}
+
+/// [`try_run_pipeline`] for callers that treat any failure as fatal (the
+/// historical API; tests and benches use it for known-clean configs).
+pub fn run_pipeline(cfg: &ExecConfig, kind: PipelineKind, steps: usize, lr: f32) -> RunResult {
+    try_run_pipeline(cfg, kind, steps, lr)
+        .unwrap_or_else(|e| panic!("pipeline run failed: {e}"))
 }
 
 /// Single-device, unsliced reference run — the ground truth every pipeline
-/// configuration is verified against.
+/// configuration is verified against. Fault injection, degradation, and
+/// checkpointing are stripped: the reference must stay the clean baseline
+/// even when `cfg` carries a fault plan.
 pub fn run_reference(cfg: &ExecConfig, steps: usize, lr: f32) -> RunResult {
     let ref_cfg = ExecConfig {
         stages: 1,
@@ -307,6 +858,9 @@ pub fn run_reference(cfg: &ExecConfig, steps: usize, lr: f32) -> RunResult {
         slicing: slimpipe_core::SlicePolicy::Uniform,
         vocab_parallel: false,
         exchange: false,
+        policy: DegradePolicy::Abort,
+        fault_plan: None,
+        checkpoint: None,
         ..cfg.clone()
     };
     run_pipeline(&ref_cfg, PipelineKind::OneFOneB, steps, lr)
@@ -323,6 +877,7 @@ mod tests {
         assert_eq!(r.losses.len(), 4);
         assert!(r.losses[3] < r.losses[0], "losses: {:?}", r.losses);
         assert_eq!(r.layer_grads.len(), cfg.layers);
+        assert_eq!(r.fault_stats, FaultStats::default());
     }
 
     #[test]
@@ -336,5 +891,14 @@ mod tests {
         assert!(r.losses[0].is_finite());
         assert_eq!(r.peak_act_bytes.len(), cfg.stages);
         assert!(r.peak_act_bytes.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn zero_steps_is_a_structured_error() {
+        let cfg = ExecConfig::small();
+        match try_run_pipeline(&cfg, PipelineKind::SlimPipe, 0, 0.1) {
+            Err(ExecError::InvalidConfig(_)) => {}
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| "ok")),
+        }
     }
 }

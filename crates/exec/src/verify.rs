@@ -75,6 +75,39 @@ pub fn assert_equivalent(got: &RunResult, want: &RunResult, tol: f32) {
     );
 }
 
+fn assert_bits(name: &str, a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "{name}: length differs");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name}[{i}]: bits differ ({x:?} vs {y:?})"
+        );
+    }
+}
+
+/// Panic unless `got` and `want` are **bit-identical**: every per-iteration
+/// loss (f64) and every returned gradient element (f32) must match in its
+/// exact bit pattern — no tolerance. This is the checkpoint/restore
+/// guarantee: a resumed run is indistinguishable from the uninterrupted
+/// one, which is only checkable at bit granularity (a tolerance would hide
+/// a drifting restore path).
+pub fn assert_bit_identical(got: &RunResult, want: &RunResult) {
+    assert_eq!(got.losses.len(), want.losses.len(), "iteration count differs");
+    for (i, (a, b)) in got.losses.iter().zip(&want.losses).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "loss[{i}] bits differ ({a:?} vs {b:?})");
+    }
+    assert_eq!(got.layer_grads.len(), want.layer_grads.len(), "layer count differs");
+    for (li, (g, w)) in got.layer_grads.iter().zip(&want.layer_grads).enumerate() {
+        for ((name, a), (_, b)) in g.tensors().iter().zip(w.tensors().iter()) {
+            assert_bits(&format!("layer{li}.{name}"), a.as_slice(), b.as_slice());
+        }
+    }
+    assert_bits("embedding", got.embed_grad.as_slice(), want.embed_grad.as_slice());
+    assert_bits("output", got.out_grad.as_slice(), want.out_grad.as_slice());
+    assert_bits("final_norm", &got.final_norm_grad, &want.final_norm_grad);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

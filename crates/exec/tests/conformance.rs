@@ -291,7 +291,7 @@ fn fused_layer_is_bit_identical_to_unfused_composition() {
         for j in 0..cfg.slices {
             let xs = x.rows_slice(j * l, l);
             let (y, c) = if fused {
-                layer_forward(&p, hc, xs, &mut kv, j, j * l, &mut LocalAttn)
+                layer_forward(&p, hc, xs, &mut kv, j, j * l, &mut LocalAttn).expect("local attn")
             } else {
                 unfused_layer_forward(&p, hc, xs, &mut kv, j, j * l)
             };
@@ -308,6 +308,7 @@ fn fused_layer_is_bit_identical_to_unfused_composition() {
             let cache = caches.pop().expect("LIFO stash");
             let dx = if fused {
                 layer_backward(&p, &mut g, hc, cache, dys, &mut kv, &mut dkv, j, j * l, &mut LocalAttn)
+                    .expect("local attn")
             } else {
                 unfused_layer_backward(&p, &mut g, hc, cache, dys, &mut kv, &mut dkv, j, j * l)
             };

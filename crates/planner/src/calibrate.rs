@@ -71,14 +71,16 @@ fn time_layer_point(cfg: &ExecConfig, params: &LayerParams, t: usize, c: usize) 
     // Prior slices fill the cache (untimed).
     for j in 0..c {
         let x = seeded_uniform(t, h, 40 + j as u64);
-        let (y, cache) = layer_forward(params, hc, x, &mut kv, j, j * t, &mut LocalAttn);
+        let (y, cache) =
+            layer_forward(params, hc, x, &mut kv, j, j * t, &mut LocalAttn).expect("local attn");
         y.recycle();
         caches.push(cache);
     }
     // Timed forward of slice c.
     let x = seeded_uniform(t, h, 40 + c as u64);
     let t0 = Instant::now();
-    let (y, cache) = layer_forward(params, hc, x, &mut kv, c, c * t, &mut LocalAttn);
+    let (y, cache) =
+        layer_forward(params, hc, x, &mut kv, c, c * t, &mut LocalAttn).expect("local attn");
     let fwd_ns = t0.elapsed().as_nanos() as f64;
     y.recycle();
     caches.push(cache);
@@ -91,7 +93,8 @@ fn time_layer_point(cfg: &ExecConfig, params: &LayerParams, t: usize, c: usize) 
     let t0 = Instant::now();
     let dx = layer_backward(
         params, &mut grads, hc, cache, d_y, &mut kv, &mut dkv, c, c * t, &mut LocalAttn,
-    );
+    )
+    .expect("local attn");
     let bwd_ns = t0.elapsed().as_nanos() as f64;
     dx.recycle();
     // Unwind the prior slices so every pool buffer returns home.
@@ -100,7 +103,8 @@ fn time_layer_point(cfg: &ExecConfig, params: &LayerParams, t: usize, c: usize) 
         let cache = caches.pop().expect("prior stash");
         let dx = layer_backward(
             params, &mut grads, hc, cache, d_y, &mut kv, &mut dkv, j, j * t, &mut LocalAttn,
-        );
+        )
+        .expect("local attn");
         dx.recycle();
     }
     (fwd_ns, bwd_ns)

@@ -16,6 +16,7 @@ pub mod channel {
     use std::fmt;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
@@ -37,6 +38,31 @@ pub mod channel {
     /// every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`]: either the deadline
+    /// passed with the channel still empty, or the channel disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::try_send`]. The shim channel is
+    /// unbounded, so `Full` is never produced here — it exists so callers
+    /// stay source-compatible with real crossbeam's bounded channels.
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
 
     pub struct Sender<T> {
         inner: Arc<Inner<T>>,
@@ -61,6 +87,17 @@ pub mod channel {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
+            }
+            self.inner.queue.lock().unwrap().push_back(value);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send. The shim channel is unbounded, so this only
+        /// fails when every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
             }
             self.inner.queue.lock().unwrap().push_back(value);
             self.inner.ready.notify_one();
@@ -98,6 +135,39 @@ pub mod channel {
             }
         }
 
+        /// Blocking receive with a deadline. Returns `Timeout` if the
+        /// channel stays empty past `timeout`, `Disconnected` if it is
+        /// empty and every sender is gone. A queued message is always
+        /// delivered before a disconnect is reported, matching
+        /// crossbeam's semantics.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, res) = self.inner.ready.wait_timeout(q, left).unwrap();
+                q = guard;
+                if res.timed_out() && q.is_empty() {
+                    // Re-check disconnect before reporting a timeout: a
+                    // sender may have vanished while we slept.
+                    if self.inner.senders.load(Ordering::Acquire) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
         pub fn try_recv(&self) -> Result<T, RecvError> {
             self.inner.queue.lock().unwrap().pop_front().ok_or(RecvError)
         }
@@ -105,6 +175,11 @@ pub mod channel {
         /// Blocking iterator that ends when the channel disconnects.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { rx: self }
+        }
+
+        /// Non-blocking iterator over the messages queued right now.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
         }
     }
 
@@ -129,6 +204,17 @@ pub mod channel {
         type Item = T;
         fn next(&mut self) -> Option<T> {
             self.rx.recv().ok()
+        }
+    }
+
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
         }
     }
 
@@ -379,6 +465,76 @@ mod tests {
         assert_eq!(sum, 9900);
         drop(tx);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_value_immediately() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(7));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_empty_channel() {
+        let (tx, rx) = unbounded::<u8>();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(30));
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_sees_late_send() {
+        let (tx, rx) = unbounded();
+        let sender = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(42u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(42));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect_not_timeout() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        // Queued message first, then disconnect — never a timeout.
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(1));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn try_send_succeeds_with_live_receiver_and_fails_after_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        assert!(tx.try_send(1).is_ok());
+        assert_eq!(rx.recv(), Ok(1));
+        drop(rx);
+        match tx.try_send(2) {
+            Err(TrySendError::Disconnected(v)) => assert_eq!(v, 2),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_iter_drains_queued_then_stops() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+        // Channel still connected: try_iter just stops, no block, no error.
+        assert_eq!(rx.try_iter().next(), None);
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![3]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```
 
 use slimpipe::core::exchange::{plan_round, steady_round_slices, theta_bound, theta_formula};
-use slimpipe::exec::comm::{spawn_server, ExchangeMap, ExchangeRt, ServerJob};
+use slimpipe::exec::comm::{spawn_server, ExchangeMap, ExchangeRt};
 use slimpipe::exec::layer::AttnExecutor;
 use slimpipe::tensor::attention::{forward_chunked, HeadCfg};
 use slimpipe::tensor::init::seeded_uniform;
@@ -38,8 +38,8 @@ fn main() {
     let map = ExchangeMap::build(p, n, l as u64);
     let mut servers = Vec::new();
     let mut joins = Vec::new();
-    for _ in 0..p {
-        let (h, j) = spawn_server(None);
+    for d in 0..p {
+        let (h, j) = spawn_server(d, None);
         servers.push(h);
         joins.push(j);
     }
@@ -66,8 +66,8 @@ fn main() {
         remote
     );
 
-    let mut rt = ExchangeRt { device: heavy, servers: &servers, map: &map };
-    let exchanged = rt.attn_forward(&q, &chunks, &offsets, cfg, j * l);
+    let mut rt = ExchangeRt::new(heavy, &servers, &map);
+    let exchanged = rt.attn_forward(&q, &chunks, &offsets, cfg, j * l).expect("servers alive");
     let local = forward_chunked(&q, &chunks, &offsets, cfg, j * l);
     println!(
         "max |exchanged - local| = {:.2e} (online-softmax merge is exact)",
@@ -75,7 +75,7 @@ fn main() {
     );
 
     for s in &servers {
-        s.submit(ServerJob::Stop);
+        s.stop();
     }
     for j in joins {
         j.join().unwrap();
