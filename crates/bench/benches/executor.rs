@@ -130,6 +130,28 @@ fn bench_fault_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// The async exchange runtime vs. its serialized fallback, back-to-back
+/// on the same exchange-heavy workload: double-buffered boundary channels
+/// with posted sends and up-front remote dispatch vs. one blocking
+/// rendezvous per chunk. On a multi-core host overlapping comm with
+/// compute should win outright; on a 1-core host the regimes interleave
+/// on the same CPU and may tie. `bench_check` holds overlapped within the
+/// noise gate of serialized — overlap must never *cost*.
+fn bench_async_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_async_overlap");
+    g.sample_size(10);
+    let base = ExecConfig { slices: 8, exchange: true, ..cfg() };
+    let serialized = ExecConfig { async_exchange: false, ..base.clone() };
+    let overlapped = ExecConfig { async_exchange: true, ..base };
+    g.bench_function("serialized", |b| {
+        b.iter(|| black_box(run_pipeline(&serialized, PipelineKind::SlimPipe, 1, 0.1)))
+    });
+    g.bench_function("overlapped", |b| {
+        b.iter(|| black_box(run_pipeline(&overlapped, PipelineKind::SlimPipe, 1, 0.1)))
+    });
+    g.finish();
+}
+
 /// The pool's end-to-end effect: identical training steps with the pool
 /// emptied before every iteration (every kernel allocation is a fresh
 /// malloc) vs. left warm (steady-state, allocation-free).
@@ -162,6 +184,7 @@ criterion_group!(
     bench_pipelines,
     bench_feature_toggles,
     bench_fault_overhead,
+    bench_async_overlap,
     bench_slicing_policies,
     bench_pool_cold_vs_warm,
 );

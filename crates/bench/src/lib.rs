@@ -122,6 +122,7 @@ pub fn scheme_env(
         early_kv: true,
         vocab_parallel: slim,
         comm_overlap: 0.5,
+        pipeline_overlap: 0.0,
     }
 }
 

@@ -139,6 +139,14 @@ fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
     }
 }
 
+/// Length-checked array view. The callers already slice to the exact
+/// width, but a checkpoint-deserialize path must never be able to panic —
+/// a mismatch reports a typed error instead of unwrapping.
+fn arr<const N: usize>(s: &[u8]) -> Result<[u8; N], ExecError> {
+    s.try_into()
+        .map_err(|_| ExecError::Checkpoint("malformed field width".into()))
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -157,7 +165,7 @@ impl<'a> Reader<'a> {
     }
 
     fn u64(&mut self) -> Result<u64, ExecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(arr(self.take(8)?)?))
     }
 
     fn f32s(&mut self) -> Result<Vec<f32>, ExecError> {
@@ -165,10 +173,9 @@ impl<'a> Reader<'a> {
         let raw = self.take(n.checked_mul(4).ok_or_else(|| {
             ExecError::Checkpoint("overflowing vector length".into())
         })?)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
-            .collect())
+        raw.chunks_exact(4)
+            .map(|c| Ok(f32::from_bits(u32::from_le_bytes(arr(c)?))))
+            .collect()
     }
 
     fn tensor(&mut self) -> Result<Tensor, ExecError> {
@@ -180,8 +187,8 @@ impl<'a> Reader<'a> {
         let raw = self.take(n)?;
         let data: Vec<f32> = raw
             .chunks_exact(4)
-            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
-            .collect();
+            .map(|c| Ok(f32::from_bits(u32::from_le_bytes(arr(c)?))))
+            .collect::<Result<_, ExecError>>()?;
         Ok(Tensor::from_vec(rows, cols, data))
     }
 
@@ -340,7 +347,7 @@ impl CheckpointState {
             return Err(ExecError::Checkpoint("bad magic (not a checkpoint file)".into()));
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 4);
-        let want_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+        let want_crc = u32::from_le_bytes(arr(trailer)?);
         let got_crc = crc32(&body[MAGIC.len()..]);
         if want_crc != got_crc {
             return Err(ExecError::Checkpoint(format!(
@@ -348,7 +355,7 @@ impl CheckpointState {
             )));
         }
         let mut r = Reader { buf: body, pos: MAGIC.len() };
-        let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+        let version = u32::from_le_bytes(arr(r.take(4)?)?);
         if version != VERSION {
             return Err(ExecError::Checkpoint(format!("unsupported version {version}")));
         }

@@ -219,6 +219,10 @@ pub struct RunCtl {
     pub exchange_retries: AtomicU64,
     pub local_fallbacks: AtomicU64,
     pub skipped_microbatches: AtomicU64,
+    /// Boundary activations handed off through the non-blocking post queue
+    /// (async exchange runtime). Observability only — not a fault counter,
+    /// so it reports outside [`FaultStats`].
+    pub posted_sends: AtomicU64,
 }
 
 impl RunCtl {
@@ -232,7 +236,9 @@ impl RunCtl {
     /// the failing thread records its root cause).
     pub fn fail(&self, e: ExecError) {
         self.abort.store(true, Ordering::Release);
-        let mut slot = self.err.lock().unwrap();
+        // A panicking reporter must not wedge error collection: recover the
+        // slot from a poisoned lock instead of propagating the poison.
+        let mut slot = self.err.lock().unwrap_or_else(|p| p.into_inner());
         match &*slot {
             None => *slot = Some(e),
             Some(cur) if !cur.is_primary() && e.is_primary() => *slot = Some(e),
@@ -245,7 +251,7 @@ impl RunCtl {
     }
 
     pub fn take_error(&self) -> Option<ExecError> {
-        self.err.lock().unwrap().take()
+        self.err.lock().unwrap_or_else(|p| p.into_inner()).take()
     }
 
     pub fn stats(&self) -> FaultStats {
@@ -260,6 +266,16 @@ impl RunCtl {
 /// Poll interval of guarded waits: long enough to stay off the hot path,
 /// short enough that an abort drains the pipeline promptly.
 pub const ABORT_POLL: Duration = Duration::from_millis(25);
+
+/// Poll interval while the pump hook reports spilled posted sends still
+/// waiting for channel space. The only thing that moves a spilled message
+/// is the sender's own pump, so sleeping a full [`ABORT_POLL`] between
+/// pumps would degrade the async pipeline into 25 ms-lockstep stalls —
+/// the peer frees a slot, then waits on the spilled message until our
+/// quantum expires. A sub-millisecond retry keeps the handoff prompt —
+/// the spill is only non-empty while the peer is more than one full
+/// unit behind, so the tight poll is rare and short-lived.
+pub const SPILL_POLL: Duration = Duration::from_micros(100);
 
 /// Grace period after an unexplained disconnect before concluding the peer
 /// died silently (its `catch_unwind` may still be recording the root
@@ -280,26 +296,56 @@ pub fn recv_guarded<T>(
     slice: u32,
     port: Port,
 ) -> Result<T, ExecError> {
+    recv_guarded_pumped(rx, ctl, watchdog, stage, mb, slice, port, || Ok(0))
+}
+
+/// [`recv_guarded`] with a pump hook run before every poll, so a stage
+/// blocked on a receive keeps flushing its own posted-send overflow into
+/// freed channel slots (the async exchange runtime's spill) — without the
+/// hook, two stages could each hold the message the other waits for. The
+/// hook reports how many posted sends are *still* spilled; while that is
+/// non-zero the loop polls at [`SPILL_POLL`] so a slot freed by the peer
+/// is refilled promptly instead of after a full quantum.
+///
+/// The poll quantum is `min(quantum, remaining)`, never the fixed
+/// [`ABORT_POLL`]: a watchdog configured below the quantum fires at its
+/// own deadline instead of silently rounding up to the poll period.
+#[allow(clippy::too_many_arguments)]
+pub fn recv_guarded_pumped<T>(
+    rx: &crossbeam::channel::Receiver<T>,
+    ctl: &RunCtl,
+    watchdog: Duration,
+    stage: usize,
+    mb: u32,
+    slice: u32,
+    port: Port,
+    mut pump: impl FnMut() -> Result<usize, ExecError>,
+) -> Result<T, ExecError> {
     use crossbeam::channel::RecvTimeoutError;
     let start = Instant::now();
     loop {
-        match rx.recv_timeout(ABORT_POLL) {
+        let spilled = pump()?;
+        let waited = start.elapsed();
+        let Some(remaining) = watchdog.checked_sub(waited).filter(|d| !d.is_zero()) else {
+            if ctl.aborted() {
+                return Err(ExecError::Aborted { stage });
+            }
+            let e = ExecError::RendezvousStuck {
+                stage,
+                mb,
+                slice,
+                port,
+                waited_ms: waited.as_millis() as u64,
+            };
+            ctl.fail(e.clone());
+            return Err(e);
+        };
+        let quantum = if spilled > 0 { SPILL_POLL } else { ABORT_POLL };
+        match rx.recv_timeout(quantum.min(remaining)) {
             Ok(v) => return Ok(v),
             Err(RecvTimeoutError::Timeout) => {
                 if ctl.aborted() {
                     return Err(ExecError::Aborted { stage });
-                }
-                let waited = start.elapsed();
-                if waited >= watchdog {
-                    let e = ExecError::RendezvousStuck {
-                        stage,
-                        mb,
-                        slice,
-                        port,
-                        waited_ms: waited.as_millis() as u64,
-                    };
-                    ctl.fail(e.clone());
-                    return Err(e);
                 }
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -392,6 +438,59 @@ mod tests {
         let err =
             recv_guarded(&rx, &ctl, Duration::from_secs(60), 1, 0, 0, Port::Forward).unwrap_err();
         assert_eq!(err, ExecError::Aborted { stage: 1 });
+    }
+
+    #[test]
+    fn sub_quantum_watchdog_fires_within_twice_the_deadline() {
+        let (_tx, rx) = unbounded::<u8>();
+        // 12 ms is below the 25 ms poll quantum: the historical
+        // fixed-quantum loop could not report before ~25 ms (>2× the
+        // deadline). Accept the fastest of a few tries so scheduler noise
+        // on a loaded host cannot fail the build.
+        let deadline = Duration::from_millis(12);
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let ctl = RunCtl::new();
+            let t0 = Instant::now();
+            let err = recv_guarded(&rx, &ctl, deadline, 0, 0, 0, Port::Server).unwrap_err();
+            best = best.min(t0.elapsed());
+            match err {
+                ExecError::RendezvousStuck { waited_ms, .. } => assert!(waited_ms >= 12),
+                other => panic!("expected RendezvousStuck, got {other}"),
+            }
+        }
+        assert!(
+            best < deadline * 2,
+            "sub-quantum deadline took {best:?} at best (limit {:?})",
+            deadline * 2
+        );
+    }
+
+    #[test]
+    fn pump_hook_runs_and_its_error_wins() {
+        let (_tx, rx) = unbounded::<u8>();
+        let ctl = RunCtl::new();
+        let mut calls = 0u32;
+        let err = recv_guarded_pumped(
+            &rx,
+            &ctl,
+            Duration::from_secs(60),
+            2,
+            0,
+            0,
+            Port::Forward,
+            || {
+                calls += 1;
+                if calls >= 3 {
+                    Err(ExecError::Disconnected { stage: 2, port: Port::Forward })
+                } else {
+                    Ok(0)
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Disconnected { stage: 2, port: Port::Forward });
+        assert_eq!(calls, 3, "pump must run once per poll");
     }
 
     #[test]

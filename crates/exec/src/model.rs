@@ -54,6 +54,14 @@ pub struct ExecConfig {
     pub stages: usize,
     pub vocab_parallel: bool,
     pub exchange: bool,
+    /// Async exchange runtime: boundary activations travel through bounded
+    /// double-buffered channels with a non-blocking posted-send overflow,
+    /// and exchange dispatches every remote chunk before computing local
+    /// ones (comm overlaps compute). `false` serializes every rendezvous —
+    /// each remote chunk is submitted and awaited before the next chunk
+    /// runs. Both regimes fold partials in ascending chunk order, so they
+    /// are bit-identical to each other and to exchange-off.
+    pub async_exchange: bool,
     /// Device activation-stash budget in bytes; stashes beyond it spill to
     /// host memory (§6.5). `None` disables offloading.
     pub offload_budget: Option<u64>,
@@ -93,6 +101,7 @@ impl ExecConfig {
             stages: 2,
             vocab_parallel: false,
             exchange: false,
+            async_exchange: true,
             offload_budget: None,
             seed: 7,
             policy: DegradePolicy::Abort,

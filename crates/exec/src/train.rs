@@ -36,14 +36,14 @@ use crate::comm::{
     ServerJob, VocabParallel, VocabShard,
 };
 use crate::fault::{
-    panic_message, recv_guarded, DegradePolicy, ExecError, FaultKind, FaultStats, InjectedPanic,
-    Port, RunCtl, ABORT_POLL,
+    panic_message, recv_guarded, recv_guarded_pumped, DegradePolicy, ExecError, FaultKind,
+    FaultStats, InjectedPanic, Port, RunCtl, ABORT_POLL,
 };
 use crate::layer::{AttnExecutor, LayerGrads, LocalAttn};
 use crate::model::ExecConfig;
 use crate::schedule::{build_schedule, PipelineKind};
 use crate::stage::{Stage, StageOutput};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, PostQueue, Receiver, Sender};
 use slimpipe_sched::{PassKind, WorkItem};
 use slimpipe_tensor::init::seeded_tokens;
 use slimpipe_tensor::Tensor;
@@ -70,6 +70,13 @@ pub struct RunResult {
     pub offload_transferred: Vec<u64>,
     /// Recovery activity: retries, local fallbacks, skipped microbatches.
     pub fault_stats: FaultStats,
+    /// Per-stage final `(iteration, mb, slice)` cursor — the last unit each
+    /// stage marked in-progress. A unit recovered on retry must advance its
+    /// cursor exactly once (pinned by the retry-accounting regression).
+    pub final_cursors: Vec<(usize, u32, u32)>,
+    /// Boundary activations handed off through the non-blocking post queue
+    /// (0 when `async_exchange` is off or the pipeline has one stage).
+    pub posted_sends: u64,
 }
 
 impl std::fmt::Debug for RunResult {
@@ -80,6 +87,7 @@ impl std::fmt::Debug for RunResult {
             .field("layers", &self.layer_grads.len())
             .field("peak_act_bytes", &self.peak_act_bytes)
             .field("fault_stats", &self.fault_stats)
+            .field("posted_sends", &self.posted_sends)
             .finish_non_exhaustive()
     }
 }
@@ -128,6 +136,135 @@ fn send_act(
             e
         }
     })
+}
+
+/// Outbound half of a stage boundary, in one of two regimes. `Sync` is the
+/// serialized handoff: a plain send on an unbounded channel. `Posted` is
+/// the async exchange runtime: the channel is bounded (double-buffered),
+/// `send` never blocks — overflow spills into a FIFO post queue — and the
+/// spill drains on every `pump`, which runs at op starts and inside every
+/// guarded receive. Delivery order is the post order either way, so the
+/// receiver observes an identical message stream in both regimes.
+enum Outbound {
+    Sync(Sender<ActMsg>),
+    Posted(PostQueue<ActMsg>),
+}
+
+impl Outbound {
+    fn new(tx: Sender<ActMsg>, asynchronous: bool) -> Self {
+        if asynchronous {
+            Outbound::Posted(PostQueue::new(tx))
+        } else {
+            Outbound::Sync(tx)
+        }
+    }
+
+    /// A gone peer, mapped exactly like [`send_act`]: drain quietly when
+    /// the run is already aborting, report the disconnect otherwise.
+    fn disconnect(ctl: &RunCtl, stage: usize, port: Port) -> ExecError {
+        if ctl.aborted() {
+            ExecError::Aborted { stage }
+        } else {
+            let e = ExecError::Disconnected { stage, port };
+            ctl.fail(e.clone());
+            e
+        }
+    }
+
+    fn send(
+        &mut self,
+        msg: ActMsg,
+        ctl: &RunCtl,
+        stage: usize,
+        port: Port,
+    ) -> Result<(), ExecError> {
+        match self {
+            Outbound::Sync(tx) => send_act(tx, msg, ctl, stage, port),
+            Outbound::Posted(q) => match q.post(msg) {
+                Ok(_token) => {
+                    ctl.posted_sends.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(_) => Err(Self::disconnect(ctl, stage, port)),
+            },
+        }
+    }
+
+    /// Move spilled posts into freed channel slots; never blocks. Returns
+    /// how many posts are *still* spilled (waiting for the peer to free a
+    /// slot).
+    fn pump(&mut self, ctl: &RunCtl, stage: usize, port: Port) -> Result<usize, ExecError> {
+        match self {
+            Outbound::Sync(_) => Ok(0),
+            Outbound::Posted(q) => q
+                .pump()
+                .map(|_| q.pending())
+                .map_err(|_| Self::disconnect(ctl, stage, port)),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        match self {
+            Outbound::Sync(_) => 0,
+            Outbound::Posted(q) => q.pending(),
+        }
+    }
+}
+
+/// Pump both boundary post queues — the hook every guarded receive runs
+/// before each poll, so a stage blocked on a receive keeps its own posted
+/// sends flowing (two stages could otherwise each hold the message the
+/// other waits for).
+fn pump_outbound(
+    fwd: &mut Option<Outbound>,
+    bwd: &mut Option<Outbound>,
+    ctl: &RunCtl,
+    stage: usize,
+) -> Result<usize, ExecError> {
+    let mut spilled = 0;
+    if let Some(o) = fwd {
+        spilled += o.pump(ctl, stage, Port::Forward)?;
+    }
+    if let Some(o) = bwd {
+        spilled += o.pump(ctl, stage, Port::Backward)?;
+    }
+    Ok(spilled)
+}
+
+/// Drain every spilled post before an iteration boundary. Checkpoint
+/// segmentation joins threads at boundaries; a message still in the spill
+/// when the queue drops would strand its receiver at the watchdog.
+fn flush_outbound(
+    out: &mut Option<Outbound>,
+    ctl: &RunCtl,
+    stage: usize,
+    watchdog: Duration,
+    port: Port,
+) -> Result<(), ExecError> {
+    let Some(o) = out else { return Ok(()) };
+    let start = Instant::now();
+    loop {
+        o.pump(ctl, stage, port)?;
+        if o.pending() == 0 {
+            return Ok(());
+        }
+        if ctl.aborted() {
+            return Err(ExecError::Aborted { stage });
+        }
+        let waited = start.elapsed();
+        if waited >= watchdog {
+            let e = ExecError::RendezvousStuck {
+                stage,
+                mb: 0,
+                slice: 0,
+                port,
+                waited_ms: waited.as_millis() as u64,
+            };
+            ctl.fail(e.clone());
+            return Err(e);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
 }
 
 /// Submit one acked job to every server and await the acks in device order.
@@ -204,6 +341,11 @@ impl StageRun {
         let m = self.cfg.microbatches;
         let watchdog = Duration::from_millis(self.cfg.watchdog_ms);
         let timeout = Duration::from_millis(self.cfg.exchange_timeout_ms);
+        // Outbound boundary handles: non-blocking post queues under the
+        // async exchange runtime, plain blocking senders otherwise.
+        let asynchronous = self.cfg.async_exchange;
+        let mut fwd_out = self.fwd_tx.clone().map(|tx| Outbound::new(tx, asynchronous));
+        let mut bwd_out = self.bwd_tx.clone().map(|tx| Outbound::new(tx, asynchronous));
         for step in self.seg.clone() {
             // Mark the pack epoch: everything after stage build must run
             // off the persistent packed-weight cache, so
@@ -220,9 +362,14 @@ impl StageRun {
             for op in &self.ops {
                 let (mb, sl) = (op.mb, op.slice);
                 self.cursor.store(pack_cursor(step, mb, sl), Ordering::Relaxed);
+                // Keep posted sends moving even through long compute-only
+                // stretches between receives.
+                pump_outbound(&mut fwd_out, &mut bwd_out, &self.ctl, d)?;
                 // Deterministic fault injection, matched on the forward
                 // visit of the site. (Reply-level faults are consumed
-                // inside the exchange runtime on both passes.)
+                // inside the exchange runtime, armed on the forward visit
+                // only so a planned fault fires once per unit, not once
+                // per pass.)
                 let mut corrupt = false;
                 if matches!(op.kind, PassKind::Forward) {
                     if let Some(plan) = &self.cfg.fault_plan {
@@ -277,6 +424,8 @@ impl StageRun {
                         mb,
                         slice: sl,
                         local_only,
+                        overlap: asynchronous,
+                        reply_faults: matches!(op.kind, PassKind::Forward),
                     },
                 });
                 let vp_holder;
@@ -309,8 +458,16 @@ impl StageRun {
                         } else {
                             let rx =
                                 self.fwd_rx.as_ref().expect("interior stage has fwd input");
-                            let (rmb, rsl, payload) =
-                                recv_guarded(rx, &self.ctl, watchdog, d, mb, sl, Port::Forward)?;
+                            let (rmb, rsl, payload) = recv_guarded_pumped(
+                                rx,
+                                &self.ctl,
+                                watchdog,
+                                d,
+                                mb,
+                                sl,
+                                Port::Forward,
+                                || pump_outbound(&mut fwd_out, &mut bwd_out, &self.ctl, d),
+                            )?;
                             assert_eq!((rmb, rsl), (mb, sl), "fwd order mismatch");
                             match payload {
                                 ActPayload::Skip => {
@@ -319,9 +476,8 @@ impl StageRun {
                                     // at the loss and travel backward).
                                     mb_skipped[mb as usize] = true;
                                     mb_loss[mb as usize] = 0.0;
-                                    if let Some(tx) = &self.fwd_tx {
-                                        send_act(
-                                            tx,
+                                    if let Some(out) = fwd_out.as_mut() {
+                                        out.send(
                                             (mb, sl, ActPayload::Skip),
                                             &self.ctl,
                                             d,
@@ -351,10 +507,9 @@ impl StageRun {
                             is_last.then(|| self.data[mb as usize].1[range.clone()].to_vec());
                         match stage.forward(mb, sl, input, targets.as_deref(), attn, vp)? {
                             StageOutput::Activation(act) => {
-                                let tx =
-                                    self.fwd_tx.as_ref().expect("interior stage has fwd output");
-                                send_act(
-                                    tx,
+                                let out =
+                                    fwd_out.as_mut().expect("interior stage has fwd output");
+                                out.send(
                                     (mb, sl, ActPayload::Act(act)),
                                     &self.ctl,
                                     d,
@@ -389,9 +544,8 @@ impl StageRun {
                                 // Drain instead of computing: no math may
                                 // run over the contaminated stashes/KV.
                                 stage.drain_unit(mb, sl);
-                                if let Some(tx) = &self.bwd_tx {
-                                    send_act(
-                                        tx,
+                                if let Some(out) = bwd_out.as_mut() {
+                                    out.send(
                                         (mb, sl, ActPayload::Skip),
                                         &self.ctl,
                                         d,
@@ -404,16 +558,23 @@ impl StageRun {
                         } else {
                             let rx =
                                 self.bwd_rx.as_ref().expect("interior stage has bwd input");
-                            let (rmb, rsl, payload) =
-                                recv_guarded(rx, &self.ctl, watchdog, d, mb, sl, Port::Backward)?;
+                            let (rmb, rsl, payload) = recv_guarded_pumped(
+                                rx,
+                                &self.ctl,
+                                watchdog,
+                                d,
+                                mb,
+                                sl,
+                                Port::Backward,
+                                || pump_outbound(&mut fwd_out, &mut bwd_out, &self.ctl, d),
+                            )?;
                             assert_eq!((rmb, rsl), (mb, sl), "bwd order mismatch");
                             match payload {
                                 ActPayload::Skip => {
                                     mb_skipped[mb as usize] = true;
                                     stage.drain_unit(mb, sl);
-                                    if let Some(tx) = &self.bwd_tx {
-                                        send_act(
-                                            tx,
+                                    if let Some(out) = bwd_out.as_mut() {
+                                        out.send(
                                             (mb, sl, ActPayload::Skip),
                                             &self.ctl,
                                             d,
@@ -429,10 +590,9 @@ impl StageRun {
                             is_last.then(|| self.data[mb as usize].1[range.clone()].to_vec());
                         if let Some(dx) = stage.backward(mb, sl, d_in, targets.as_deref(), attn, vp)?
                         {
-                            let tx =
-                                self.bwd_tx.as_ref().expect("non-first stage has bwd output");
-                            send_act(
-                                tx,
+                            let out =
+                                bwd_out.as_mut().expect("non-first stage has bwd output");
+                            out.send(
                                 (mb, sl, ActPayload::Act(dx)),
                                 &self.ctl,
                                 d,
@@ -448,6 +608,12 @@ impl StageRun {
                     local_only = rt.ft.local_only;
                 }
             }
+            // Drain any still-spilled posts: the iteration boundary is a
+            // synchronization point (and possibly a checkpoint segment
+            // end — threads join there, and dropping a non-empty spill
+            // would strand the receiver at its watchdog).
+            flush_outbound(&mut fwd_out, &self.ctl, d, watchdog, Port::Forward)?;
+            flush_outbound(&mut bwd_out, &self.ctl, d, watchdog, Port::Backward)?;
             // ---- iteration boundary ----
             // Skip-and-renormalize: rescale surviving gradients (pre-scaled
             // by 1/total_tokens) to the exact mean over surviving tokens.
@@ -577,6 +743,7 @@ fn run_from(
 
     let mut stages: Option<Vec<Stage>> = None;
     let mut losses: Vec<f64> = Vec::with_capacity(steps - start);
+    let mut cursors: Vec<Arc<AtomicU64>> = Vec::new();
     let mut it = start;
     while it < steps {
         let seg_end = match &cfg.checkpoint {
@@ -592,11 +759,25 @@ fn run_from(
         let mut fwd_rx: Vec<Option<Receiver<ActMsg>>> = vec![None];
         let mut bwd_tx: Vec<Option<Sender<ActMsg>>> = vec![None];
         let mut bwd_rx: Vec<Option<Receiver<ActMsg>>> = Vec::new();
+        // The async exchange runtime double-buffers each boundary at
+        // iteration granularity: a bounded channel sized for two
+        // iterations' worth of units behind the stages' non-blocking post
+        // queues, so a stage's legitimate schedule run-ahead (warmup
+        // forwards) never waits on the consumer, while the post queue's
+        // spill stays the deadlock-safety net for anything beyond (skip
+        // echoes, a wedged peer). A tighter bound buys no memory — the
+        // spill behind it is unbounded — but costs a wakeup round-trip
+        // per rate-limited message, which serializes the pipeline on few
+        // cores. The serialized regime keeps the historical unbounded
+        // blocking handoff.
+        let units: usize = (0..cfg.microbatches).map(|mb| cfg.slices_of(mb)).sum();
+        let cap = 2 * units.max(1);
+        let boundary = || if cfg.async_exchange { bounded(cap) } else { unbounded() };
         for _ in 0..p.saturating_sub(1) {
-            let (ft, fr) = unbounded();
+            let (ft, fr) = boundary();
             fwd_tx.push(Some(ft));
             fwd_rx.push(Some(fr));
-            let (bt, br) = unbounded();
+            let (bt, br) = boundary();
             bwd_tx.push(Some(bt));
             bwd_rx.push(Some(br));
         }
@@ -609,6 +790,7 @@ fn run_from(
             None => (0..p).map(|_| None).collect(),
         };
         let mut joins = Vec::with_capacity(p);
+        cursors = (0..p).map(|_| Arc::new(AtomicU64::new(pack_cursor(it, 0, 0)))).collect();
         for (d, prebuilt) in seg_stages_in.into_iter().enumerate() {
             let run = StageRun {
                 cfg: cfg.clone(),
@@ -627,7 +809,7 @@ fn run_from(
                 exmaps: exmaps.clone(),
                 loss_tx: loss_tx.clone(),
                 ctl: ctl.clone(),
-                cursor: Arc::new(AtomicU64::new(pack_cursor(it, 0, 0))),
+                cursor: cursors[d].clone(),
             };
             let ctl = ctl.clone();
             let restore = restore.clone();
@@ -775,6 +957,13 @@ fn run_from(
         .1
         .clone();
 
+    let final_cursors = cursors
+        .iter()
+        .map(|c| {
+            let v = c.load(Ordering::Relaxed);
+            ((v >> 32) as usize, ((v >> 16) & 0xFFFF) as u32, (v & 0xFFFF) as u32)
+        })
+        .collect();
     Ok(RunResult {
         losses,
         layer_grads,
@@ -784,6 +973,8 @@ fn run_from(
         peak_act_bytes,
         offload_transferred,
         fault_stats: ctl.stats(),
+        final_cursors,
+        posted_sends: ctl.posted_sends.load(Ordering::Relaxed),
     })
 }
 

@@ -90,6 +90,7 @@ pub fn estimate(
         early_kv: true,
         vocab_parallel: slim,
         comm_overlap: 0.5,
+        pipeline_overlap: 0.0,
     };
 
     // Memory feasibility before any simulation.

@@ -15,7 +15,8 @@ use crate::profile::{fit_linear3, CostProfile, ProfileShape, Sample};
 use slimpipe_exec::layer::{
     layer_backward, layer_forward, DkvAccum, KvCache, LayerGrads, LayerParams, LocalAttn,
 };
-use slimpipe_exec::ExecConfig;
+use slimpipe_exec::schedule::PipelineKind;
+use slimpipe_exec::{run_pipeline, ExecConfig};
 use slimpipe_model::causal_pairs;
 use slimpipe_tensor::crossentropy;
 use slimpipe_tensor::init::{seeded_tokens, seeded_uniform};
@@ -168,6 +169,39 @@ fn time_embed_point(cfg: &ExecConfig, table: &Tensor, t: usize) -> (f64, f64) {
     (fwd_ns, bwd_ns)
 }
 
+/// Measure the comm-overlap fraction: wall-clock one exchange-enabled
+/// pipeline step with the async runtime on, then with it off, and report
+/// how much of the serialized time the overlapped regime hides. On a
+/// single-core host the two regimes interleave on the same CPU and the
+/// honest answer is ≈ 0 — the fraction only opens up when stage threads
+/// (and the exchange servers they post to) actually run concurrently.
+fn measure_overlap(cfg: &ExecConfig, repeats: usize) -> f64 {
+    let step = |asynchronous: bool| -> f64 {
+        let run_cfg = ExecConfig {
+            stages: 2,
+            microbatches: 2,
+            exchange: true,
+            vocab_parallel: false,
+            async_exchange: asynchronous,
+            fault_plan: None,
+            checkpoint: None,
+            ..cfg.clone()
+        };
+        let t0 = Instant::now();
+        let _ = run_pipeline(&run_cfg, PipelineKind::SlimPipe, 1, 1e-3);
+        t0.elapsed().as_nanos() as f64
+    };
+    // Warm both paths once (thread spawn + pool growth), then time.
+    step(true);
+    step(false);
+    let overlapped = median((0..repeats).map(|_| step(true)).collect());
+    let serialized = median((0..repeats).map(|_| step(false)).collect());
+    if serialized <= 0.0 || !serialized.is_finite() {
+        return 0.0;
+    }
+    (1.0 - overlapped / serialized).clamp(0.0, 1.0)
+}
+
 /// Run the calibration harness for `cfg`'s model shape and fit a profile.
 pub fn calibrate(cfg: &ExecConfig, opts: &CalibrationOpts) -> CostProfile {
     assert!(opts.repeats >= 1);
@@ -229,6 +263,8 @@ pub fn calibrate(cfg: &ExecConfig, opts: &CalibrationOpts) -> CostProfile {
     let (_, ef, _) = fit_linear3(&emb_f);
     let (_, eb, _) = fit_linear3(&emb_b);
 
+    let ov = measure_overlap(cfg, opts.repeats);
+
     CostProfile {
         shape: shape_of(cfg),
         f0,
@@ -243,6 +279,7 @@ pub fn calibrate(cfg: &ExecConfig, opts: &CalibrationOpts) -> CostProfile {
         hbt,
         ef,
         eb,
+        ov,
     }
 }
 

@@ -12,9 +12,12 @@ use slimpipe_sched::{PassKind, Schedule, WorkItem};
 use slimpipe_sim::{OpCost, UnitCostModel};
 
 /// Calibrated cost model for one (schedule, slicings) pair. Durations are
-/// seconds (converted from the profile's nanoseconds); inter-stage sends
-/// are free — executor stages are threads passing pointers, so the
-/// schedule's structure, not the transport, is what the planner shapes.
+/// seconds (converted from the profile's nanoseconds). By default
+/// inter-stage sends are free — executor stages are threads passing
+/// pointers, so the schedule's structure, not the transport, is what the
+/// planner shapes — but [`ProfiledCostModel::with_comm`] prices a real
+/// boundary link, with the profile's calibrated overlap fraction deciding
+/// how much of each edge transfer the async exchange runtime hides.
 pub struct ProfiledCostModel<'a> {
     pub sched: &'a Schedule,
     pub profile: &'a CostProfile,
@@ -22,6 +25,14 @@ pub struct ProfiledCostModel<'a> {
     /// Per-microbatch slice partitions (must agree with the schedule's
     /// per-microbatch slice counts).
     pub slicings: Vec<Slicing>,
+    /// Link between adjacent pipeline stages (free by default).
+    pub link: Link,
+    /// Boundary activation traffic per token of the sending unit (0 by
+    /// default — same-process channels pass pointers).
+    pub send_bytes_per_token: f64,
+    /// Fraction of each edge transfer hidden behind compute, `[0, 1]`
+    /// (initialized from the profile's calibrated `ov`).
+    pub overlap: f64,
 }
 
 impl<'a> ProfiledCostModel<'a> {
@@ -39,7 +50,26 @@ impl<'a> ProfiledCostModel<'a> {
                 "microbatch {mb}: slicing and schedule disagree on the slice count"
             );
         }
-        Self { sched, profile, layers_per_stage, slicings }
+        Self {
+            sched,
+            profile,
+            layers_per_stage,
+            slicings,
+            link: Link { bandwidth: f64::MAX, latency: 0.0 },
+            send_bytes_per_token: 0.0,
+            overlap: profile.ov,
+        }
+    }
+
+    /// Price boundary traffic over a real link: `bytes_per_token` of
+    /// activation per boundary crossing, with `overlap` of the transfer
+    /// hidden behind compute (the async regime) — `overlap = 0` prices the
+    /// serialized handoff.
+    pub fn with_comm(mut self, link: Link, bytes_per_token: f64, overlap: f64) -> Self {
+        self.link = link;
+        self.send_bytes_per_token = bytes_per_token;
+        self.overlap = overlap.clamp(0.0, 1.0);
+        self
     }
 
     fn unit(&self, op: &WorkItem) -> (f64, f64) {
@@ -84,12 +114,15 @@ impl UnitCostModel for ProfiledCostModel<'_> {
                 unreachable!("the executor's schemes do not split backward")
             }
         };
-        OpCost { duration: ns * 1e-9, send_bytes: 0.0 }
+        OpCost { duration: ns * 1e-9, send_bytes: self.send_bytes_per_token * t }
     }
 
     fn pipeline_link(&self) -> Link {
-        // Same-process channels: effectively free.
-        Link { bandwidth: f64::MAX, latency: 0.0 }
+        self.link
+    }
+
+    fn edge_overlap(&self, _src: usize, _dst: usize) -> f64 {
+        self.overlap
     }
 }
 
@@ -180,6 +213,7 @@ mod tests {
             hbt: 95.0,
             ef: 3.0,
             eb: 5.0,
+            ov: 0.0,
         }
     }
 
@@ -209,6 +243,36 @@ mod tests {
         let r = slimpipe_sim::simulate(&cm);
         assert!(r.makespan > 0.0 && r.bubble_fraction >= 0.0 && r.bubble_fraction < 1.0);
         assert_eq!(r.total_ops, 2 * 2 * (4 + 2));
+    }
+
+    #[test]
+    fn overlap_prices_below_serialized_on_a_real_link() {
+        let sched = slimpipe_core::schedule::generate(2, 2, 4).unwrap();
+        let profile = toy_profile();
+        let slicings = vec![Slicing::even(64, 4), Slicing::even(64, 4)];
+        // A deliberately slow link so edge transfers dominate.
+        let link = Link { bandwidth: 1e6, latency: 1e-5 };
+        let serialized = ProfiledCostModel::new(&sched, &profile, 2, slicings.clone())
+            .with_comm(link, 256.0, 0.0);
+        let overlapped = ProfiledCostModel::new(&sched, &profile, 2, slicings)
+            .with_comm(link, 256.0, 1.0);
+        let s = slimpipe_sim::simulate(&serialized).makespan;
+        let o = slimpipe_sim::simulate(&overlapped).makespan;
+        assert!(
+            o < s,
+            "fully hidden edges must shorten the makespan: overlapped={o} serialized={s}"
+        );
+    }
+
+    #[test]
+    fn free_link_defaults_price_like_before() {
+        // The default constructor must keep the historical free-transport
+        // pricing bit-for-bit (the search's scores depend on it).
+        let sched = slimpipe_core::schedule::generate(2, 1, 2).unwrap();
+        let profile = toy_profile();
+        let cm = ProfiledCostModel::new(&sched, &profile, 2, vec![Slicing::even(64, 2)]);
+        assert_eq!(cm.op_cost(0, &WorkItem::f(0, 0, 0)).send_bytes, 0.0);
+        assert_eq!(cm.pipeline_link().latency, 0.0);
     }
 
     #[test]

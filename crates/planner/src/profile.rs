@@ -55,6 +55,14 @@ pub struct CostProfile {
     pub ef: f64,
     /// Embedding scatter-add (stage 0), backward per token.
     pub eb: f64,
+    /// Measured comm/compute overlap of the executor's async exchange
+    /// runtime, in `[0, 1]`: the fraction of boundary-transfer time hidden
+    /// behind compute (`1 − overlapped/serialized` step time). Unlike the
+    /// other coefficients this is a dimensionless fraction, not
+    /// nanoseconds; it lives in the same `coeffs_ns` block for the
+    /// simplicity of the committed-profile format. 0 = the serialized
+    /// regime (also the default when an older profile omits the key).
+    pub ov: f64,
 }
 
 impl CostProfile {
@@ -71,10 +79,16 @@ impl CostProfile {
         if self.ft <= 0.0 && self.fp <= 0.0 {
             return Err("profile has no forward cost slope at all".into());
         }
+        if self.ov > 1.0 {
+            return Err(format!(
+                "profile overlap fraction ov = {} exceeds 1.0",
+                self.ov
+            ));
+        }
         Ok(())
     }
 
-    fn named_coeffs(&self) -> [(&'static str, f64); 12] {
+    fn named_coeffs(&self) -> [(&'static str, f64); 13] {
         [
             ("f0", self.f0),
             ("ft", self.ft),
@@ -88,6 +102,7 @@ impl CostProfile {
             ("hbt", self.hbt),
             ("ef", self.ef),
             ("eb", self.eb),
+            ("ov", self.ov),
         ]
     }
 
@@ -153,6 +168,9 @@ impl CostProfile {
             hbt: num("hbt")?,
             ef: num("ef")?,
             eb: num("eb")?,
+            // Older committed profiles predate the overlap coefficient:
+            // absent means the serialized regime.
+            ov: num("ov").unwrap_or(0.0),
         };
         p.validate()?;
         Ok(p)
@@ -270,6 +288,7 @@ mod tests {
             hbt: 95.0,
             ef: 3.0,
             eb: 5.0,
+            ov: 0.25,
         }
     }
 
@@ -289,6 +308,27 @@ mod tests {
         let mut p = toy_profile();
         p.bt = -1.0;
         assert!(CostProfile::from_json(&p.to_json()).is_err());
+    }
+
+    #[test]
+    fn overlap_coefficient_roundtrips_and_defaults() {
+        let p = toy_profile();
+        let q = CostProfile::from_json(&p.to_json()).unwrap();
+        assert!((q.ov - 0.25).abs() < 1e-3);
+        // A committed profile that predates the coefficient parses as the
+        // serialized regime (the scanner ignores the dangling comma).
+        let legacy: String = p
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("\"ov\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let q = CostProfile::from_json(&legacy).unwrap();
+        assert_eq!(q.ov, 0.0);
+        // Overlap is a fraction: above 1 is a hand-editing error.
+        let mut bad = toy_profile();
+        bad.ov = 1.5;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

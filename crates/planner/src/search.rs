@@ -406,6 +406,7 @@ mod tests {
             hbt: 95.0,
             ef: 3.0,
             eb: 5.0,
+            ov: 0.0,
         }
     }
 

@@ -7,11 +7,14 @@
 //!
 //! Runs under the CI determinism matrix (`RAYON_NUM_THREADS ∈ {1, 4}`).
 
+use slimpipe_cluster::Link;
 use slimpipe_core::SlicePolicy;
 use slimpipe_exec::schedule::PipelineKind;
 use slimpipe_exec::train::{run_pipeline, run_reference, RunResult};
 use slimpipe_exec::ExecConfig;
-use slimpipe_planner::{plan, reference_profile, simulate_config, Plan, PlanOpts};
+use slimpipe_planner::{
+    plan, reference_profile, simulate_config, Plan, PlanOpts, ProfiledCostModel,
+};
 use std::sync::Mutex;
 
 /// Serialises the tests that install a process-wide width override.
@@ -170,6 +173,42 @@ fn predicted_bubble_tracks_simulated() {
             p.simulated_makespan
         );
         assert!(p.predicted_bubble >= 0.0 && p.predicted_bubble < 1.0);
+    }
+}
+
+/// Comm-priced closed loop: on the planned reference workload over a real
+/// boundary link, the simulator prices the async (overlapped) exchange
+/// regime no slower than the serialized one, and neither regime's
+/// simulated makespan leaves the existing predicted-vs-simulated 2×
+/// envelope — overlap pricing refines the model, it does not break the
+/// planner's calibration contract.
+#[test]
+fn overlap_pricing_stays_within_the_prediction_envelope() {
+    let base = reference_workload();
+    let profile = reference_profile();
+    let (p, cfg) = planned(&base);
+    let counts: Vec<usize> = (0..cfg.microbatches).map(|mb| cfg.slices_of(mb)).collect();
+    let sched = slimpipe_core::schedule::generate_var(cfg.stages, &counts).unwrap();
+    // A 400 Gb/s NIC-class link; fp32 activations at hidden = 32.
+    let link = Link { bandwidth: 50e9, latency: 10e-6 };
+    let priced = |overlap: f64| {
+        let cm = ProfiledCostModel::new(&sched, &profile, cfg.layers_per_stage(), cfg.slicings())
+            .with_comm(link, 4.0 * 32.0, overlap);
+        slimpipe_sim::simulate(&cm).makespan
+    };
+    let serialized = priced(0.0);
+    let overlapped = priced(1.0);
+    assert!(
+        overlapped <= serialized + 1e-12,
+        "overlapped {overlapped} priced above serialized {serialized}"
+    );
+    for (tag, makespan) in [("serialized", serialized), ("overlapped", overlapped)] {
+        let ratio = p.predicted_makespan / makespan;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "{tag}: predicted {} vs comm-priced {makespan} (ratio {ratio})",
+            p.predicted_makespan
+        );
     }
 }
 

@@ -1,10 +1,15 @@
 //! Workspace-local shim for the `crossbeam` subsets this repository uses:
 //!
-//! * [`channel`] — an unbounded MPMC channel on `Mutex<VecDeque>` +
-//!   `Condvar` with crossbeam's disconnect semantics (recv errors once
-//!   every sender is gone, send errors once every receiver is gone).
-//!   Throughput is far below real crossbeam's, but the executor moves few,
-//!   large messages — the channel is never the bottleneck.
+//! * [`channel`] — an MPMC channel on `Mutex<VecDeque>` + `Condvar` with
+//!   crossbeam's disconnect semantics (recv errors once every sender is
+//!   gone, send errors once every receiver is gone). Both [`channel::unbounded`]
+//!   and [`channel::bounded`] capacities are provided; bounded channels
+//!   report `TrySendError::Full` from `try_send` and block `send` until a
+//!   slot frees, exactly like the real crate. [`channel::PostQueue`] layers
+//!   a non-blocking posted-send discipline (spill + completion tokens) on a
+//!   bounded sender — the async exchange runtime's double buffer. Throughput
+//!   is far below real crossbeam's, but the executor moves few, large
+//!   messages — the channel is never the bottleneck.
 //! * [`deque`] — the work-stealing deque trio (`Injector`, `Worker`,
 //!   `Stealer`) the persistent rayon-shim worker pool schedules on. Backed
 //!   by mutexes rather than crossbeam's lock-free Chase-Lev buffers; the
@@ -21,6 +26,10 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue frees a slot (or disconnects).
+        space: Condvar,
+        /// `None` = unbounded.
+        cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -47,9 +56,9 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Error returned by [`Sender::try_send`]. The shim channel is
-    /// unbounded, so `Full` is never produced here — it exists so callers
-    /// stay source-compatible with real crossbeam's bounded channels.
+    /// Error returned by [`Sender::try_send`]: `Full` when a bounded
+    /// channel has no free slot right now, `Disconnected` when every
+    /// receiver is gone. Unbounded channels never produce `Full`.
     pub enum TrySendError<T> {
         Full(T),
         Disconnected(T),
@@ -72,15 +81,28 @@ pub mod channel {
         inner: Arc<Inner<T>>,
     }
 
-    /// Create an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel_with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender { inner: inner.clone() }, Receiver { inner })
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_cap(None)
+    }
+
+    /// Create a bounded channel holding at most `cap` queued messages.
+    /// `send` blocks while full; `try_send` reports [`TrySendError::Full`].
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel capacity must be positive");
+        channel_with_cap(Some(cap))
     }
 
     impl<T> Sender<T> {
@@ -88,18 +110,35 @@ pub mod channel {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
-            self.inner.queue.lock().unwrap().push_back(value);
+            let mut q = self.inner.queue.lock().unwrap();
+            if let Some(cap) = self.inner.cap {
+                while q.len() >= cap {
+                    if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(value));
+                    }
+                    q = self.inner.space.wait(q).unwrap();
+                }
+            }
+            q.push_back(value);
+            drop(q);
             self.inner.ready.notify_one();
             Ok(())
         }
 
-        /// Non-blocking send. The shim channel is unbounded, so this only
-        /// fails when every receiver is gone.
+        /// Non-blocking send: `Full` when a bounded channel has no slot,
+        /// `Disconnected` when every receiver is gone.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(TrySendError::Disconnected(value));
             }
-            self.inner.queue.lock().unwrap().push_back(value);
+            let mut q = self.inner.queue.lock().unwrap();
+            if let Some(cap) = self.inner.cap {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            q.push_back(value);
+            drop(q);
             self.inner.ready.notify_one();
             Ok(())
         }
@@ -122,10 +161,19 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// After a pop from a bounded queue, wake one blocked sender.
+        fn freed_slot(&self) {
+            if self.inner.cap.is_some() {
+                self.inner.space.notify_one();
+            }
+        }
+
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut q = self.inner.queue.lock().unwrap();
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.freed_slot();
                     return Ok(v);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -145,6 +193,8 @@ pub mod channel {
             let mut q = self.inner.queue.lock().unwrap();
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.freed_slot();
                     return Ok(v);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -169,7 +219,9 @@ pub mod channel {
         }
 
         pub fn try_recv(&self) -> Result<T, RecvError> {
-            self.inner.queue.lock().unwrap().pop_front().ok_or(RecvError)
+            let v = self.inner.queue.lock().unwrap().pop_front().ok_or(RecvError)?;
+            self.freed_slot();
+            Ok(v)
         }
 
         /// Blocking iterator that ends when the channel disconnects.
@@ -192,7 +244,13 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver: wake senders blocked on a full bounded
+                // queue so they can report the disconnect. Taking the lock
+                // orders the wake after any in-progress full-queue check.
+                let _guard = self.inner.queue.lock();
+                self.inner.space.notify_all();
+            }
         }
     }
 
@@ -234,6 +292,82 @@ pub mod channel {
         type Item = T;
         fn next(&mut self) -> Option<T> {
             self.rx.recv().ok()
+        }
+    }
+
+    use std::sync::atomic::AtomicBool;
+
+    /// Completion token for one message posted through a [`PostQueue`]:
+    /// flips to delivered the moment the message is handed to the channel
+    /// (immediately for a direct `try_send`, later when a spilled message
+    /// is pumped into a freed slot).
+    pub struct PostToken(Arc<AtomicBool>);
+
+    impl PostToken {
+        pub fn is_delivered(&self) -> bool {
+            self.0.load(Ordering::Acquire)
+        }
+    }
+
+    /// Non-blocking posted-send front end over a (typically bounded)
+    /// sender: [`PostQueue::post`] never blocks — a message that does not
+    /// fit the channel right now spills to an owner-local FIFO overflow,
+    /// and [`PostQueue::pump`] moves spilled messages into freed slots
+    /// later. FIFO order is preserved across the spill boundary (a post
+    /// never overtakes an earlier spilled one), so receivers observe
+    /// exactly the order of `post` calls.
+    pub struct PostQueue<T> {
+        tx: Sender<T>,
+        spill: VecDeque<(T, Arc<AtomicBool>)>,
+    }
+
+    impl<T> PostQueue<T> {
+        pub fn new(tx: Sender<T>) -> Self {
+            PostQueue { tx, spill: VecDeque::new() }
+        }
+
+        /// Post a message without blocking. Errors only on disconnect
+        /// (every receiver gone); a full channel spills instead.
+        pub fn post(&mut self, value: T) -> Result<PostToken, SendError<T>> {
+            let flag = Arc::new(AtomicBool::new(false));
+            if self.spill.is_empty() {
+                match self.tx.try_send(value) {
+                    Ok(()) => {
+                        flag.store(true, Ordering::Release);
+                        return Ok(PostToken(flag));
+                    }
+                    Err(TrySendError::Full(v)) => self.spill.push_back((v, flag.clone())),
+                    Err(TrySendError::Disconnected(v)) => return Err(SendError(v)),
+                }
+            } else {
+                self.spill.push_back((value, flag.clone()));
+            }
+            Ok(PostToken(flag))
+        }
+
+        /// Move as many spilled messages into the channel as fit right
+        /// now; returns how many were delivered. Errors on disconnect.
+        pub fn pump(&mut self) -> Result<usize, SendError<T>> {
+            let mut moved = 0;
+            while let Some((v, flag)) = self.spill.pop_front() {
+                match self.tx.try_send(v) {
+                    Ok(()) => {
+                        flag.store(true, Ordering::Release);
+                        moved += 1;
+                    }
+                    Err(TrySendError::Full(v)) => {
+                        self.spill.push_front((v, flag));
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(v)) => return Err(SendError(v)),
+                }
+            }
+            Ok(moved)
+        }
+
+        /// Messages still waiting in the overflow (not yet in the channel).
+        pub fn pending(&self) -> usize {
+            self.spill.len()
         }
     }
 }
@@ -548,5 +682,88 @@ mod tests {
         let got: Vec<i32> = rx.iter().collect();
         producer.join().unwrap();
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_recovers() {
+        let (tx, rx) = bounded::<u8>(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        match tx.try_send(3) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let sender = thread::spawn(move || tx.send(2).unwrap());
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1), "first message still queued");
+        assert_eq!(rx.recv(), Ok(2), "blocked send completed after the pop");
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_errors_when_receiver_drops_while_full() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let blocked = thread::spawn(move || tx.send(2));
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert!(blocked.join().unwrap().is_err(), "blocked send must observe the disconnect");
+    }
+
+    #[test]
+    fn post_queue_preserves_fifo_through_the_spill() {
+        let (tx, rx) = bounded::<u32>(2);
+        let mut q = PostQueue::new(tx);
+        let tokens: Vec<PostToken> = (0..5).map(|i| q.post(i).unwrap()).collect();
+        // Capacity 2: messages 0,1 delivered immediately, 2..4 spilled.
+        assert_eq!(q.pending(), 3);
+        assert!(tokens[0].is_delivered() && tokens[1].is_delivered());
+        assert!(!tokens[2].is_delivered());
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(q.pump().unwrap(), 2);
+        assert!(tokens[2].is_delivered() && tokens[3].is_delivered());
+        assert!(!tokens[4].is_delivered());
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(q.pump().unwrap(), 1);
+        assert_eq!(rx.recv(), Ok(4));
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn post_queue_never_lets_a_post_overtake_the_spill() {
+        let (tx, rx) = bounded::<u32>(1);
+        let mut q = PostQueue::new(tx);
+        q.post(0).unwrap();
+        q.post(1).unwrap(); // spills
+        rx.recv().unwrap(); // slot free, but 1 still spilled
+        let t2 = q.post(2).unwrap();
+        assert!(!t2.is_delivered(), "post behind a non-empty spill must spill too");
+        q.pump().unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        q.pump().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn post_queue_surfaces_disconnect() {
+        let (tx, rx) = bounded::<u8>(1);
+        let mut q = PostQueue::new(tx);
+        q.post(1).unwrap();
+        q.post(2).unwrap(); // spilled
+        drop(rx);
+        assert!(q.pump().is_err(), "pump into a dead channel must error");
+        assert!(q.post(3).is_err() || q.pending() > 0);
     }
 }

@@ -42,6 +42,13 @@ pub struct PipelineEnv {
     /// Fraction of intra-pass collective time (TP/CP/EP) hidden behind
     /// compute — Megatron-style async collectives overlap roughly half.
     pub comm_overlap: f64,
+    /// Fraction of *pipeline-edge* (stage boundary) transfer time hidden
+    /// behind compute. The executor's async exchange runtime posts
+    /// boundary sends non-blocking and overlaps them with the next unit,
+    /// so an overlapped edge charges only the exposed
+    /// `(1 − pipeline_overlap)` share of the transfer. 0 = fully
+    /// serialized handoff, 1 = fully hidden.
+    pub pipeline_overlap: f64,
 }
 
 impl PipelineEnv {
@@ -62,6 +69,7 @@ impl PipelineEnv {
             early_kv: true,
             vocab_parallel: true,
             comm_overlap: 0.5,
+            pipeline_overlap: 0.0,
         }
     }
 
@@ -95,6 +103,12 @@ pub trait UnitCostModel {
     fn op_cost(&self, device: usize, op: &WorkItem) -> OpCost;
     /// Link used between adjacent pipeline stages.
     fn pipeline_link(&self) -> slimpipe_cluster::Link;
+    /// Fraction of the `src → dst` pipeline-edge transfer hidden behind
+    /// compute (the async exchange runtime's non-blocking posted sends).
+    /// Models that don't price overlap keep the serialized default.
+    fn edge_overlap(&self, _src: usize, _dst: usize) -> f64 {
+        0.0
+    }
 }
 
 /// Concrete cost model bound to one (schedule, environment) pair.
@@ -369,6 +383,10 @@ impl UnitCostModel for CostModel<'_> {
 
     fn pipeline_link(&self) -> slimpipe_cluster::Link {
         CostModel::pipeline_link(self)
+    }
+
+    fn edge_overlap(&self, _src: usize, _dst: usize) -> f64 {
+        self.env.pipeline_overlap
     }
 }
 

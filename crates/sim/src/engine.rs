@@ -66,7 +66,10 @@ pub fn simulate<C: UnitCostModel + ?Sized>(cm: &C) -> SimReport {
         let arrival = |key: (PassKind, usize, u32, u32), cross_comm: bool| -> Option<f64> {
             let &(t, src) = finish.get(&key)?;
             Some(if cross_comm && src != d {
-                t + link.transfer(cm.op_cost(src, op).send_bytes)
+                // Overlapped edges hide part of the transfer behind the
+                // sender's next compute; only the exposed share blocks.
+                let exposed = (1.0 - cm.edge_overlap(src, d)).clamp(0.0, 1.0);
+                t + exposed * link.transfer(cm.op_cost(src, op).send_bytes)
             } else {
                 t
             })
@@ -222,6 +225,28 @@ mod tests {
                 assert!(w[1].0 >= w[0].1 - 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn overlapped_edges_never_lengthen_the_makespan() {
+        let mut e = env(131_072);
+        let sched = slimpipe_sched::onefoneb::generate(4, 8).unwrap();
+        e.pipeline_overlap = 0.0;
+        let serial = simulate(&CostModel::new(&sched, &e));
+        e.pipeline_overlap = 1.0;
+        let overlapped = simulate(&CostModel::new(&sched, &e));
+        assert!(
+            overlapped.makespan <= serial.makespan + 1e-9,
+            "overlap must never cost time: overlapped={} serialized={}",
+            overlapped.makespan,
+            serial.makespan
+        );
+        // Edge transfers sit on 1F1B's warmup critical path, so full
+        // overlap must actually buy something.
+        assert!(
+            overlapped.makespan < serial.makespan,
+            "fully hidden edges should shorten the 1F1B critical path"
+        );
     }
 
     #[test]

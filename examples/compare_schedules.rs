@@ -56,6 +56,7 @@ fn main() {
             early_kv: true,
             vocab_parallel: slim,
             comm_overlap: 0.5,
+            pipeline_overlap: 0.0,
         };
         let report = simulate(&CostModel::new(&sched, &env));
         let peak = (0..p)

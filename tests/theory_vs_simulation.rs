@@ -26,6 +26,7 @@ fn env(model: ModelConfig, seq: u64, slim: bool) -> PipelineEnv {
         early_kv: true,
         vocab_parallel: slim,
         comm_overlap: 0.5,
+        pipeline_overlap: 0.0,
     }
 }
 
