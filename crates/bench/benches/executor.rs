@@ -6,10 +6,15 @@
 //! executor-level perf snapshot later PRs regress against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use slimpipe_exec::model::ExecConfig;
+use slimpipe_exec::checkpoint::snapshot_path;
+use slimpipe_exec::fault::InjectedPanic;
+use slimpipe_exec::model::{CheckpointCfg, ExecConfig};
 use slimpipe_exec::schedule::PipelineKind;
 use slimpipe_exec::train::{run_pipeline, run_reference};
-use slimpipe_exec::{DegradePolicy, FaultKind, FaultPlan, FaultSite, SlicePolicy};
+use slimpipe_exec::{
+    run_elastic, DegradePolicy, DriverCfg, FaultKind, FaultPlan, FaultSite, ShrinkReplanner,
+    SlicePolicy,
+};
 use slimpipe_tensor::pool;
 use std::hint::black_box;
 
@@ -152,6 +157,65 @@ fn bench_async_overlap(c: &mut Criterion) {
     g.finish();
 }
 
+/// The elastic recovery tax, end to end: the same supervised 6-iteration
+/// job run clean vs. with a stage panic at iteration 3. The failing run
+/// pays detection of the contained panic, the shrink-to-survivors re-plan,
+/// the snapshot restore (regrouped onto one stage), and the re-executed
+/// iterations since the iteration-2 snapshot. `bench_check` holds recover
+/// within 2.5× clean — fail-and-recover is a bounded tax, not a
+/// restart-the-world cost. Both series recreate the checkpoint files every
+/// iteration so the fs work cancels out of the comparison.
+fn bench_recovery(c: &mut Criterion) {
+    // Injected panics are expected here; keep them out of the bench log.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+            prev(info);
+        }
+    }));
+    let path = std::env::temp_dir()
+        .join(format!("slimpipe_bench_recovery_{}.ckpt", std::process::id()));
+    let clean_files = || {
+        let _ = std::fs::remove_file(&path);
+        for it in 0..8 {
+            let _ = std::fs::remove_file(snapshot_path(&path, it));
+        }
+    };
+    let base = ExecConfig {
+        checkpoint: Some(CheckpointCfg { every: 2, path: path.clone(), keep_last: 1 }),
+        ..cfg()
+    };
+    let faulty = ExecConfig {
+        fault_plan: Some(FaultPlan::single(
+            FaultSite { iteration: 3, stage: 1, mb: 0, slice: 1 },
+            FaultKind::StagePanic,
+        )),
+        ..base.clone()
+    };
+    let mut g = c.benchmark_group("executor_recovery");
+    g.sample_size(10);
+    g.bench_function("clean", |b| {
+        b.iter(|| {
+            clean_files();
+            black_box(
+                run_elastic(&base, &DriverCfg::default(), 6, 0.1, &mut ShrinkReplanner)
+                    .expect("clean supervised run"),
+            )
+        })
+    });
+    g.bench_function("recover", |b| {
+        b.iter(|| {
+            clean_files();
+            black_box(
+                run_elastic(&faulty, &DriverCfg::default(), 6, 0.1, &mut ShrinkReplanner)
+                    .expect("recoverable fault must heal"),
+            )
+        })
+    });
+    g.finish();
+    clean_files();
+}
+
 /// The pool's end-to-end effect: identical training steps with the pool
 /// emptied before every iteration (every kernel allocation is a fresh
 /// malloc) vs. left warm (steady-state, allocation-free).
@@ -184,6 +248,7 @@ criterion_group!(
     bench_pipelines,
     bench_feature_toggles,
     bench_fault_overhead,
+    bench_recovery,
     bench_async_overlap,
     bench_slicing_policies,
     bench_pool_cold_vs_warm,

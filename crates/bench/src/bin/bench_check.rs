@@ -194,6 +194,11 @@ fn main() -> ExitCode {
         // serialized fallback beyond noise, measured back-to-back: on a
         // multi-core host it should win, on 1 core it may tie.
         ("executor_async_overlap/overlapped", "executor_async_overlap/serialized", 0.83),
+        // Fail-and-recover (panic detection + shrink re-plan + snapshot
+        // restore + re-executed iterations) must stay within 2.5× the
+        // clean twin of the same supervised job: recovery is a bounded
+        // tax, never a restart-the-world cost (0.4 = 1/2.5).
+        ("executor_recovery/recover", "executor_recovery/clean", 0.4),
     ];
     let mut checked = 0usize;
     for &(fast, slow, min) in INVARIANTS {

@@ -13,15 +13,26 @@
 //! RNG state beyond the config seed and the iteration counter (training
 //! data is a pure function of `(seed, mb)`), so the file records exactly
 //! what resumption needs and nothing else. A config fingerprint guards
-//! against resuming under a different geometry.
+//! against resuming under a different model shape or seed. The *pipeline*
+//! geometry (stage count, vocab parallelism) is deliberately **not**
+//! fingerprinted: the elastic recovery driver resumes a p-stage snapshot
+//! under a p′-stage config by re-sharding it with [`CheckpointState::regroup`].
+//!
+//! Retention: [`CheckpointState::save_retained`] writes each snapshot to an
+//! immutable `{path}.it{N}` sibling, then atomically (tmp+rename) updates
+//! `{path}` itself — a one-line *latest* manifest naming the newest
+//! snapshot — and prunes snapshots beyond `CheckpointCfg::keep_last`.
+//! [`CheckpointState::load_latest`] follows the manifest and, when the
+//! manifest is torn or the snapshot it names is missing/corrupt, falls
+//! back to the newest sibling snapshot that still verifies.
 
 use crate::comm::VocabShard;
 use crate::fault::ExecError;
 use crate::layer::LayerParams;
-use crate::model::ExecConfig;
+use crate::model::{CheckpointCfg, ExecConfig};
 use crate::stage::Stage;
 use slimpipe_tensor::{PackedWeight, Tensor};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"SLPCKPT1";
 const VERSION: u32 = 1;
@@ -94,8 +105,12 @@ pub struct CheckpointState {
     pub shards: Option<Vec<ShardState>>,
 }
 
-/// Geometry fingerprint: resuming under a different shape or seed would
-/// silently produce garbage, so the file refuses to load.
+/// Model fingerprint: resuming under a different shape or seed would
+/// silently produce garbage, so the file refuses to load. Stage count and
+/// vocab parallelism are *not* mixed in — those describe how the same
+/// parameters are laid out across devices, and `regroup` converts between
+/// layouts losslessly, which is what lets the recovery driver restore a
+/// p-stage snapshot at a degraded p′-stage geometry.
 fn fingerprint(cfg: &ExecConfig) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
     let mut mix = |v: u64| {
@@ -109,13 +124,45 @@ fn fingerprint(cfg: &ExecConfig) -> u64 {
         cfg.head_dim as u64,
         cfg.ffn as u64,
         cfg.vocab as u64,
-        cfg.stages as u64,
-        cfg.vocab_parallel as u64,
         cfg.seed,
     ] {
         mix(v);
     }
     h
+}
+
+/// `{path}.it{N}`: the immutable per-boundary snapshot file next to the
+/// manifest at `path`.
+pub fn snapshot_path(base: &Path, iteration: u64) -> PathBuf {
+    let name = base
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    base.with_file_name(format!("{name}.it{iteration}"))
+}
+
+/// All `{base}.it{N}` siblings, newest (highest `N`) first.
+fn list_snapshots(base: &Path) -> Vec<(u64, PathBuf)> {
+    let Some(name) = base.file_name().map(|s| s.to_string_lossy().into_owned()) else {
+        return Vec::new();
+    };
+    let dir = match base.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let prefix = format!("{name}.it");
+    let mut out: Vec<(u64, PathBuf)> = std::fs::read_dir(&dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|entry| {
+            let fname = entry.file_name().to_string_lossy().into_owned();
+            let n: u64 = fname.strip_prefix(&prefix)?.parse().ok()?;
+            Some((n, entry.path()))
+        })
+        .collect();
+    out.sort_by_key(|e| std::cmp::Reverse(e.0));
+    out
 }
 
 // ---- binary writer/reader helpers (little-endian throughout) ----
@@ -304,6 +351,95 @@ impl CheckpointState {
         })
     }
 
+    /// Re-shard this snapshot onto `cfg`'s pipeline geometry: flatten the
+    /// per-stage layer lists into global order and re-split them into
+    /// `cfg.stages` equal groups, move the embedding to stage 0 and the
+    /// final norm (plus classic head or vocabulary shards, per
+    /// `cfg.vocab_parallel`) to the last stage. Every weight is a bit-exact
+    /// copy, so a run resumed from the regrouped snapshot at geometry p′ is
+    /// bit-identical to one resumed at p′ from the same parameters any
+    /// other way — the invariant the recovery driver's determinism
+    /// contract rests on.
+    pub fn regroup(&self, cfg: &ExecConfig) -> Result<Self, ExecError> {
+        let total: usize = self.stages.iter().map(|s| s.layers.len()).sum();
+        if total != cfg.layers {
+            return Err(ExecError::Checkpoint(format!(
+                "checkpoint holds {total} layers, config expects {}",
+                cfg.layers
+            )));
+        }
+        if cfg.stages == 0 || !cfg.layers.is_multiple_of(cfg.stages) {
+            return Err(ExecError::Checkpoint(format!(
+                "{} layers cannot regroup onto {} stages",
+                cfg.layers, cfg.stages
+            )));
+        }
+        if cfg.vocab_parallel && !cfg.vocab.is_multiple_of(cfg.stages) {
+            return Err(ExecError::Checkpoint(format!(
+                "vocab {} cannot shard onto {} stages",
+                cfg.vocab, cfg.stages
+            )));
+        }
+        let embed = self
+            .stages
+            .iter()
+            .find_map(|s| s.embed.clone())
+            .ok_or_else(|| ExecError::Checkpoint("checkpoint has no embedding table".into()))?;
+        let final_norm = self
+            .stages
+            .iter()
+            .find_map(|s| s.final_norm.clone())
+            .ok_or_else(|| ExecError::Checkpoint("checkpoint has no final norm".into()))?;
+        // The full output projection, whether it was stored as a classic
+        // head on the last stage or scattered across vocabulary shards.
+        let full_out: Tensor = if let Some(w) = self.stages.iter().find_map(|s| s.out_proj.clone())
+        {
+            w
+        } else if let Some(shards) = self.shards.as_ref().filter(|ss| !ss.is_empty()) {
+            let hidden = shards[0].w.rows();
+            let vocab: usize = shards.iter().map(|s| s.w.cols()).sum();
+            let mut full = Tensor::zeros(hidden, vocab);
+            for s in shards {
+                full.set_cols(s.offset as usize, &s.w);
+            }
+            full
+        } else {
+            return Err(ExecError::Checkpoint(
+                "checkpoint has neither an output projection nor vocabulary shards".into(),
+            ));
+        };
+        if full_out.cols() != cfg.vocab {
+            return Err(ExecError::Checkpoint(format!(
+                "checkpoint head covers {} vocabulary columns, config expects {}",
+                full_out.cols(),
+                cfg.vocab
+            )));
+        }
+        let lps = cfg.layers / cfg.stages;
+        let mut all = self.stages.iter().flat_map(|s| s.layers.iter().cloned());
+        let stages = (0..cfg.stages)
+            .map(|d| {
+                let last = d == cfg.stages - 1;
+                StageState {
+                    layers: all.by_ref().take(lps).collect(),
+                    embed: (d == 0).then(|| embed.clone()),
+                    final_norm: last.then(|| final_norm.clone()),
+                    out_proj: (last && !cfg.vocab_parallel).then(|| full_out.clone()),
+                }
+            })
+            .collect();
+        let shards = cfg.vocab_parallel.then(|| {
+            let w = cfg.vocab / cfg.stages;
+            (0..cfg.stages)
+                .map(|s| ShardState {
+                    offset: (s * w) as u64,
+                    w: full_out.cols_slice(s * w, w),
+                })
+                .collect()
+        });
+        Ok(Self { iteration: self.iteration, stages, shards })
+    }
+
     /// Serialize: magic, version, config fingerprint, iteration, payload,
     /// CRC-32 trailer over everything after the magic.
     pub fn to_bytes(&self, cfg: &ExecConfig) -> Vec<u8> {
@@ -363,7 +499,7 @@ impl CheckpointState {
         if fp != fingerprint(cfg) {
             return Err(ExecError::Checkpoint(
                 "config fingerprint mismatch: checkpoint was written under a different \
-                 geometry or seed"
+                 model shape or seed"
                     .into(),
             ));
         }
@@ -419,6 +555,60 @@ impl CheckpointState {
             .map_err(|e| ExecError::Checkpoint(format!("read {}: {e}", path.display())))?;
         Self::from_bytes(&bytes, cfg)
     }
+
+    /// Retained save: write the immutable `{path}.it{N}` snapshot (atomic
+    /// tmp+rename), then atomically point the `{path}` manifest at it, then
+    /// prune snapshots beyond `keep_last`. A crash between any two steps
+    /// leaves either the previous manifest intact or the new one — never a
+    /// torn state — and pruning is best-effort (a full disk or racing
+    /// janitor must not kill a training run that already durably saved).
+    pub fn save_retained(&self, ck: &CheckpointCfg, cfg: &ExecConfig) -> Result<(), ExecError> {
+        let snap = snapshot_path(&ck.path, self.iteration);
+        self.save(&snap, cfg)?;
+        let name = snap
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .ok_or_else(|| ExecError::Checkpoint("checkpoint path has no file name".into()))?;
+        let tmp = ck.path.with_file_name(format!("{name}.mtmp"));
+        std::fs::write(&tmp, format!("{name}\n"))
+            .map_err(|e| ExecError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &ck.path)
+            .map_err(|e| ExecError::Checkpoint(format!("rename to {}: {e}", ck.path.display())))?;
+        if ck.keep_last > 0 {
+            for (_, old) in list_snapshots(&ck.path).into_iter().skip(ck.keep_last) {
+                let _ = std::fs::remove_file(&old);
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the newest usable snapshot: follow the `latest` manifest, and
+    /// when it is missing, torn, or names a missing/corrupt snapshot, fall
+    /// back to the newest `{path}.it{N}` sibling that still verifies. Only
+    /// when nothing verifies does this error — carrying the newest
+    /// snapshot's failure so corruption is named, not hidden.
+    pub fn load_latest(ck: &CheckpointCfg, cfg: &ExecConfig) -> Result<Self, ExecError> {
+        let mut last_err: Option<ExecError> = None;
+        if let Ok(text) = std::fs::read_to_string(&ck.path) {
+            let name = text.trim();
+            if !name.is_empty() && !name.contains(std::path::is_separator) {
+                match Self::load(&ck.path.with_file_name(name), cfg) {
+                    Ok(state) => return Ok(state),
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        for (_, snap) in list_snapshots(&ck.path) {
+            match Self::load(&snap, cfg) {
+                Ok(state) => return Ok(state),
+                Err(e) => last_err.get_or_insert(e),
+            };
+        }
+        Err(ExecError::Checkpoint(match last_err {
+            Some(e) => format!("no usable snapshot under {}: {e}", ck.path.display()),
+            None => format!("no snapshot found under {}", ck.path.display()),
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +661,73 @@ mod tests {
                 assert!(msg.contains("fingerprint"), "unexpected message: {msg}")
             }
             other => panic!("fingerprint mismatch must be refused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regroup_preserves_every_parameter_bit() {
+        let cfg = ExecConfig::small(); // 4 layers over 2 stages
+        let stages: Vec<Stage> = (0..cfg.stages).map(|d| Stage::build(&cfg, d)).collect();
+        let state = CheckpointState::capture(2, &stages, None);
+        let narrow = ExecConfig { stages: 1, ..cfg.clone() };
+        let re = state.regroup(&narrow).unwrap();
+        assert_eq!(re.stages.len(), 1);
+        assert_eq!(re.iteration, 2);
+        let flat: Vec<&LayerState> = state.stages.iter().flat_map(|s| &s.layers).collect();
+        assert_eq!(re.stages[0].layers.len(), flat.len());
+        for (a, b) in re.stages[0].layers.iter().zip(flat) {
+            assert_eq!(a, b, "regroup must copy layers bit-exactly in global order");
+        }
+        assert_eq!(re.stages[0].embed, state.stages[0].embed);
+        assert_eq!(re.stages[0].final_norm, state.stages[1].final_norm);
+        assert_eq!(re.stages[0].out_proj, state.stages[1].out_proj);
+        // Round-trip through a vocab-parallel layout and back: the head
+        // survives shard scatter/gather bit-exactly.
+        let vp = ExecConfig { stages: 2, vocab_parallel: true, ..cfg.clone() };
+        let sharded = state.regroup(&vp).unwrap();
+        assert!(sharded.stages.iter().all(|s| s.out_proj.is_none()));
+        assert_eq!(sharded.shards.as_ref().map(Vec::len), Some(2));
+        let back = sharded.regroup(&narrow).unwrap();
+        assert_eq!(back.stages[0].out_proj, state.stages[1].out_proj);
+    }
+
+    #[test]
+    fn regroup_refuses_mismatched_layer_count() {
+        let cfg = ExecConfig::small();
+        let stages: Vec<Stage> = (0..cfg.stages).map(|d| Stage::build(&cfg, d)).collect();
+        let state = CheckpointState::capture(0, &stages, None);
+        let wrong = ExecConfig { layers: 8, ..cfg };
+        assert!(matches!(state.regroup(&wrong), Err(ExecError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn retention_prunes_and_manifest_tracks_latest() {
+        let cfg = ExecConfig::small();
+        let stages: Vec<Stage> = (0..cfg.stages).map(|d| Stage::build(&cfg, d)).collect();
+        let dir = std::env::temp_dir();
+        let base = dir.join(format!("slimpipe_retain_{}.ckpt", std::process::id()));
+        let ck = CheckpointCfg { every: 1, path: base.clone(), keep_last: 2 };
+        for it in 1..=4u64 {
+            let mut s = CheckpointState::capture(0, &stages, None);
+            s.iteration = it;
+            s.save_retained(&ck, &cfg).unwrap();
+        }
+        assert!(!snapshot_path(&base, 1).exists(), "it1 pruned");
+        assert!(!snapshot_path(&base, 2).exists(), "it2 pruned");
+        assert!(snapshot_path(&base, 3).exists());
+        assert!(snapshot_path(&base, 4).exists());
+        assert_eq!(CheckpointState::load_latest(&ck, &cfg).unwrap().iteration, 4);
+        // Torn manifest: fall back to the newest verifying snapshot.
+        std::fs::write(&base, b"garbage\0not a snapshot name").unwrap();
+        assert_eq!(CheckpointState::load_latest(&ck, &cfg).unwrap().iteration, 4);
+        // Newest snapshot corrupt: fall back one further.
+        let mut bytes = std::fs::read(snapshot_path(&base, 4)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(snapshot_path(&base, 4), &bytes).unwrap();
+        assert_eq!(CheckpointState::load_latest(&ck, &cfg).unwrap().iteration, 3);
+        for p in [base.clone(), snapshot_path(&base, 3), snapshot_path(&base, 4)] {
+            let _ = std::fs::remove_file(p);
         }
     }
 

@@ -155,7 +155,11 @@ fn serve(rx: Receiver<ServerJob>, shard: &mut Option<VocabShard>) {
                 let _ = reply.send(out);
             }
             ServerJob::VocabFwd { normed, targets, reply } => {
-                let s = shard.as_ref().expect("vocab job on shardless server");
+                // A vocab job on a shardless server is a broken geometry,
+                // not a reason to panic: exit the serve loop so the dropped
+                // reply surfaces at the client as a typed `ServerDied` —
+                // exactly what the recovery driver knows how to heal.
+                let Some(s) = shard.as_ref() else { break };
                 let logits =
                     matmul_fused(&normed, s.w.nn(), Prologue::None, Epilogue::None);
                 let stats = shard_stats(&logits, &targets, s.offset);
@@ -163,7 +167,7 @@ fn serve(rx: Receiver<ServerJob>, shard: &mut Option<VocabShard>) {
                 let _ = reply.send(stats);
             }
             ServerJob::VocabBwd { normed, targets, lse, scale, reply } => {
-                let s = shard.as_mut().expect("vocab job on shardless server");
+                let Some(s) = shard.as_mut() else { break };
                 let logits =
                     matmul_fused(&normed, s.w.nn(), Prologue::None, Epilogue::None);
                 let mut d_logits = shard_backward(&logits, &targets, s.offset, &lse);

@@ -117,6 +117,22 @@ impl ExecError {
     fn is_primary(&self) -> bool {
         !matches!(self, ExecError::Aborted { .. } | ExecError::Disconnected { .. })
     }
+
+    /// Failures the elastic recovery driver can heal by re-planning onto
+    /// fewer stages and restoring from the latest checkpoint: the *compute*
+    /// is lost (a dead stage thread, a dead server, a wedged or exhausted
+    /// exchange), not the job. Numerics (`NonFinite`), configuration, and
+    /// checkpoint corruption are not healed by shrinking the geometry.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            ExecError::StagePanic { .. }
+                | ExecError::ServerDied { .. }
+                | ExecError::ExchangeTimeout { .. }
+                | ExecError::RendezvousStuck { .. }
+                | ExecError::Disconnected { .. }
+        )
+    }
 }
 
 /// A fault-injection site: the exact schedule coordinate where the fault
@@ -179,6 +195,129 @@ impl FaultPlan {
                 .then_some(k)
         })
     }
+
+    /// JSON form, so chaos schedules live in files and CI matrices instead
+    /// of Rust literals:
+    ///
+    /// ```json
+    /// { "faults": [
+    ///   {"iteration": 3, "stage": 1, "mb": 0, "slice": 1, "kind": "stage_panic"},
+    ///   {"iteration": 2, "stage": 0, "mb": 1, "slice": 0, "kind": "server_death", "device": 1},
+    ///   {"iteration": 1, "stage": 0, "mb": 0, "slice": 2, "kind": "delay_reply", "ms": 5}
+    /// ] }
+    /// ```
+    ///
+    /// Kinds: `stage_panic`, `server_death` (`device`), `drop_reply`,
+    /// `delay_reply` (`ms`), `corrupt_activation`, `stall`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\n  \"faults\": [\n");
+        for (i, (s, k)) in self.faults.iter().enumerate() {
+            let (tag, extra) = match k {
+                FaultKind::StagePanic => ("stage_panic", String::new()),
+                FaultKind::ServerDeath { device } => {
+                    ("server_death", format!(", \"device\": {device}"))
+                }
+                FaultKind::DropReply => ("drop_reply", String::new()),
+                FaultKind::DelayReply { ms } => ("delay_reply", format!(", \"ms\": {ms}")),
+                FaultKind::CorruptActivation => ("corrupt_activation", String::new()),
+                FaultKind::Stall => ("stall", String::new()),
+            };
+            let comma = if i + 1 < self.faults.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"iteration\": {}, \"stage\": {}, \"mb\": {}, \"slice\": {}, \
+                 \"kind\": \"{tag}\"{extra}}}{comma}",
+                s.iteration, s.stage, s.mb, s.slice
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse the [`FaultPlan::to_json`] format (same hand-rolled field
+    /// scanner as the planner's `CostProfile` — no serde in the tree).
+    /// Geometry validation (site within stages/microbatches, device within
+    /// range) stays where it always was: `ExecConfig::validate`, which
+    /// reports structured `InvalidConfig` errors.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let start = text.find("\"faults\"").ok_or("fault plan JSON: missing \"faults\"")?;
+        let rest = &text[start..];
+        let open = rest.find('[').ok_or("fault plan JSON: missing fault array")?;
+        let close = rest.rfind(']').ok_or("fault plan JSON: unterminated fault array")?;
+        if close < open {
+            return Err("fault plan JSON: malformed fault array".into());
+        }
+        let mut body = &rest[open + 1..close];
+        let mut faults = Vec::new();
+        while let Some(ob) = body.find('{') {
+            let cb = body[ob..]
+                .find('}')
+                .ok_or("fault plan JSON: unterminated fault object")?
+                + ob;
+            faults.push(parse_fault(&body[ob + 1..cb])?);
+            body = &body[cb + 1..];
+        }
+        Ok(Self { faults })
+    }
+
+    /// The `SLIMPIPE_FAULT_PLAN` hook (mirrors the `SLIMPIPE_ATTN_KERNEL`
+    /// regime pattern): a value starting with `{` is inline JSON, anything
+    /// else is a path to a JSON file. Returns `Ok(None)` when unset or
+    /// empty. Consulted by `try_run_pipeline` / `try_resume_pipeline` and
+    /// the recovery driver only when the config carries no explicit plan.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        let v = match std::env::var("SLIMPIPE_FAULT_PLAN") {
+            Ok(v) if !v.trim().is_empty() => v,
+            _ => return Ok(None),
+        };
+        let text = if v.trim_start().starts_with('{') {
+            v
+        } else {
+            std::fs::read_to_string(&v)
+                .map_err(|e| format!("SLIMPIPE_FAULT_PLAN file {v}: {e}"))?
+        };
+        Self::from_json(&text).map(Some)
+    }
+}
+
+/// One `{...}` fault object (braces stripped) from the JSON form.
+fn parse_fault(obj: &str) -> Result<(FaultSite, FaultKind), String> {
+    let num = |key: &str| -> Result<u64, String> {
+        let pat = format!("\"{key}\":");
+        let idx = obj.find(&pat).ok_or_else(|| format!("fault object missing \"{key}\""))?;
+        let raw: String = obj[idx + pat.len()..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        raw.parse().map_err(|_| format!("fault object: bad number for \"{key}\""))
+    };
+    let kind_pat = "\"kind\":";
+    let kidx = obj.find(kind_pat).ok_or("fault object missing \"kind\"")?;
+    let tag: String = obj[kidx + kind_pat.len()..]
+        .trim_start()
+        .strip_prefix('"')
+        .ok_or("fault object: \"kind\" must be a string")?
+        .chars()
+        .take_while(|&c| c != '"')
+        .collect();
+    let kind = match tag.as_str() {
+        "stage_panic" => FaultKind::StagePanic,
+        "server_death" => FaultKind::ServerDeath { device: num("device")? as usize },
+        "drop_reply" => FaultKind::DropReply,
+        "delay_reply" => FaultKind::DelayReply { ms: num("ms")? },
+        "corrupt_activation" => FaultKind::CorruptActivation,
+        "stall" => FaultKind::Stall,
+        other => return Err(format!("fault object: unknown kind \"{other}\"")),
+    };
+    let site = FaultSite {
+        iteration: num("iteration")? as usize,
+        stage: num("stage")? as usize,
+        mb: num("mb")? as u32,
+        slice: num("slice")? as u32,
+    };
+    Ok((site, kind))
 }
 
 /// What the runtime does when a unit's loss goes non-finite or an exchange
@@ -491,6 +630,43 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, ExecError::Disconnected { stage: 2, port: Port::Forward });
         assert_eq!(calls, 3, "pump must run once per poll");
+    }
+
+    #[test]
+    fn fault_plan_json_roundtrips() {
+        let plan = FaultPlan {
+            faults: vec![
+                (FaultSite { iteration: 3, stage: 1, mb: 0, slice: 1 }, FaultKind::StagePanic),
+                (
+                    FaultSite { iteration: 2, stage: 0, mb: 1, slice: 0 },
+                    FaultKind::ServerDeath { device: 1 },
+                ),
+                (FaultSite { iteration: 1, stage: 0, mb: 0, slice: 2 }, FaultKind::DropReply),
+                (
+                    FaultSite { iteration: 4, stage: 1, mb: 1, slice: 3 },
+                    FaultKind::DelayReply { ms: 5 },
+                ),
+                (
+                    FaultSite { iteration: 0, stage: 1, mb: 0, slice: 0 },
+                    FaultKind::CorruptActivation,
+                ),
+                (FaultSite { iteration: 5, stage: 0, mb: 1, slice: 1 }, FaultKind::Stall),
+            ],
+        };
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(FaultPlan::from_json("{\"faults\": []}").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn fault_plan_json_rejects_garbage() {
+        assert!(FaultPlan::from_json("not json").is_err());
+        assert!(FaultPlan::from_json("{\"faults\": [{\"iteration\": 1}]}").is_err());
+        assert!(FaultPlan::from_json(
+            "{\"faults\": [{\"iteration\": 1, \"stage\": 0, \"mb\": 0, \"slice\": 0, \
+             \"kind\": \"meteor_strike\"}]}"
+        )
+        .is_err());
     }
 
     #[test]

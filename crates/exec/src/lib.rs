@@ -29,6 +29,7 @@
 
 pub mod checkpoint;
 pub mod comm;
+pub mod driver;
 pub mod fault;
 pub mod layer;
 pub mod model;
@@ -40,7 +41,13 @@ pub mod train;
 pub mod verify;
 
 pub use checkpoint::CheckpointState;
+pub use driver::{
+    run_elastic, DriverCfg, DriverOutcome, RecoveryEvent, RecoveryLog, Replanner, ShrinkReplanner,
+};
 pub use fault::{DegradePolicy, ExecError, FaultKind, FaultPlan, FaultSite};
 pub use model::{CheckpointCfg, ExecConfig};
 pub use slimpipe_core::{SlicePolicy, Slicing};
-pub use train::{run_pipeline, run_reference, try_resume_pipeline, try_run_pipeline, RunResult};
+pub use train::{
+    run_pipeline, run_reference, try_resume_pipeline, try_resume_pipeline_from, try_run_pipeline,
+    RunResult,
+};

@@ -15,12 +15,17 @@ use slimpipe_tensor::Tensor;
 use std::ops::Range;
 use std::path::PathBuf;
 
-/// Iteration-boundary checkpointing: write a snapshot to `path` after
-/// every `every` completed iterations.
+/// Iteration-boundary checkpointing: write a snapshot to an immutable
+/// `{path}.it{N}` sibling after every `every` completed iterations, with
+/// `path` itself the crash-safe *latest* manifest naming the newest
+/// snapshot (see `crate::checkpoint`).
 #[derive(Clone, Debug)]
 pub struct CheckpointCfg {
     pub every: usize,
     pub path: PathBuf,
+    /// Retention: prune all but the newest `keep_last` snapshots after each
+    /// save; `0` keeps every snapshot (unbounded).
+    pub keep_last: usize,
 }
 
 /// Shape and run parameters of an executor model. Kept small — these train

@@ -37,7 +37,7 @@ use crate::comm::{
 };
 use crate::fault::{
     panic_message, recv_guarded, recv_guarded_pumped, DegradePolicy, ExecError, FaultKind,
-    FaultStats, InjectedPanic, Port, RunCtl, ABORT_POLL,
+    FaultPlan, FaultStats, InjectedPanic, Port, RunCtl, ABORT_POLL,
 };
 use crate::layer::{AttnExecutor, LayerGrads, LocalAttn};
 use crate::model::ExecConfig;
@@ -915,21 +915,27 @@ fn run_from(
         if seg_end < steps {
             if let Some(ck) = &cfg.checkpoint {
                 CheckpointState::capture(seg_end, &seg_stages, shards.as_deref())
-                    .save(&ck.path, cfg)?;
+                    .save_retained(ck, cfg)?;
             }
         }
         stages = Some(seg_stages);
         it = seg_end;
     }
 
-    let mut stages = stages.expect("at least one segment ran");
+    // The tail must stay typed-error plumbing: the recovery driver runs
+    // arbitrary restored/regrouped state through here, and a panic would
+    // escape its supervise loop where an ExecError heals.
+    let mut stages = stages
+        .ok_or_else(|| ExecError::InvalidConfig("no iterations to run (start >= steps)".into()))?;
     let mut out_grad = Tensor::zeros(cfg.hidden(), cfg.vocab);
     if let Some(shards) = &shards {
         for s in shards {
             out_grad.set_cols(s.offset, &s.grad);
         }
     } else {
-        let (_, g) = stages[p - 1].out_proj.as_ref().expect("classic head");
+        let (_, g) = stages[p - 1].out_proj.as_ref().ok_or_else(|| {
+            ExecError::Checkpoint("last stage has no output projection (classic head)".into())
+        })?;
         out_grad = g.clone();
     }
 
@@ -949,11 +955,16 @@ fn run_from(
     for st in &mut stages {
         layer_grads.append(&mut st.grads.drain(..).collect());
     }
-    let embed_grad = stages[0].embed.as_ref().expect("stage 0 owns embedding").1.clone();
+    let embed_grad = stages[0]
+        .embed
+        .as_ref()
+        .ok_or_else(|| ExecError::Checkpoint("stage 0 has no embedding table".into()))?
+        .1
+        .clone();
     let final_norm_grad = stages[p - 1]
         .final_norm
         .as_ref()
-        .expect("last stage owns final norm")
+        .ok_or_else(|| ExecError::Checkpoint("last stage has no final norm".into()))?
         .1
         .clone();
 
@@ -978,6 +989,18 @@ fn run_from(
     })
 }
 
+/// A config with the `SLIMPIPE_FAULT_PLAN` env hook applied: when the
+/// config carries no explicit plan and the env names one, the env plan is
+/// adopted (and then validated like any other, so a plan written against
+/// the wrong geometry reports `InvalidConfig`, not silence).
+fn with_env_fault_plan(cfg: &ExecConfig) -> Result<ExecConfig, ExecError> {
+    let mut cfg = cfg.clone();
+    if cfg.fault_plan.is_none() {
+        cfg.fault_plan = FaultPlan::from_env().map_err(ExecError::InvalidConfig)?;
+    }
+    Ok(cfg)
+}
+
 /// Run `steps` training iterations of `cfg` under `kind`. The gradients of
 /// the final iteration are returned un-stepped so they can be compared
 /// across configurations. Every failure mode — injected or real — returns
@@ -988,15 +1011,18 @@ pub fn try_run_pipeline(
     steps: usize,
     lr: f32,
 ) -> Result<RunResult, ExecError> {
+    let cfg = with_env_fault_plan(cfg)?;
     cfg.validate().map_err(ExecError::InvalidConfig)?;
     if steps == 0 {
         return Err(ExecError::InvalidConfig("steps must be >= 1".into()));
     }
-    let shards = cfg.vocab_parallel.then(|| build_vocab_shards(cfg));
-    run_from(cfg, kind, 0, steps, lr, None, shards)
+    let shards = cfg.vocab_parallel.then(|| build_vocab_shards(&cfg));
+    run_from(&cfg, kind, 0, steps, lr, None, shards)
 }
 
-/// Resume a run from the checkpoint at `cfg.checkpoint.path` and train to
+/// Resume a run from the newest usable snapshot under
+/// `cfg.checkpoint.path` (the retention manifest, with fallback to the
+/// newest verifying sibling — see `crate::checkpoint`) and train to
 /// `steps` total iterations. The returned losses cover only the resumed
 /// iterations, and the result is **bit-identical** to the corresponding
 /// tail of an uninterrupted [`try_run_pipeline`] run: exact f32 bit
@@ -1008,12 +1034,36 @@ pub fn try_resume_pipeline(
     steps: usize,
     lr: f32,
 ) -> Result<RunResult, ExecError> {
-    cfg.validate().map_err(ExecError::InvalidConfig)?;
     let ck = cfg
         .checkpoint
         .as_ref()
         .ok_or_else(|| ExecError::Checkpoint("resume requires cfg.checkpoint".into()))?;
-    let state = CheckpointState::load(&ck.path, cfg)?;
+    let state = CheckpointState::load_latest(ck, cfg)?;
+    try_resume_pipeline_from(cfg, kind, steps, lr, state)
+}
+
+/// Resume from an explicit in-memory snapshot (the recovery driver's path,
+/// and the comparison arm of the determinism tests, which pin a specific
+/// `{path}.it{N}` snapshot instead of whatever `latest` points at). A
+/// snapshot captured at a different pipeline geometry is re-sharded onto
+/// `cfg`'s via [`CheckpointState::regroup`] — elastic restore is this one
+/// line, not a parallel code path.
+pub fn try_resume_pipeline_from(
+    cfg: &ExecConfig,
+    kind: PipelineKind,
+    steps: usize,
+    lr: f32,
+    state: CheckpointState,
+) -> Result<RunResult, ExecError> {
+    let cfg = with_env_fault_plan(cfg)?;
+    cfg.validate().map_err(ExecError::InvalidConfig)?;
+    let state = if state.stages.len() != cfg.stages
+        || state.shards.is_some() != cfg.vocab_parallel
+    {
+        state.regroup(&cfg)?
+    } else {
+        state
+    };
     let start = state.iteration as usize;
     if start >= steps {
         return Err(ExecError::Checkpoint(format!(
@@ -1021,13 +1071,13 @@ pub fn try_resume_pipeline(
         )));
     }
     let shards = if cfg.vocab_parallel {
-        Some(state.to_shards(cfg).ok_or_else(|| {
+        Some(state.to_shards(&cfg).ok_or_else(|| {
             ExecError::Checkpoint("vocab-parallel resume needs shard states".into())
         })?)
     } else {
         None
     };
-    run_from(cfg, kind, start, steps, lr, Some(Arc::new(state)), shards)
+    run_from(&cfg, kind, start, steps, lr, Some(Arc::new(state)), shards)
 }
 
 /// [`try_run_pipeline`] for callers that treat any failure as fatal (the

@@ -314,7 +314,7 @@ fn resume_after_crash_is_bit_identical_to_uninterrupted_run() {
     let path = unique_path("resume");
     let base = ExecConfig {
         vocab_parallel: true,
-        checkpoint: Some(CheckpointCfg { every: 2, path: path.clone() }),
+        checkpoint: Some(CheckpointCfg { every: 2, path: path.clone(), keep_last: 1 }),
         ..fast_cfg()
     };
     // The uninterrupted run: same model, no checkpointing at all — the
@@ -338,7 +338,16 @@ fn resume_after_crash_is_bit_identical_to_uninterrupted_run() {
     assert_eq!(resumed.losses.len(), 2, "resume covers iterations 4 and 5");
     let tail = RunResult { losses: full.losses[4..].to_vec(), ..full };
     assert_bit_identical(&resumed, &tail);
-    let _ = std::fs::remove_file(&path);
+    clean_ckpt_files(&path);
+}
+
+/// Remove the retention manifest and every `{path}.it{N}` snapshot a test
+/// run left in the temp dir.
+fn clean_ckpt_files(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    for it in 0..16u64 {
+        let _ = std::fs::remove_file(slimpipe_exec::checkpoint::snapshot_path(path, it));
+    }
 }
 
 #[test]
@@ -346,21 +355,23 @@ fn corrupted_checkpoint_is_detected_not_trusted() {
     let _g = width_lock();
     let path = unique_path("corrupt");
     let cfg = ExecConfig {
-        checkpoint: Some(CheckpointCfg { every: 1, path: path.clone() }),
+        checkpoint: Some(CheckpointCfg { every: 1, path: path.clone(), keep_last: 0 }),
         ..fast_cfg()
     };
     run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
-    let mut bytes = std::fs::read(&path).expect("snapshot written at iteration 1");
+    // Corrupt the only snapshot (the `latest` manifest at `path` names it).
+    let snap = slimpipe_exec::checkpoint::snapshot_path(&path, 1);
+    let mut bytes = std::fs::read(&snap).expect("snapshot written at iteration 1");
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
-    std::fs::write(&path, &bytes).unwrap();
+    std::fs::write(&snap, &bytes).unwrap();
     match try_resume_pipeline(&cfg, PipelineKind::SlimPipe, 4, 0.2) {
         Err(ExecError::Checkpoint(msg)) => {
             assert!(msg.contains("checksum") || msg.contains("corrupt"), "message: {msg}")
         }
         other => panic!("expected checksum failure, got {:?}", other.map(|_| "ok")),
     }
-    let _ = std::fs::remove_file(&path);
+    clean_ckpt_files(&path);
 }
 
 #[test]
@@ -368,7 +379,7 @@ fn resume_past_the_end_is_rejected() {
     let _g = width_lock();
     let path = unique_path("past_end");
     let cfg = ExecConfig {
-        checkpoint: Some(CheckpointCfg { every: 1, path: path.clone() }),
+        checkpoint: Some(CheckpointCfg { every: 1, path: path.clone(), keep_last: 0 }),
         ..fast_cfg()
     };
     run_pipeline(&cfg, PipelineKind::SlimPipe, 2, 0.2);
@@ -377,5 +388,5 @@ fn resume_past_the_end_is_rejected() {
         Err(ExecError::Checkpoint(_)) => {}
         other => panic!("expected Checkpoint error, got {:?}", other.map(|_| "ok")),
     }
-    let _ = std::fs::remove_file(&path);
+    clean_ckpt_files(&path);
 }

@@ -46,7 +46,29 @@ pub use calibrate::{calibrate, shape_of, CalibrationOpts};
 pub use cost::{ByteModel, ProfiledCostModel};
 pub use plan::Plan;
 pub use profile::{CostProfile, ProfileShape};
-pub use search::{plan, simulate_config, PlanError, PlanOpts};
+pub use search::{
+    plan, replan_for_stages, simulate_config, CommOpts, PlanError, PlanOpts, DEGRADED_LINK,
+};
+
+/// A planner-backed replanner for [`slimpipe_exec::run_elastic`]: on each
+/// recovery it re-runs the calibrated search for the surviving stage count
+/// ([`replan_for_stages`], with [`DEGRADED_LINK`] pricing the degraded
+/// boundary traffic and `mem_cap_bytes` re-enforced against the byte
+/// model) and lowers the winner into the config the driver resumes.
+/// Planner failures surface as `ExecError::InvalidConfig`, which the
+/// driver reports as an unrecoverable job error.
+pub fn recovery_replanner(
+    profile: CostProfile,
+    mem_cap_bytes: Option<u64>,
+) -> impl FnMut(
+    &slimpipe_exec::ExecConfig,
+    usize,
+) -> Result<slimpipe_exec::ExecConfig, slimpipe_exec::ExecError> {
+    move |base: &slimpipe_exec::ExecConfig, survivors: usize| {
+        replan_for_stages(base, &profile, survivors, mem_cap_bytes)
+            .map_err(|e| slimpipe_exec::ExecError::InvalidConfig(format!("recovery re-plan: {e}")))
+    }
+}
 
 /// The committed reference profiles: calibrated once per attention kernel
 /// regime on the dev host for [`slimpipe_exec::ExecConfig::small`]'s model

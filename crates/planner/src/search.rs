@@ -27,6 +27,7 @@ use crate::calibrate::shape_of;
 use crate::cost::{ByteModel, ProfiledCostModel};
 use crate::plan::Plan;
 use crate::profile::CostProfile;
+use slimpipe_cluster::Link;
 use slimpipe_core::schedule::generate_var;
 use slimpipe_core::Slicing;
 use slimpipe_exec::ExecConfig;
@@ -34,6 +35,18 @@ use slimpipe_model::causal_pairs;
 use slimpipe_sched::{PassKind, Schedule};
 use slimpipe_sim::{simulate, UnitCostModel};
 use std::collections::BTreeSet;
+
+/// Boundary-link pricing for candidate evaluation: when present, every
+/// candidate's simulated makespan includes per-boundary activation
+/// transfers over this link, with the profile's calibrated overlap
+/// fraction (`ov`) hiding part of each edge behind compute.
+#[derive(Clone, Copy, Debug)]
+pub struct CommOpts {
+    /// Link between adjacent pipeline stages.
+    pub link: Link,
+    /// Boundary activation bytes per token of the crossing unit.
+    pub bytes_per_token: f64,
+}
 
 /// Search knobs.
 #[derive(Clone, Debug)]
@@ -48,6 +61,9 @@ pub struct PlanOpts {
     pub boundary_grid: usize,
     /// Hill-climbing rounds over the winning plan's bounds.
     pub refine_rounds: usize,
+    /// Optional stage-boundary link pricing. `None` (the default) keeps
+    /// sends free — in-process stages pass pointers.
+    pub comm: Option<CommOpts>,
 }
 
 impl Default for PlanOpts {
@@ -57,6 +73,7 @@ impl Default for PlanOpts {
             max_slices_per_mb: 16,
             boundary_grid: 128,
             refine_rounds: 2,
+            comm: None,
         }
     }
 }
@@ -166,17 +183,20 @@ fn evaluate(
     bm: &ByteModel,
     counts: &[usize],
     slicings: Vec<Slicing>,
-    cap: Option<u64>,
+    opts: &PlanOpts,
 ) -> Option<Candidate> {
     let sched = generate_var(cfg.stages, counts).ok()?;
-    if let Some(cap) = cap {
+    if let Some(cap) = opts.mem_cap_bytes {
         if bm.worst_predicted_peak(&sched, &slicings) > cap as f64 {
             return None;
         }
     }
     let lps = cfg.layers_per_stage();
     let report = {
-        let cm = ProfiledCostModel::new(&sched, profile, lps, slicings.clone());
+        let mut cm = ProfiledCostModel::new(&sched, profile, lps, slicings.clone());
+        if let Some(comm) = opts.comm {
+            cm = cm.with_comm(comm.link, comm.bytes_per_token, profile.ov);
+        }
         simulate(&cm)
     };
     Some(Candidate {
@@ -260,19 +280,19 @@ pub fn plan(cfg: &ExecConfig, profile: &CostProfile, opts: &PlanOpts) -> Result<
             .zip(&seqs)
             .map(|(&n, &s)| Slicing::explicit(s, dp_balanced_bounds(s, n, opts.boundary_grid, &weight)))
             .collect();
-        consider(evaluate(cfg, profile, &bm, counts, dp_slicings, opts.mem_cap_bytes));
+        consider(evaluate(cfg, profile, &bm, counts, dp_slicings, opts));
         let even: Vec<Slicing> = counts
             .iter()
             .zip(&seqs)
             .map(|(&n, &s)| Slicing::even(s, n))
             .collect();
-        consider(evaluate(cfg, profile, &bm, counts, even, opts.mem_cap_bytes));
+        consider(evaluate(cfg, profile, &bm, counts, even, opts));
         let pb: Vec<Slicing> = counts
             .iter()
             .zip(&seqs)
             .map(|(&n, &s)| Slicing::pair_balanced(s, n))
             .collect();
-        consider(evaluate(cfg, profile, &bm, counts, pb, opts.mem_cap_bytes));
+        consider(evaluate(cfg, profile, &bm, counts, pb, opts));
     }
     let mut best = best.ok_or_else(|| {
         PlanError::Infeasible(format!(
@@ -305,7 +325,7 @@ pub fn plan(cfg: &ExecConfig, profile: &CostProfile, opts: &PlanOpts) -> Result<
                         &bm,
                         &best.counts.clone(),
                         slicings,
-                        opts.mem_cap_bytes,
+                        opts,
                     ) {
                         if c.makespan < best.makespan {
                             best = c;
@@ -373,6 +393,59 @@ pub fn plan(cfg: &ExecConfig, profile: &CostProfile, opts: &PlanOpts) -> Result<
         predicted_peak_bytes,
         unit_costs,
     })
+}
+
+/// Boundary link priced during degraded re-planning. Recovery re-plans
+/// because devices were *lost*: the surviving geometry may route stage
+/// boundaries over slower inter-node paths, so price them conservatively
+/// (~12.5 GB/s, 2 µs — a 100 Gb Ethernet class hop) rather than free.
+pub const DEGRADED_LINK: Link = Link { bandwidth: 12.5e9, latency: 2e-6 };
+
+/// Re-plan an existing job onto `survivors` pipeline stages after device
+/// loss: same model, same workload, same seed — only the pipeline geometry
+/// shrinks. The search runs with [`DEGRADED_LINK`] pricing stage-boundary
+/// activation traffic (one hidden-vector row per token, f32) so the
+/// emitted bounds account for the degraded interconnect, and with
+/// `mem_cap_bytes` re-enforced: the survivors each hold *more* layers, so
+/// a plan that fit before may not fit now.
+///
+/// The returned config is the lowered plan over `base` with
+/// `stages = survivors`; callers (the elastic driver) restore from the
+/// latest checkpoint and continue. Infeasible geometry (layers or vocab
+/// shards not divisible by `survivors`) is a [`PlanError::Infeasible`],
+/// not a panic — the driver treats it as "shrink further or give up".
+pub fn replan_for_stages(
+    base: &ExecConfig,
+    profile: &CostProfile,
+    survivors: usize,
+    mem_cap_bytes: Option<u64>,
+) -> Result<ExecConfig, PlanError> {
+    if survivors == 0 {
+        return Err(PlanError::Infeasible("zero surviving stages".into()));
+    }
+    if !base.layers.is_multiple_of(survivors) {
+        return Err(PlanError::Infeasible(format!(
+            "{} layers cannot spread over {survivors} surviving stages",
+            base.layers
+        )));
+    }
+    if base.vocab_parallel && !base.vocab.is_multiple_of(survivors) {
+        return Err(PlanError::Infeasible(format!(
+            "vocab {} cannot re-shard over {survivors} surviving stages",
+            base.vocab
+        )));
+    }
+    let degraded = ExecConfig { stages: survivors, ..base.clone() };
+    let opts = PlanOpts {
+        mem_cap_bytes,
+        comm: Some(CommOpts {
+            link: DEGRADED_LINK,
+            bytes_per_token: (degraded.hidden() * 4) as f64,
+        }),
+        ..PlanOpts::default()
+    };
+    let plan = plan(&degraded, profile, &opts)?;
+    Ok(plan.to_exec_config(&degraded))
 }
 
 /// Simulated report for `cfg` exactly as configured (its own policy and
