@@ -10,10 +10,10 @@ use slimpipe_exec::checkpoint::snapshot_path;
 use slimpipe_exec::fault::InjectedPanic;
 use slimpipe_exec::model::{CheckpointCfg, ExecConfig};
 use slimpipe_exec::schedule::PipelineKind;
-use slimpipe_exec::train::{run_pipeline, run_reference};
+use slimpipe_exec::train::{run_pipeline, run_reference, try_run_pipeline_traced};
 use slimpipe_exec::{
     run_elastic, DegradePolicy, DriverCfg, FaultKind, FaultPlan, FaultSite, ShrinkReplanner,
-    SlicePolicy,
+    SlicePolicy, TraceSession,
 };
 use slimpipe_tensor::pool;
 use std::hint::black_box;
@@ -216,6 +216,30 @@ fn bench_recovery(c: &mut Criterion) {
     clean_files();
 }
 
+/// The tracing tax: identical SlimPipe steps untraced (env hook unset —
+/// the recorder's `clock()` is a `None` branch, no clock reads, no
+/// locking) vs. recording into a live session every iteration.
+/// `bench_check` holds traced within the 10% noise gate of untraced —
+/// observability must be free when off and near-free when on.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_trace_overhead");
+    g.sample_size(10);
+    let base = ExecConfig { slices: 8, exchange: true, ..cfg() };
+    g.bench_function("untraced", |b| {
+        b.iter(|| black_box(run_pipeline(&base, PipelineKind::SlimPipe, 1, 0.1)))
+    });
+    g.bench_function("traced", |b| {
+        b.iter(|| {
+            let trace = TraceSession::new();
+            black_box(
+                try_run_pipeline_traced(&base, PipelineKind::SlimPipe, 1, 0.1, &trace)
+                    .expect("clean traced run"),
+            )
+        })
+    });
+    g.finish();
+}
+
 /// The pool's end-to-end effect: identical training steps with the pool
 /// emptied before every iteration (every kernel allocation is a fresh
 /// malloc) vs. left warm (steady-state, allocation-free).
@@ -251,6 +275,7 @@ criterion_group!(
     bench_recovery,
     bench_async_overlap,
     bench_slicing_policies,
+    bench_trace_overhead,
     bench_pool_cold_vs_warm,
 );
 criterion_main!(benches);

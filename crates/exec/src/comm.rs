@@ -36,8 +36,11 @@ use slimpipe_tensor::attention::{
 use slimpipe_tensor::pool;
 use slimpipe_tensor::crossentropy::{combine_stats, shard_backward, shard_stats, ShardStats};
 use slimpipe_tensor::matmul::{matmul_fused, matmul_tn_acc};
+use slimpipe_obs::{OpTag, SpanKind, SpanRecorder, TraceSession};
 use slimpipe_tensor::{Epilogue, PackedWeight, Prologue, Tensor};
+use std::cell::RefCell;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -131,8 +134,25 @@ impl ServerHandle {
     }
 }
 
-fn serve(rx: Receiver<ServerJob>, shard: &mut Option<VocabShard>) {
+fn serve(
+    rx: Receiver<ServerJob>,
+    shard: &mut Option<VocabShard>,
+    device: usize,
+    rec: &mut Option<SpanRecorder>,
+) {
     while let Ok(job) = rx.recv() {
+        // Span the compute jobs only; control traffic (sgd/scale/stop) and
+        // injected faults are not work the schedule accounts for.
+        let t0 = match (&job, rec.as_ref()) {
+            (
+                ServerJob::AttnFwd { .. }
+                | ServerJob::AttnBwd { .. }
+                | ServerJob::VocabFwd { .. }
+                | ServerJob::VocabBwd { .. },
+                Some(r),
+            ) => r.clock(),
+            _ => None,
+        };
         match job {
             ServerJob::AttnFwd { q, k, v, cfg, q_offset, kv_offset, reply } => {
                 let part = attention::partial(&q, &k, &v, cfg, q_offset, kv_offset);
@@ -200,6 +220,9 @@ fn serve(rx: Receiver<ServerJob>, shard: &mut Option<VocabShard>) {
             }
             ServerJob::Stop => break,
         }
+        if let (Some(t0), Some(r)) = (t0, rec.as_mut()) {
+            r.push(SpanKind::Compute { stage: device, mb: 0, slice: 0, op: OpTag::Server }, t0);
+        }
     }
 }
 
@@ -211,11 +234,32 @@ pub fn spawn_server(
     device: usize,
     shard: Option<VocabShard>,
 ) -> (ServerHandle, JoinHandle<Option<VocabShard>>) {
+    spawn_server_with(device, shard, None)
+}
+
+/// [`spawn_server`] with the server's jobs recorded as `Compute` spans on
+/// a `server{device}` track of `trace`. The recorder lives inside the
+/// server thread and flushes on exit — including panic exits, so a trace
+/// of a crashed server still shows what it was doing.
+pub fn spawn_server_traced(
+    device: usize,
+    shard: Option<VocabShard>,
+    trace: &Arc<TraceSession>,
+) -> (ServerHandle, JoinHandle<Option<VocabShard>>) {
+    spawn_server_with(device, shard, Some(Arc::clone(trace)))
+}
+
+fn spawn_server_with(
+    device: usize,
+    shard: Option<VocabShard>,
+    trace: Option<Arc<TraceSession>>,
+) -> (ServerHandle, JoinHandle<Option<VocabShard>>) {
     let (tx, rx): (Sender<ServerJob>, Receiver<ServerJob>) = unbounded();
     let handle = std::thread::spawn(move || {
         let mut shard = shard;
+        let mut rec = trace.map(|t| t.recorder(&format!("server{device}")));
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            serve(rx, &mut shard)
+            serve(rx, &mut shard, device, &mut rec)
         })) {
             Ok(()) => shard,
             Err(_) => None, // shard state is suspect after a panic
@@ -313,6 +357,10 @@ pub struct FtCtx<'a> {
     /// stage loop arms them on the forward visit only, so a single planned
     /// fault fires once per unit instead of once per pass.
     pub reply_faults: bool,
+    /// The owning stage thread's span recorder: exchange waits record as
+    /// `ExchangeWait` spans on its track. `None` (tests, detached use)
+    /// records nothing.
+    pub rec: Option<&'a RefCell<SpanRecorder>>,
 }
 
 impl FtCtx<'_> {
@@ -329,6 +377,7 @@ impl FtCtx<'_> {
             local_only: false,
             overlap: true,
             reply_faults: true,
+            rec: None,
         }
     }
 
@@ -410,6 +459,31 @@ impl<'a> ExchangeRt<'a> {
     /// budget converts into a structured give-up.
     #[allow(clippy::too_many_arguments)]
     fn await_reply<T>(
+        &mut self,
+        rrx: &Receiver<T>,
+        chunk: usize,
+        exec: usize,
+        resubmit: impl FnMut(&[ServerHandle]) -> Result<(), DeadServer>,
+    ) -> Result<Recovered<T>, ExecError> {
+        // The whole wait — first receive through every retry — is one
+        // `ExchangeWait` span on the stage's track (nested inside the
+        // enclosing `Compute` span; the clock is untouched when disabled).
+        let t0 = self.ft.rec.and_then(|r| r.borrow().clock());
+        let out = self.await_reply_inner(rrx, chunk, exec, resubmit);
+        if let (Some(t0), Some(r)) = (t0, self.ft.rec) {
+            r.borrow_mut().push(
+                SpanKind::ExchangeWait {
+                    stage: self.device,
+                    mb: self.ft.mb as usize,
+                    slice: self.ft.slice as usize,
+                },
+                t0,
+            );
+        }
+        out
+    }
+
+    fn await_reply_inner<T>(
         &mut self,
         rrx: &Receiver<T>,
         chunk: usize,
@@ -815,6 +889,9 @@ pub struct VocabParallel<'a> {
     pub stage: usize,
     pub mb: u32,
     pub slice: u32,
+    /// The owning stage thread's span recorder: shard-reply gathers record
+    /// as `ExchangeWait` spans. `None` records nothing.
+    pub rec: Option<&'a RefCell<SpanRecorder>>,
 }
 
 impl<'a> VocabParallel<'a> {
@@ -826,11 +903,29 @@ impl<'a> VocabParallel<'a> {
             stage: 0,
             mb: 0,
             slice: 0,
+            rec: None,
         }
     }
 
-    /// Gather one reply per server, in device order.
+    /// Gather one reply per server, in device order. The whole gather is
+    /// one `ExchangeWait` span on the last stage's track.
     fn gather<T>(&self, replies: Vec<Receiver<T>>) -> Result<Vec<T>, ExecError> {
+        let t0 = self.rec.and_then(|r| r.borrow().clock());
+        let out = self.gather_inner(replies);
+        if let (Some(t0), Some(r)) = (t0, self.rec) {
+            r.borrow_mut().push(
+                SpanKind::ExchangeWait {
+                    stage: self.stage,
+                    mb: self.mb as usize,
+                    slice: self.slice as usize,
+                },
+                t0,
+            );
+        }
+        out
+    }
+
+    fn gather_inner<T>(&self, replies: Vec<Receiver<T>>) -> Result<Vec<T>, ExecError> {
         let mut out = Vec::with_capacity(replies.len());
         for (dev, rx) in replies.iter().enumerate() {
             let v = match self.ctl {

@@ -33,8 +33,10 @@ use crate::checkpoint::CheckpointState;
 use crate::fault::{ExecError, FaultKind, FaultPlan, FaultSite};
 use crate::model::ExecConfig;
 use crate::schedule::PipelineKind;
-use crate::train::{try_resume_pipeline_from, try_run_pipeline, RunResult};
+use crate::train::{try_resume_pipeline_from_traced, try_run_pipeline_traced, RunResult};
+use slimpipe_obs::{counters as obs_counters, RecoveryPhase, SpanKind, TraceSession};
 use std::fmt;
+use std::sync::Arc;
 
 /// Supervision parameters of one elastic job.
 #[derive(Clone, Copy, Debug)]
@@ -245,35 +247,72 @@ pub fn run_elastic(
     lr: f32,
     replanner: &mut dyn Replanner,
 ) -> Result<DriverOutcome, ExecError> {
+    let (trace, path) = TraceSession::from_env();
+    let out = run_elastic_traced(cfg, driver, steps, lr, replanner, &trace);
+    if let Some(p) = path {
+        // Written on error too — the trace of a failed job carries the
+        // recovery transitions that led up to the terminal error.
+        let _ = slimpipe_obs::chrome::write_chrome_trace(&trace.report(), &p);
+    }
+    out
+}
+
+/// [`run_elastic`] recording into an explicit trace session. One session
+/// spans every attempt, so a healed run's trace shows the failed attempt's
+/// spans, the `Recovery` transition spans on the `driver` track, and the
+/// resumed run, in one timeline.
+pub fn run_elastic_traced(
+    cfg: &ExecConfig,
+    driver: &DriverCfg,
+    steps: usize,
+    lr: f32,
+    replanner: &mut dyn Replanner,
+    trace: &Arc<TraceSession>,
+) -> Result<DriverOutcome, ExecError> {
     // Adopt the env fault plan here so the supervise loop sees (and can
     // disarm) the same schedule the runs execute.
     let mut cfg = cfg.clone();
     if cfg.fault_plan.is_none() {
         cfg.fault_plan = FaultPlan::from_env().map_err(ExecError::InvalidConfig)?;
     }
+    let mut rec = trace.recorder("driver");
     let mut log = RecoveryLog::default();
     let mut attempt = 0usize;
     let mut pending: Option<CheckpointState> = None;
     loop {
         let res = match pending.take() {
-            Some(state) => try_resume_pipeline_from(&cfg, driver.kind, steps, lr, state),
-            None => try_run_pipeline(&cfg, driver.kind, steps, lr),
+            Some(state) => {
+                try_resume_pipeline_from_traced(&cfg, driver.kind, steps, lr, state, trace)
+            }
+            None => try_run_pipeline_traced(&cfg, driver.kind, steps, lr, trace),
         };
         let err = match res {
             Ok(result) => return Ok(DriverOutcome { result, log, final_config: cfg }),
             Err(e) => e,
         };
+        // An instant span marking failure detection (attempt numbering is
+        // 1-based to match RecoveryEvent).
+        if let Some(t0) = rec.clock() {
+            rec.push(
+                SpanKind::Recovery { attempt: attempt + 1, phase: RecoveryPhase::Fail },
+                t0,
+            );
+        }
         if !err.is_recoverable() || attempt >= driver.max_recoveries {
+            rec.flush();
             return Err(err);
         }
         let Some(survivors) = shrink_geometry(&cfg, driver.min_stages) else {
+            rec.flush();
             return Err(err);
         };
         attempt += 1;
+        obs_counters::RECOVERIES.incr();
         // Disarm before re-planning: the replanner validates its output,
         // and sites naming dead stages would (rightly) fail validation. A
         // fully-disarmed plan stays `Some(empty)` rather than `None`, so
         // the healed run cannot re-adopt the env plan and re-fire.
+        let t_replan = rec.clock();
         let mut base = cfg.clone();
         base.fault_plan = base
             .fault_plan
@@ -285,13 +324,23 @@ pub fn run_elastic(
         new_cfg.checkpoint = base.checkpoint.clone();
         new_cfg.fault_plan = base.fault_plan.clone();
         check_replanned(&base, &new_cfg, survivors)?;
+        if let Some(t0) = t_replan {
+            rec.push(SpanKind::Recovery { attempt, phase: RecoveryPhase::Replan }, t0);
+        }
         // Restore point: the newest usable snapshot, re-sharded onto the
         // survivors. No snapshot yet means the job restarts from scratch
         // at the degraded geometry.
+        let t_restore = rec.clock();
         pending = new_cfg
             .checkpoint
             .as_ref()
             .and_then(|ck| CheckpointState::load_latest(ck, &new_cfg).ok());
+        if let Some(t0) = t_restore {
+            rec.push(SpanKind::Recovery { attempt, phase: RecoveryPhase::Restore }, t0);
+            // Transitions land in the session immediately: a replanner (or
+            // a test) reading the trace mid-recovery must see them.
+            rec.flush();
+        }
         log.events.push(RecoveryEvent {
             attempt,
             resumed_from: pending.as_ref().map(|s| s.iteration as usize).unwrap_or(0),

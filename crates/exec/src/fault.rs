@@ -483,6 +483,7 @@ pub fn recv_guarded_pumped<T>(
         match rx.recv_timeout(quantum.min(remaining)) {
             Ok(v) => return Ok(v),
             Err(RecvTimeoutError::Timeout) => {
+                slimpipe_obs::counters::WATCHDOG_WAKEUPS.incr();
                 if ctl.aborted() {
                     return Err(ExecError::Aborted { stage });
                 }

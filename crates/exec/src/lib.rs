@@ -42,12 +42,16 @@ pub mod verify;
 
 pub use checkpoint::CheckpointState;
 pub use driver::{
-    run_elastic, DriverCfg, DriverOutcome, RecoveryEvent, RecoveryLog, Replanner, ShrinkReplanner,
+    run_elastic, run_elastic_traced, DriverCfg, DriverOutcome, RecoveryEvent, RecoveryLog,
+    Replanner, ShrinkReplanner,
 };
 pub use fault::{DegradePolicy, ExecError, FaultKind, FaultPlan, FaultSite};
 pub use model::{CheckpointCfg, ExecConfig};
 pub use slimpipe_core::{SlicePolicy, Slicing};
+pub use slimpipe_obs as obs;
+pub use slimpipe_obs::TraceSession;
 pub use train::{
-    run_pipeline, run_reference, try_resume_pipeline, try_resume_pipeline_from, try_run_pipeline,
-    RunResult,
+    approx_flops_per_iteration, run_pipeline, run_reference, try_resume_pipeline,
+    try_resume_pipeline_from, try_resume_pipeline_from_traced, try_run_pipeline,
+    try_run_pipeline_traced, RunMetrics, RunResult,
 };

@@ -32,8 +32,8 @@
 
 use crate::checkpoint::CheckpointState;
 use crate::comm::{
-    build_vocab_shards, spawn_server, DeadServer, ExchangeMap, ExchangeRt, FtCtx, ServerHandle,
-    ServerJob, VocabParallel, VocabShard,
+    build_vocab_shards, spawn_server_traced, DeadServer, ExchangeMap, ExchangeRt, FtCtx,
+    ServerHandle, ServerJob, VocabParallel, VocabShard,
 };
 use crate::fault::{
     panic_message, recv_guarded, recv_guarded_pumped, DegradePolicy, ExecError, FaultKind,
@@ -44,13 +44,42 @@ use crate::model::ExecConfig;
 use crate::schedule::{build_schedule, PipelineKind};
 use crate::stage::{Stage, StageOutput};
 use crossbeam::channel::{bounded, unbounded, PostQueue, Receiver, Sender};
+use slimpipe_obs::counters as obs_counters;
+use slimpipe_obs::{CounterSnapshot, OpTag, SpanKind, TraceSession};
 use slimpipe_sched::{PassKind, WorkItem};
 use slimpipe_tensor::init::seeded_tokens;
 use slimpipe_tensor::Tensor;
+use std::cell::RefCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Derived observability metrics for one run, computed at the end of
+/// [`run_from`] from the unified counter registry and (when tracing is on)
+/// the recorded spans. Counters are always populated; the span-derived
+/// fields are `None` for untraced runs — measuring them would require
+/// clock reads on the hot path, and the tracing contract is *zero* cost
+/// when disabled.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Delta of the global counter registry over this run.
+    pub counters: CounterSnapshot,
+    /// Per-stage compute time (forward + backward spans), seconds.
+    pub stage_busy_s: Vec<f64>,
+    /// Per-stage time blocked on exchange replies / vocab gathers, seconds.
+    pub exchange_wait_s: Vec<f64>,
+    /// Wall-clock from first to last stage-compute span, seconds.
+    pub measured_makespan_s: Option<f64>,
+    /// Measured bubble fraction over `stages × makespan` (§"sim::metrics").
+    pub measured_bubble: Option<f64>,
+    /// Model FLOPs utilisation against the busiest stage's throughput as
+    /// the peak — a *relative* MFU (the "hardware" here is CPU threads).
+    pub mfu: Option<f64>,
+    /// `1 − wait/busy`, clamped to `[0, 1]`: how much of the exchange
+    /// latency the async runtime hid under compute.
+    pub overlap_efficiency: Option<f64>,
+}
 
 /// Everything a run produces, for comparison and reporting.
 pub struct RunResult {
@@ -77,6 +106,8 @@ pub struct RunResult {
     /// Boundary activations handed off through the non-blocking post queue
     /// (0 when `async_exchange` is off or the pipeline has one stage).
     pub posted_sends: u64,
+    /// Counter deltas and (for traced runs) span-derived run metrics.
+    pub metrics: RunMetrics,
 }
 
 impl std::fmt::Debug for RunResult {
@@ -88,6 +119,7 @@ impl std::fmt::Debug for RunResult {
             .field("peak_act_bytes", &self.peak_act_bytes)
             .field("fault_stats", &self.fault_stats)
             .field("posted_sends", &self.posted_sends)
+            .field("metrics", &self.metrics)
             .finish_non_exhaustive()
     }
 }
@@ -328,6 +360,7 @@ struct StageRun {
     loss_tx: Sender<f64>,
     ctl: Arc<RunCtl>,
     cursor: Arc<AtomicU64>,
+    trace: Arc<TraceSession>,
 }
 
 impl StageRun {
@@ -346,6 +379,11 @@ impl StageRun {
         let asynchronous = self.cfg.async_exchange;
         let mut fwd_out = self.fwd_tx.clone().map(|tx| Outbound::new(tx, asynchronous));
         let mut bwd_out = self.bwd_tx.clone().map(|tx| Outbound::new(tx, asynchronous));
+        // Per-thread span recorder: a private buffer on this stage's own
+        // track, drained into the session at iteration boundaries. On a
+        // disabled session `clock()` is `None` without ever reading the
+        // clock, so the hot path pays one branch and nothing else.
+        let rec = RefCell::new(self.trace.recorder(&format!("stage{}", self.device)));
         for step in self.seg.clone() {
             // Mark the pack epoch: everything after stage build must run
             // off the persistent packed-weight cache, so
@@ -426,6 +464,7 @@ impl StageRun {
                         local_only,
                         overlap: asynchronous,
                         reply_faults: matches!(op.kind, PassKind::Forward),
+                        rec: Some(&rec),
                     },
                 });
                 let vp_holder;
@@ -437,6 +476,7 @@ impl StageRun {
                         stage: d,
                         mb,
                         slice: sl,
+                        rec: Some(&rec),
                     };
                     Some(&vp_holder)
                 } else {
@@ -505,7 +545,24 @@ impl StageRun {
                         };
                         let targets =
                             is_last.then(|| self.data[mb as usize].1[range.clone()].to_vec());
-                        match stage.forward(mb, sl, input, targets.as_deref(), attn, vp)? {
+                        // Span covers only the stage math (exchange waits
+                        // nest inside it as their own spans); the guarded
+                        // receive above is pipeline bubble, not compute.
+                        let t0 = rec.borrow().clock();
+                        let fwd_out_val =
+                            stage.forward(mb, sl, input, targets.as_deref(), attn, vp)?;
+                        if let Some(t0) = t0 {
+                            rec.borrow_mut().push(
+                                SpanKind::Compute {
+                                    stage: d,
+                                    mb: mb as usize,
+                                    slice: sl as usize,
+                                    op: OpTag::Fwd,
+                                },
+                                t0,
+                            );
+                        }
+                        match fwd_out_val {
                             StageOutput::Activation(act) => {
                                 let out =
                                     fwd_out.as_mut().expect("interior stage has fwd output");
@@ -588,8 +645,21 @@ impl StageRun {
                         };
                         let targets =
                             is_last.then(|| self.data[mb as usize].1[range.clone()].to_vec());
-                        if let Some(dx) = stage.backward(mb, sl, d_in, targets.as_deref(), attn, vp)?
-                        {
+                        let t0 = rec.borrow().clock();
+                        let dx_opt =
+                            stage.backward(mb, sl, d_in, targets.as_deref(), attn, vp)?;
+                        if let Some(t0) = t0 {
+                            rec.borrow_mut().push(
+                                SpanKind::Compute {
+                                    stage: d,
+                                    mb: mb as usize,
+                                    slice: sl as usize,
+                                    op: OpTag::Bwd,
+                                },
+                                t0,
+                            );
+                        }
+                        if let Some(dx) = dx_opt {
                             let out =
                                 bwd_out.as_mut().expect("non-first stage has bwd output");
                             out.send(
@@ -612,8 +682,12 @@ impl StageRun {
             // synchronization point (and possibly a checkpoint segment
             // end — threads join there, and dropping a non-empty spill
             // would strand the receiver at its watchdog).
+            let t0 = rec.borrow().clock();
             flush_outbound(&mut fwd_out, &self.ctl, d, watchdog, Port::Forward)?;
             flush_outbound(&mut bwd_out, &self.ctl, d, watchdog, Port::Backward)?;
+            if let Some(t0) = t0 {
+                rec.borrow_mut().push(SpanKind::PostFlush { stage: d }, t0);
+            }
             // ---- iteration boundary ----
             // Skip-and-renormalize: rescale surviving gradients (pre-scaled
             // by 1/total_tokens) to the exact mean over surviving tokens.
@@ -671,6 +745,10 @@ impl StageRun {
                 }
                 stage.sgd_step(self.lr);
             }
+            // Drain this iteration's spans into the session. The boundary
+            // is a synchronization point, so this is the one place a lock
+            // is taken — never inside an op.
+            rec.borrow_mut().flush();
         }
         Ok(())
     }
@@ -682,20 +760,21 @@ type ServerJoin = std::thread::JoinHandle<Option<VocabShard>>;
 fn spawn_segment_servers(
     p: usize,
     shards: Option<Vec<VocabShard>>,
+    trace: &Arc<TraceSession>,
 ) -> (Vec<ServerHandle>, Vec<ServerJoin>) {
     let mut servers = Vec::with_capacity(p);
     let mut joins = Vec::with_capacity(p);
     match shards {
         Some(ss) => {
             for (dev, s) in ss.into_iter().enumerate() {
-                let (h, j) = spawn_server(dev, Some(s));
+                let (h, j) = spawn_server_traced(dev, Some(s), trace);
                 servers.push(h);
                 joins.push(j);
             }
         }
         None => {
             for dev in 0..p {
-                let (h, j) = spawn_server(dev, None);
+                let (h, j) = spawn_server_traced(dev, None, trace);
                 servers.push(h);
                 joins.push(j);
             }
@@ -704,11 +783,111 @@ fn spawn_segment_servers(
     (servers, joins)
 }
 
+/// A coarse analytic FLOP count for one training iteration of `cfg`:
+/// `6 · tokens · params` for the dense math (fwd + bwd ≈ 3× a
+/// 2-FLOP-per-MAC forward) plus the causal-attention score/value GEMMs,
+/// which scale with token *pairs* rather than tokens. Used only to turn
+/// measured busy time into a relative MFU — precision beyond the leading
+/// terms buys nothing there.
+pub fn approx_flops_per_iteration(cfg: &ExecConfig) -> f64 {
+    let h = cfg.hidden() as f64;
+    let kv = cfg.kv_hidden() as f64;
+    let ffn = cfg.ffn as f64;
+    let tokens: f64 = (0..cfg.microbatches).map(|mb| cfg.mb_seq(mb) as f64).sum();
+    // Causal attention visits ~seq²/2 (query, key) pairs per microbatch.
+    let pairs: f64 = (0..cfg.microbatches)
+        .map(|mb| {
+            let s = cfg.mb_seq(mb) as f64;
+            s * s / 2.0
+        })
+        .sum();
+    // Per-layer dense params: QKVO projections + SwiGLU (gate, up, down).
+    let layer_params = h * h * 2.0 + h * kv * 2.0 + 3.0 * h * ffn;
+    let dense = 6.0 * tokens * (layer_params * cfg.layers as f64 + h * cfg.vocab as f64);
+    let attn = 12.0 * cfg.layers as f64 * pairs * h;
+    dense + attn
+}
+
+/// Derive [`RunMetrics`] at the end of a run: counter deltas always, and —
+/// when the session is live — per-stage busy/wait, makespan, bubble, MFU,
+/// and overlap efficiency from the spans recorded *during this run* (an
+/// elastic driver reuses one session across attempts, so spans already
+/// present at entry are skipped via `span_base`).
+fn run_metrics(
+    cfg: &ExecConfig,
+    iterations: usize,
+    trace: &Arc<TraceSession>,
+    c0: &CounterSnapshot,
+    span_base: &[(String, usize)],
+) -> RunMetrics {
+    let mut m = RunMetrics {
+        counters: obs_counters::snapshot().delta(c0),
+        ..RunMetrics::default()
+    };
+    if !trace.enabled() {
+        return m;
+    }
+    let p = cfg.stages;
+    let mut busy = vec![0.0f64; p];
+    let mut wait = vec![0.0f64; p];
+    let (mut t_min, mut t_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for track in &trace.report().tracks {
+        let Some(d) = track.name.strip_prefix("stage").and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if d >= p {
+            continue;
+        }
+        let skip = span_base
+            .iter()
+            .find(|(n, _)| n == &track.name)
+            .map_or(0, |&(_, n)| n);
+        for span in track.spans.iter().skip(skip) {
+            match span.kind {
+                SpanKind::Compute { op: OpTag::Fwd | OpTag::Bwd, .. } => {
+                    busy[d] += span.dur_us * 1e-6;
+                    t_min = t_min.min(span.start_us);
+                    t_max = t_max.max(span.start_us + span.dur_us);
+                }
+                SpanKind::ExchangeWait { .. } => wait[d] += span.dur_us * 1e-6,
+                _ => {}
+            }
+        }
+    }
+    if !t_max.is_finite() || !t_min.is_finite() {
+        return m; // traced session, but no compute spans landed
+    }
+    let makespan = ((t_max - t_min) * 1e-6).max(0.0);
+    let total_flops = approx_flops_per_iteration(cfg) * iterations as f64;
+    // Relative MFU: peak = the busiest stage's achieved throughput, so the
+    // number reads as "how close the whole pipeline runs to its own best
+    // stage" rather than against an unknowable CPU peak.
+    let stage_flops = total_flops / p as f64;
+    let peak = busy
+        .iter()
+        .filter(|&&b| b > 0.0)
+        .map(|&b| stage_flops / b)
+        .fold(0.0f64, f64::max);
+    let total_busy: f64 = busy.iter().sum();
+    let total_wait: f64 = wait.iter().sum();
+    m.measured_makespan_s = Some(makespan);
+    m.measured_bubble = Some(slimpipe_sim::metrics::bubble_fraction(&busy, makespan));
+    m.mfu = Some(slimpipe_sim::metrics::mfu(total_flops, makespan, p, peak));
+    if total_busy > 0.0 {
+        m.overlap_efficiency = Some((1.0 - total_wait / total_busy).clamp(0.0, 1.0));
+    }
+    m.stage_busy_s = busy;
+    m.exchange_wait_s = wait;
+    m
+}
+
 /// Run iterations `[start, steps)` of `cfg` under `kind`, starting from
 /// fresh (optionally checkpoint-restored) stages, checkpointing at the
 /// configured boundaries. The run is split into segments at those
 /// boundaries; each segment spawns its own stage threads and servers
 /// around the persistent [`Stage`]/[`VocabShard`] values.
+#[allow(clippy::too_many_arguments)]
 fn run_from(
     cfg: &ExecConfig,
     kind: PipelineKind,
@@ -716,13 +895,46 @@ fn run_from(
     steps: usize,
     lr: f32,
     restore: Option<Arc<CheckpointState>>,
+    shards: Option<Vec<VocabShard>>,
+    trace: &Arc<TraceSession>,
+) -> Result<RunResult, ExecError> {
+    let out = run_from_inner(cfg, kind, start, steps, lr, restore, shards, trace);
+    if out.is_err() && trace.enabled() {
+        // Flight recorder: the stage threads have joined (their recorders
+        // Drop-flushed), so the report holds each track's final spans —
+        // capture the tail for post-mortem before the session is dropped.
+        slimpipe_obs::flight::store(slimpipe_obs::FlightRecording::capture(&trace.report()));
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_from_inner(
+    cfg: &ExecConfig,
+    kind: PipelineKind,
+    start: usize,
+    steps: usize,
+    lr: f32,
+    restore: Option<Arc<CheckpointState>>,
     mut shards: Option<Vec<VocabShard>>,
+    trace: &Arc<TraceSession>,
 ) -> Result<RunResult, ExecError> {
     let sched = build_schedule(kind, cfg); // cfg was validated by the caller
     let p = cfg.stages;
     let data = Arc::new(make_data(cfg));
     let ranges = Arc::new(cfg.slice_map());
     let ctl = Arc::new(RunCtl::new());
+    // Metrics baselines: the counter registry is process-global and the
+    // trace session may be shared across elastic attempts, so this run's
+    // contribution is a delta against both.
+    let c0 = obs_counters::snapshot();
+    let span_base: Vec<(String, usize)> = trace
+        .report()
+        .tracks
+        .iter()
+        .map(|t| (t.name.clone(), t.spans.len()))
+        .collect();
+    let mut drv_rec = trace.recorder("driver");
     // One exchange map per microbatch: ragged microbatches and non-uniform
     // policies induce different slice volumes, so each microbatch gets a
     // plan derived from its actual bounds. Equal slicings (the whole run,
@@ -751,7 +963,7 @@ fn run_from(
             None => steps,
         };
         let (servers, server_joins) =
-            spawn_segment_servers(p, if cfg.vocab_parallel { shards.take() } else { None });
+            spawn_segment_servers(p, if cfg.vocab_parallel { shards.take() } else { None }, trace);
 
         // Stage-boundary channels (rebuilt per segment; they are empty at
         // every boundary).
@@ -810,6 +1022,7 @@ fn run_from(
                 loss_tx: loss_tx.clone(),
                 ctl: ctl.clone(),
                 cursor: cursors[d].clone(),
+                trace: trace.clone(),
             };
             let ctl = ctl.clone();
             let restore = restore.clone();
@@ -914,8 +1127,16 @@ fn run_from(
         // iteration's gradients un-stepped by design — nothing to resume).
         if seg_end < steps {
             if let Some(ck) = &cfg.checkpoint {
+                let t0 = drv_rec.clock();
                 CheckpointState::capture(seg_end, &seg_stages, shards.as_deref())
                     .save_retained(ck, cfg)?;
+                obs_counters::CKPT_SAVES.incr();
+                if let Some(t0) = t0 {
+                    drv_rec.push(SpanKind::CkptSave { iteration: seg_end }, t0);
+                    // Make the save visible immediately: a recovery driver
+                    // may read the trace mid-replan, between segments.
+                    drv_rec.flush();
+                }
             }
         }
         stages = Some(seg_stages);
@@ -975,6 +1196,16 @@ fn run_from(
             ((v >> 32) as usize, ((v >> 16) & 0xFFFF) as u32, (v & 0xFFFF) as u32)
         })
         .collect();
+    // Mirror this run's per-run control-block tallies into the global
+    // registry *before* taking the counter delta, so the snapshot in
+    // `metrics` includes them.
+    let fault_stats = ctl.stats();
+    let posted_sends = ctl.posted_sends.load(Ordering::Relaxed);
+    obs_counters::EXCHANGE_RETRIES.add(fault_stats.exchange_retries);
+    obs_counters::LOCAL_FALLBACKS.add(fault_stats.local_fallbacks);
+    obs_counters::SKIPPED_MICROBATCHES.add(fault_stats.skipped_microbatches);
+    obs_counters::POSTED_SENDS.add(posted_sends);
+    let metrics = run_metrics(cfg, steps - start, trace, &c0, &span_base);
     Ok(RunResult {
         losses,
         layer_grads,
@@ -983,9 +1214,10 @@ fn run_from(
         final_norm_grad,
         peak_act_bytes,
         offload_transferred,
-        fault_stats: ctl.stats(),
+        fault_stats,
         final_cursors,
-        posted_sends: ctl.posted_sends.load(Ordering::Relaxed),
+        posted_sends,
+        metrics,
     })
 }
 
@@ -1011,13 +1243,34 @@ pub fn try_run_pipeline(
     steps: usize,
     lr: f32,
 ) -> Result<RunResult, ExecError> {
+    let (trace, path) = TraceSession::from_env();
+    let out = try_run_pipeline_traced(cfg, kind, steps, lr, &trace);
+    if let Some(p) = path {
+        // Written on error too — a trace of a failed run is the one you
+        // most want to look at.
+        let _ = slimpipe_obs::chrome::write_chrome_trace(&trace.report(), &p);
+    }
+    out
+}
+
+/// [`try_run_pipeline`] recording into an explicit trace session (the
+/// programmatic tracing entry; the env-hooked wrapper builds the session
+/// from `SLIMPIPE_TRACE`). Tracing is determinism-neutral: a traced run is
+/// bit-identical to an untraced one (asserted in `tests/trace.rs`).
+pub fn try_run_pipeline_traced(
+    cfg: &ExecConfig,
+    kind: PipelineKind,
+    steps: usize,
+    lr: f32,
+    trace: &Arc<TraceSession>,
+) -> Result<RunResult, ExecError> {
     let cfg = with_env_fault_plan(cfg)?;
     cfg.validate().map_err(ExecError::InvalidConfig)?;
     if steps == 0 {
         return Err(ExecError::InvalidConfig("steps must be >= 1".into()));
     }
     let shards = cfg.vocab_parallel.then(|| build_vocab_shards(&cfg));
-    run_from(&cfg, kind, 0, steps, lr, None, shards)
+    run_from(&cfg, kind, 0, steps, lr, None, shards, trace)
 }
 
 /// Resume a run from the newest usable snapshot under
@@ -1055,6 +1308,23 @@ pub fn try_resume_pipeline_from(
     lr: f32,
     state: CheckpointState,
 ) -> Result<RunResult, ExecError> {
+    let (trace, path) = TraceSession::from_env();
+    let out = try_resume_pipeline_from_traced(cfg, kind, steps, lr, state, &trace);
+    if let Some(p) = path {
+        let _ = slimpipe_obs::chrome::write_chrome_trace(&trace.report(), &p);
+    }
+    out
+}
+
+/// [`try_resume_pipeline_from`] recording into an explicit trace session.
+pub fn try_resume_pipeline_from_traced(
+    cfg: &ExecConfig,
+    kind: PipelineKind,
+    steps: usize,
+    lr: f32,
+    state: CheckpointState,
+    trace: &Arc<TraceSession>,
+) -> Result<RunResult, ExecError> {
     let cfg = with_env_fault_plan(cfg)?;
     cfg.validate().map_err(ExecError::InvalidConfig)?;
     let state = if state.stages.len() != cfg.stages
@@ -1077,7 +1347,7 @@ pub fn try_resume_pipeline_from(
     } else {
         None
     };
-    run_from(&cfg, kind, start, steps, lr, Some(Arc::new(state)), shards)
+    run_from(&cfg, kind, start, steps, lr, Some(Arc::new(state)), shards, trace)
 }
 
 /// [`try_run_pipeline`] for callers that treat any failure as fatal (the

@@ -335,3 +335,81 @@ fn chaos_schedules_always_terminate() {
         clean_ckpt_files(&path);
     }
 }
+
+/// The observability layer × the elastic driver: one trace session spans
+/// the failed attempt, the recovery transitions, and the healed resume.
+/// The driver's `Fail → Replan → Restore` phases land as spans on the
+/// `driver` track, and — the iteration-boundary invariant — a trace
+/// drained *mid-recovery* (from inside the replanner, between attempts)
+/// sees exactly the checkpoint saves that happened, no duplicates, no
+/// drops, with the final report a superset in the same order.
+#[test]
+fn recovery_transitions_appear_in_the_trace() {
+    use slimpipe_exec::obs::{RecoveryPhase, SpanKind, TraceReport, TraceSession};
+    use slimpipe_exec::{run_elastic_traced, Replanner};
+
+    quiet_injected_panics();
+    let path = unique_path("traced");
+    clean_ckpt_files(&path);
+    // every=2, panic at iteration 3, 6 steps: attempt 1 saves at 2 and
+    // dies at 3; the healed resume restores 2, saves at 4, finishes at 6.
+    let cfg = ExecConfig {
+        exchange: true,
+        checkpoint: Some(CheckpointCfg { every: 2, path: path.clone(), keep_last: 0 }),
+        fault_plan: Some(FaultPlan::single(site(3, 1, 0, 1), FaultKind::StagePanic)),
+        ..fast_cfg()
+    };
+    let ckpt_iterations = |report: &TraceReport| -> Vec<usize> {
+        report.track("driver").map_or(Vec::new(), |t| {
+            t.spans
+                .iter()
+                .filter_map(|s| match s.kind {
+                    SpanKind::CkptSave { iteration } => Some(iteration),
+                    _ => None,
+                })
+                .collect()
+        })
+    };
+    let trace = TraceSession::new();
+    let mut mid_saves: Option<Vec<usize>> = None;
+    {
+        let mid_session = trace.clone();
+        let mut replanner = |base: &ExecConfig, survivors: usize| {
+            mid_saves = Some(ckpt_iterations(&mid_session.report()));
+            ShrinkReplanner.replan(base, survivors)
+        };
+        let outcome =
+            run_elastic_traced(&cfg, &DriverCfg::default(), 6, 0.2, &mut replanner, &trace)
+                .expect("recoverable fault must heal");
+        assert_eq!(outcome.log.events.len(), 1, "one recovery:\n{}", outcome.log);
+        assert_eq!(outcome.log.events[0].resumed_from, 2);
+    }
+    assert_eq!(
+        mid_saves.as_deref(),
+        Some(&[2usize][..]),
+        "mid-recovery drain must see the attempt-1 save exactly once"
+    );
+    let report = trace.report();
+    assert_eq!(
+        ckpt_iterations(&report),
+        vec![2, 4],
+        "final trace: attempt-1 and healed-run saves, neither duplicated nor dropped"
+    );
+    let driver = report.track("driver").expect("driver track recorded");
+    for want in [RecoveryPhase::Fail, RecoveryPhase::Replan, RecoveryPhase::Restore] {
+        assert!(
+            driver.spans.iter().any(|s| matches!(
+                s.kind,
+                SpanKind::Recovery { attempt: 1, phase } if phase == want
+            )),
+            "driver track is missing the {want:?} span"
+        );
+    }
+    // Both attempts' stage threads recorded onto the shared stage tracks.
+    let stage0 = report.track("stage0").expect("stage0 track");
+    assert!(
+        stage0.spans.iter().any(|s| matches!(s.kind, SpanKind::Compute { .. })),
+        "healed run recorded compute spans"
+    );
+    clean_ckpt_files(&path);
+}

@@ -1,0 +1,122 @@
+//! Crash flight recorder: the last few spans per track, parked globally
+//! when a traced run dies, so an `ExecError` post-mortem comes with a
+//! timeline instead of a single blocked-port tuple.
+//!
+//! The slot is process-global and last-writer-wins: in an elastic run
+//! each failed attempt overwrites it, so after the driver gives up the
+//! slot holds the timeline of the *final* failure. [`take`] consumes it.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::span::Span;
+use crate::trace::TraceReport;
+
+/// Spans kept per track in a flight recording.
+pub const FLIGHT_SPANS_PER_TRACK: usize = 32;
+
+/// The tail of every track at the moment a traced run failed.
+#[derive(Clone, Debug, Default)]
+pub struct FlightRecording {
+    /// `(track name, last spans oldest-first)`, tracks in session order.
+    pub tracks: Vec<(String, Vec<Span>)>,
+}
+
+impl FlightRecording {
+    /// Snapshot the last [`FLIGHT_SPANS_PER_TRACK`] spans of each
+    /// non-empty track.
+    pub fn capture(report: &TraceReport) -> Self {
+        let tracks = report
+            .tracks
+            .iter()
+            .filter(|t| !t.spans.is_empty())
+            .map(|t| {
+                let skip = t.spans.len().saturating_sub(FLIGHT_SPANS_PER_TRACK);
+                (t.name.clone(), t.spans[skip..].to_vec())
+            })
+            .collect();
+        FlightRecording { tracks }
+    }
+
+    /// Whether anything was captured.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+}
+
+impl fmt::Display for FlightRecording {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "flight recorder ({} tracks):", self.tracks.len())?;
+        for (name, spans) in &self.tracks {
+            writeln!(f, "  [{name}] last {} spans:", spans.len())?;
+            for span in spans {
+                writeln!(f, "    {span}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+static SLOT: Mutex<Option<FlightRecording>> = Mutex::new(None);
+
+/// Park a recording (last writer wins).
+pub fn store(rec: FlightRecording) {
+    *SLOT.lock().unwrap_or_else(|p| p.into_inner()) = Some(rec);
+}
+
+/// Consume the parked recording, if any.
+pub fn take() -> Option<FlightRecording> {
+    SLOT.lock().unwrap_or_else(|p| p.into_inner()).take()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{OpTag, SpanKind};
+    use crate::trace::Track;
+
+    fn report(n: usize) -> TraceReport {
+        TraceReport {
+            tracks: vec![
+                Track {
+                    name: "stage0".into(),
+                    spans: (0..n)
+                        .map(|i| Span {
+                            kind: SpanKind::Compute { stage: 0, mb: i, slice: 0, op: OpTag::Fwd },
+                            start_us: i as f64,
+                            dur_us: 1.0,
+                        })
+                        .collect(),
+                },
+                Track { name: "empty".into(), spans: Vec::new() },
+            ],
+        }
+    }
+
+    #[test]
+    fn capture_keeps_only_the_tail_and_skips_empty_tracks() {
+        let rec = FlightRecording::capture(&report(100));
+        assert_eq!(rec.tracks.len(), 1, "empty tracks are omitted");
+        let (name, spans) = &rec.tracks[0];
+        assert_eq!(name, "stage0");
+        assert_eq!(spans.len(), FLIGHT_SPANS_PER_TRACK);
+        assert_eq!(spans[0].start_us, (100 - FLIGHT_SPANS_PER_TRACK) as f64);
+        assert_eq!(spans.last().unwrap().start_us, 99.0);
+    }
+
+    #[test]
+    fn display_lists_every_kept_span() {
+        let rec = FlightRecording::capture(&report(3));
+        let text = rec.to_string();
+        assert!(text.contains("[stage0] last 3 spans"));
+        assert!(text.contains("fwd s0 mb2.0"));
+    }
+
+    #[test]
+    fn short_tracks_are_kept_whole() {
+        let rec = FlightRecording::capture(&report(2));
+        assert_eq!(rec.tracks[0].1.len(), 2);
+        assert!(!rec.is_empty());
+        assert!(FlightRecording::capture(&TraceReport::default()).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Observability runtime for the SlimPipe executor.
+//!
+//! Three pieces, all dependency-free and always compiled:
+//!
+//! - [`counters`] — a unified registry of process-wide monotonic counters
+//!   (pool hits, weight packs, posted sends, watchdog wakeups, ...). One
+//!   [`counters::snapshot`] call returns everything; deltas between two
+//!   snapshots describe a single run.
+//! - [`trace`] — per-thread span recorders feeding a per-run
+//!   [`TraceSession`]. Recorders buffer typed [`Span`]s in a fixed ring
+//!   with no locking on the hot path and drain into the session at
+//!   iteration boundaries. When the session is disabled the whole layer
+//!   collapses to one branch per would-be span: the clock is never read.
+//! - [`chrome`] — exports a [`TraceReport`] as Chrome-trace / Perfetto
+//!   JSON (`chrome://tracing`, <https://ui.perfetto.dev>).
+//! - [`flight`] — a crash flight recorder: on an executor error the last
+//!   few spans per track are parked in a global slot so the post-mortem
+//!   comes with a timeline instead of a single blocked-port tuple.
+//!
+//! Tracing is determinism-neutral by construction: spans record
+//! wall-clock only, never influence scheduling, and the clock is read
+//! only when a session is enabled.
+
+pub mod chrome;
+pub mod counters;
+pub mod flight;
+pub mod span;
+pub mod trace;
+
+pub use counters::{snapshot, Counter, CounterSnapshot};
+pub use flight::FlightRecording;
+pub use span::{OpTag, RecoveryPhase, Span, SpanKind};
+pub use trace::{SpanRecorder, TraceReport, TraceSession, Track};

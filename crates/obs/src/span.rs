@@ -1,0 +1,116 @@
+//! Typed spans: what a unit of pipeline work was, and when it ran.
+//!
+//! Timestamps are microseconds of wall-clock since the owning
+//! [`TraceSession`](crate::TraceSession)'s epoch — Chrome-trace's native
+//! unit, so export is a straight copy.
+
+use std::fmt;
+
+/// What kind of compute a [`SpanKind::Compute`] span covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpTag {
+    /// A forward unit (one `(stage, mb, slice)` forward pass).
+    Fwd,
+    /// A backward unit.
+    Bwd,
+    /// A job executed on a device's compute server thread.
+    Server,
+}
+
+/// Phase of an elastic-driver recovery transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// A recoverable fault was detected.
+    Fail,
+    /// Survivor geometry re-planned and validated.
+    Replan,
+    /// Latest checkpoint located and loaded for resume.
+    Restore,
+}
+
+/// The typed payload of a span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One unit of model compute on a stage or server thread.
+    Compute { stage: usize, mb: usize, slice: usize, op: OpTag },
+    /// Time a stage spent blocked awaiting a context-exchange reply
+    /// (inside the enclosing `Compute` span) or a vocab gather.
+    ExchangeWait { stage: usize, mb: usize, slice: usize },
+    /// Draining the posted-send queues at an iteration boundary.
+    PostFlush { stage: usize },
+    /// Saving a retained checkpoint after the segment ending at
+    /// `iteration`.
+    CkptSave { iteration: usize },
+    /// One phase of elastic recovery attempt `attempt` (1-based).
+    Recovery { attempt: usize, phase: RecoveryPhase },
+}
+
+impl SpanKind {
+    /// Short display name (Chrome-trace event name).
+    pub fn name(&self) -> String {
+        match self {
+            SpanKind::Compute { stage, mb, slice, op } => {
+                let tag = match op {
+                    OpTag::Fwd => "fwd",
+                    OpTag::Bwd => "bwd",
+                    OpTag::Server => "srv",
+                };
+                format!("{tag} s{stage} mb{mb}.{slice}")
+            }
+            SpanKind::ExchangeWait { stage, mb, slice } => {
+                format!("xwait s{stage} mb{mb}.{slice}")
+            }
+            SpanKind::PostFlush { stage } => format!("flush s{stage}"),
+            SpanKind::CkptSave { iteration } => format!("ckpt@{iteration}"),
+            SpanKind::Recovery { attempt, phase } => {
+                let p = match phase {
+                    RecoveryPhase::Fail => "fail",
+                    RecoveryPhase::Replan => "replan",
+                    RecoveryPhase::Restore => "restore",
+                };
+                format!("recovery#{attempt} {p}")
+            }
+        }
+    }
+}
+
+/// A closed interval of work: `[start_us, start_us + dur_us]` relative
+/// to the session epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Span {
+    pub kind: SpanKind,
+    pub start_us: f64,
+    pub dur_us: f64,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} @{:>12.1}us +{:>10.1}us",
+            self.kind.name(),
+            self.start_us,
+            self.dur_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_per_unit() {
+        let a = SpanKind::Compute { stage: 0, mb: 1, slice: 2, op: OpTag::Fwd };
+        let b = SpanKind::Compute { stage: 0, mb: 1, slice: 3, op: OpTag::Fwd };
+        let c = SpanKind::Compute { stage: 0, mb: 1, slice: 2, op: OpTag::Bwd };
+        assert_ne!(a.name(), b.name());
+        assert_ne!(a.name(), c.name());
+        assert_eq!(a.name(), "fwd s0 mb1.2");
+        assert_eq!(SpanKind::CkptSave { iteration: 4 }.name(), "ckpt@4");
+        assert_eq!(
+            SpanKind::Recovery { attempt: 2, phase: RecoveryPhase::Replan }.name(),
+            "recovery#2 replan"
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Per-run trace sessions and per-thread span recorders.
+//!
+//! A [`TraceSession`] is created once per run (or once per elastic-driver
+//! invocation, spanning every attempt) and shared by `Arc`. Each thread
+//! that produces spans holds its own [`SpanRecorder`]: a fixed-capacity
+//! ring buffer with no locking on the hot path. Recorders drain into the
+//! session's track table at iteration boundaries (and on drop, so a
+//! panicking thread still surfaces its tail of spans).
+//!
+//! Disabled sessions cost one branch per would-be span: `clock()`
+//! returns `None` without reading the clock, and the recorder never
+//! touches its buffer. Tracing therefore cannot perturb determinism —
+//! the only side effect of enabling it is reading `Instant::now`.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::counters::SPANS_DROPPED;
+use crate::span::{Span, SpanKind};
+
+/// Spans buffered per recorder before the oldest are overwritten.
+pub const RING_CAPACITY: usize = 4096;
+
+/// One named timeline (one per producing thread, merged by name).
+#[derive(Clone, Debug, Default)]
+pub struct Track {
+    pub name: String,
+    pub spans: Vec<Span>,
+}
+
+/// A point-in-time copy of every track in a session.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    pub tracks: Vec<Track>,
+}
+
+impl TraceReport {
+    /// The track named `name`, if any spans were recorded on it.
+    pub fn track(&self, name: &str) -> Option<&Track> {
+        self.tracks.iter().find(|t| t.name == name)
+    }
+
+    /// Total spans across all tracks.
+    pub fn span_count(&self) -> usize {
+        self.tracks.iter().map(|t| t.spans.len()).sum()
+    }
+}
+
+/// A per-run tracing context. Cheap to share (`Arc`), cheap to ignore
+/// (disabled sessions never read the clock).
+pub struct TraceSession {
+    enabled: bool,
+    epoch: Instant,
+    tracks: Mutex<Vec<Track>>,
+}
+
+impl TraceSession {
+    /// An enabled session with its epoch at "now".
+    pub fn new() -> Arc<Self> {
+        Arc::new(TraceSession {
+            enabled: true,
+            epoch: Instant::now(),
+            tracks: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A disabled session: recorders created from it are no-ops.
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(TraceSession {
+            enabled: false,
+            epoch: Instant::now(),
+            tracks: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Session driven by the `SLIMPIPE_TRACE` env hook: a non-empty
+    /// value enables tracing and names the Chrome-trace JSON output
+    /// path; unset or empty leaves tracing disabled.
+    pub fn from_env() -> (Arc<Self>, Option<PathBuf>) {
+        match std::env::var("SLIMPIPE_TRACE") {
+            Ok(path) if !path.is_empty() => (Self::new(), Some(PathBuf::from(path))),
+            _ => (Self::disabled(), None),
+        }
+    }
+
+    /// Whether spans are being collected.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Microseconds since the session epoch. Reads the clock — callers
+    /// on hot paths should gate on [`SpanRecorder::clock`] instead,
+    /// which skips the read when disabled.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_nanos() as f64 / 1_000.0
+    }
+
+    /// A recorder feeding the track named `name`. Tracks merge by name:
+    /// two recorders (e.g. across checkpoint segments or recovery
+    /// attempts) with the same name append to the same timeline.
+    pub fn recorder(self: &Arc<Self>, name: &str) -> SpanRecorder {
+        let track = if self.enabled {
+            let mut tracks = lock(&self.tracks);
+            match tracks.iter().position(|t| t.name == name) {
+                Some(i) => i,
+                None => {
+                    tracks.push(Track { name: name.to_string(), spans: Vec::new() });
+                    tracks.len() - 1
+                }
+            }
+        } else {
+            usize::MAX
+        };
+        SpanRecorder { session: Arc::clone(self), track, buf: Vec::new(), head: 0 }
+    }
+
+    /// Non-destructive snapshot of every drained track. Spans still
+    /// sitting in recorder rings are not included until their owner
+    /// flushes — and a snapshot never removes anything, so draining the
+    /// trace mid-run (e.g. from a recovery replanner) cannot duplicate
+    /// or drop spans from the final report.
+    pub fn report(&self) -> TraceReport {
+        TraceReport { tracks: lock(&self.tracks).clone() }
+    }
+}
+
+/// Lock that tolerates poisoning: a panicking recorder thread must not
+/// take the whole trace down with it.
+fn lock(tracks: &Mutex<Vec<Track>>) -> std::sync::MutexGuard<'_, Vec<Track>> {
+    tracks.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A per-thread span buffer: fixed ring, overwrite-oldest, zero locking
+/// until [`flush`](SpanRecorder::flush).
+pub struct SpanRecorder {
+    session: Arc<TraceSession>,
+    track: usize,
+    buf: Vec<Span>,
+    head: usize,
+}
+
+impl SpanRecorder {
+    /// Whether this recorder collects anything at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.session.enabled
+    }
+
+    /// Start-of-span timestamp, or `None` (without reading the clock)
+    /// when tracing is disabled. The intended hot-path shape is
+    /// `let t0 = rec.clock(); ...work...; if let Some(t0) = t0 { rec.push(kind, t0) }`.
+    #[inline]
+    pub fn clock(&self) -> Option<f64> {
+        if self.session.enabled {
+            Some(self.session.now_us())
+        } else {
+            None
+        }
+    }
+
+    /// Record a span that started at `start_us` and ends now.
+    pub fn push(&mut self, kind: SpanKind, start_us: f64) {
+        if !self.session.enabled {
+            return;
+        }
+        let span = Span { kind, start_us, dur_us: (self.session.now_us() - start_us).max(0.0) };
+        if self.buf.len() < RING_CAPACITY {
+            self.buf.push(span);
+        } else {
+            self.buf[self.head] = span;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            SPANS_DROPPED.incr();
+        }
+    }
+
+    /// Drain the ring into the session track, oldest first. Called at
+    /// iteration boundaries (and from `Drop`).
+    pub fn flush(&mut self) {
+        if !self.session.enabled || self.buf.is_empty() {
+            return;
+        }
+        let mut tracks = lock(&self.session.tracks);
+        let spans = &mut tracks[self.track].spans;
+        // When the ring wrapped, `head` points at the oldest surviving span.
+        spans.extend_from_slice(&self.buf[self.head..]);
+        spans.extend_from_slice(&self.buf[..self.head]);
+        drop(tracks);
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+impl Drop for SpanRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::OpTag;
+
+    fn compute(n: usize) -> SpanKind {
+        SpanKind::Compute { stage: 0, mb: n, slice: 0, op: OpTag::Fwd }
+    }
+
+    #[test]
+    fn disabled_session_records_nothing_and_never_reads_clock() {
+        let s = TraceSession::disabled();
+        let mut rec = s.recorder("stage0");
+        assert!(!rec.enabled());
+        assert_eq!(rec.clock(), None);
+        rec.push(compute(0), 0.0);
+        rec.flush();
+        drop(rec);
+        assert_eq!(s.report().span_count(), 0);
+        assert!(s.report().tracks.is_empty());
+    }
+
+    #[test]
+    fn recorders_merge_by_track_name() {
+        let s = TraceSession::new();
+        let mut a = s.recorder("stage0");
+        let mut b = s.recorder("stage0");
+        let mut c = s.recorder("stage1");
+        a.push(compute(0), s.now_us());
+        b.push(compute(1), s.now_us());
+        c.push(compute(2), s.now_us());
+        drop((a, b, c));
+        let report = s.report();
+        assert_eq!(report.tracks.len(), 2);
+        assert_eq!(report.track("stage0").unwrap().spans.len(), 2);
+        assert_eq!(report.track("stage1").unwrap().spans.len(), 1);
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_drops() {
+        let s = TraceSession::new();
+        let mut rec = s.recorder("stage0");
+        let dropped_before = crate::counters::SPANS_DROPPED.get();
+        for i in 0..RING_CAPACITY + 3 {
+            rec.push(compute(i), s.now_us());
+        }
+        rec.flush();
+        let dropped = crate::counters::SPANS_DROPPED.get() - dropped_before;
+        assert!(dropped >= 3, "expected >=3 overwrites, saw {dropped}");
+        let track = s.report();
+        let spans = &track.track("stage0").unwrap().spans;
+        assert_eq!(spans.len(), RING_CAPACITY);
+        // Oldest three were overwritten: the first surviving span is mb=3,
+        // and order is preserved oldest-first.
+        assert_eq!(spans[0].kind, compute(3));
+        assert_eq!(spans[RING_CAPACITY - 1].kind, compute(RING_CAPACITY + 2));
+        for w in spans.windows(2) {
+            assert!(w[0].start_us <= w[1].start_us, "spans out of order after wrap");
+        }
+    }
+
+    #[test]
+    fn report_is_non_destructive() {
+        let s = TraceSession::new();
+        let mut rec = s.recorder("stage0");
+        rec.push(compute(0), s.now_us());
+        rec.flush();
+        let first = s.report();
+        rec.push(compute(1), s.now_us());
+        rec.flush();
+        let second = s.report();
+        assert_eq!(first.span_count(), 1);
+        assert_eq!(second.span_count(), 2, "mid-run report must not drain spans");
+        assert_eq!(second.track("stage0").unwrap().spans[0].kind, compute(0));
+    }
+
+    #[test]
+    fn unflushed_spans_surface_on_drop() {
+        let s = TraceSession::new();
+        let mut rec = s.recorder("stage0");
+        rec.push(compute(0), s.now_us());
+        assert_eq!(s.report().span_count(), 0, "ring not drained yet");
+        drop(rec);
+        assert_eq!(s.report().span_count(), 1, "drop must flush the ring");
+    }
+}

@@ -37,12 +37,14 @@
 //! ```
 
 pub mod calibrate;
+pub mod compare;
 pub mod cost;
 pub mod plan;
 pub mod profile;
 pub mod search;
 
 pub use calibrate::{calibrate, shape_of, CalibrationOpts};
+pub use compare::{compare_run, Comparison, UnitComparison};
 pub use cost::{ByteModel, ProfiledCostModel};
 pub use plan::Plan;
 pub use profile::{CostProfile, ProfileShape};

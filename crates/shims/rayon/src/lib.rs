@@ -47,7 +47,7 @@
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
@@ -104,9 +104,10 @@ pub fn set_num_threads(n: usize) {
 
 /// Total OS threads the pool has ever spawned. Monotonic; stable counts
 /// across workloads prove regions reuse the persistent workers instead of
-/// spawning per region.
+/// spawning per region. Thin shim over the unified observability registry
+/// (`slimpipe_obs::counters::POOL_THREAD_SPAWNS`).
 pub fn pool_thread_spawns() -> u64 {
-    pool().spawns.load(Ordering::Relaxed)
+    slimpipe_obs::counters::POOL_THREAD_SPAWNS.get()
 }
 
 /// Workers currently alive in the pool (they never exit once spawned).
@@ -224,7 +225,6 @@ struct Pool {
     /// because every push is followed by a token.
     sleep: Mutex<usize>,
     wake: Condvar,
-    spawns: AtomicU64,
 }
 
 fn pool() -> &'static Pool {
@@ -234,7 +234,6 @@ fn pool() -> &'static Pool {
         registry: Mutex::new(Vec::new()),
         sleep: Mutex::new(0),
         wake: Condvar::new(),
-        spawns: AtomicU64::new(0),
     })
 }
 
@@ -254,7 +253,7 @@ impl Pool {
             let me = reg.len();
             let deque: Worker<Job> = Worker::new_lifo();
             reg.push(deque.stealer());
-            self.spawns.fetch_add(1, Ordering::Relaxed);
+            slimpipe_obs::counters::POOL_THREAD_SPAWNS.incr();
             std::thread::Builder::new()
                 .name(format!("rayon-shim-{me}"))
                 .spawn(move || self.worker_loop(me, deque))

@@ -11,7 +11,7 @@ pub fn bubble_fraction(busy: &[f64], makespan: f64) -> f64 {
 
 /// Model FLOPs Utilisation: `model_flops / (time · gpus · peak)`.
 pub fn mfu(model_flops: f64, time: f64, gpus: usize, peak_flops: f64) -> f64 {
-    if time <= 0.0 || gpus == 0 {
+    if time <= 0.0 || gpus == 0 || peak_flops <= 0.0 {
         return 0.0;
     }
     model_flops / (time * gpus as f64 * peak_flops)
@@ -36,5 +36,29 @@ mod tests {
         // 1 PFLOP of model math in 1 s on 1 GPU of 2 PFLOP/s peak = 50 %.
         assert!((mfu(1e15, 1.0, 1, 2e15) - 0.5).abs() < 1e-12);
         assert_eq!(mfu(1e15, 0.0, 1, 2e15), 0.0);
+    }
+
+    #[test]
+    fn zero_makespan_and_empty_busy_report_zero_bubble() {
+        // Degenerate timelines (a run that recorded nothing, a simulated
+        // schedule with no ops) must read as "no bubble", never NaN/inf.
+        assert_eq!(bubble_fraction(&[1.0, 2.0], 0.0), 0.0);
+        assert_eq!(bubble_fraction(&[1.0], -3.0), 0.0);
+        assert_eq!(bubble_fraction(&[], 5.0), 0.0);
+        assert_eq!(bubble_fraction(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn busy_exceeding_the_area_clamps_at_zero_bubble() {
+        // Measured busy can exceed p × makespan (overlapping spans);
+        // the fraction clamps instead of going negative.
+        assert_eq!(bubble_fraction(&[3.0, 3.0], 2.0), 0.0);
+    }
+
+    #[test]
+    fn mfu_guards_every_degenerate_denominator() {
+        assert_eq!(mfu(1e15, 1.0, 0, 2e15), 0.0, "zero gpus");
+        assert_eq!(mfu(1e15, -1.0, 1, 2e15), 0.0, "negative time");
+        assert_eq!(mfu(1e15, 1.0, 1, 0.0), 0.0, "zero peak");
     }
 }

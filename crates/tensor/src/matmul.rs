@@ -144,14 +144,17 @@ pub fn with_kernel_nr<T>(nr: usize, f: impl FnOnce() -> T) -> T {
 
 // ---- weight-pack accounting ----
 
-static WEIGHT_PACKS: AtomicU64 = AtomicU64::new(0);
+// The pack total lives in the unified observability registry
+// (`slimpipe_obs::counters::WEIGHT_PACKS`); the epoch mark is local — it
+// snapshots the registry value at the top of each step.
 static PACK_EPOCH: AtomicU64 = AtomicU64::new(0);
 
 /// Total [`PackedMat`] pack operations since process start. Per-call
 /// activation packing inside the GEMM does **not** count — this meters the
-/// weight packs the persistent cache exists to eliminate.
+/// weight packs the persistent cache exists to eliminate. Thin shim over
+/// `slimpipe_obs::counters::WEIGHT_PACKS`.
 pub fn weight_packs_total() -> u64 {
-    WEIGHT_PACKS.load(Ordering::Relaxed)
+    slimpipe_obs::counters::WEIGHT_PACKS.get()
 }
 
 /// Mark the start of a training step for [`gemm_packs_per_step`]. The
@@ -333,7 +336,7 @@ impl PackedMat {
                 pack_b(&mut data[off..off + slivers * nr * kc], view, &Prologue::None, pc, jc, kc, nc, nr);
             }
         }
-        WEIGHT_PACKS.fetch_add(1, Ordering::Relaxed);
+        slimpipe_obs::counters::WEIGHT_PACKS.incr();
         PackedMat { k, n, nr, data: ManuallyDrop::new(data) }
     }
 

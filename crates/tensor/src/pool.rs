@@ -30,7 +30,7 @@
 
 use crate::memtrack::MemCounter;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use slimpipe_obs::counters as obs;
 use std::sync::{Mutex, OnceLock};
 
 /// Alignment of [`AlignedVec`] buffers: one cache line, which is also the
@@ -138,10 +138,9 @@ type AlignedShard = Mutex<HashMap<usize, Vec<AlignedVec>>>;
 static FREE: OnceLock<Vec<Shard>> = OnceLock::new();
 static ALIGNED_FREE: OnceLock<Vec<AlignedShard>> = OnceLock::new();
 static BANKED: OnceLock<MemCounter> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static RECYCLES: AtomicU64 = AtomicU64::new(0);
-static DISCARDS: AtomicU64 = AtomicU64::new(0);
+// Hit/miss/recycle/discard accounting lives in the unified observability
+// registry (`slimpipe_obs::counters::POOL_*`); `stats`/`reset_stats` below
+// are thin shims over it so existing callers keep working.
 
 fn shards() -> &'static [Shard] {
     FREE.get_or_init(|| (0..POOL_SHARDS).map(|_| Mutex::new(HashMap::new())).collect())
@@ -185,19 +184,19 @@ pub struct PoolStats {
 /// Current counters.
 pub fn stats() -> PoolStats {
     PoolStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        recycles: RECYCLES.load(Ordering::Relaxed),
-        discards: DISCARDS.load(Ordering::Relaxed),
+        hits: obs::POOL_HITS.get(),
+        misses: obs::POOL_MISSES.get(),
+        recycles: obs::POOL_RECYCLES.get(),
+        discards: obs::POOL_DISCARDS.get(),
     }
 }
 
 /// Zero the counters (buffers stay banked).
 pub fn reset_stats() {
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
-    RECYCLES.store(0, Ordering::Relaxed);
-    DISCARDS.store(0, Ordering::Relaxed);
+    obs::POOL_HITS.reset();
+    obs::POOL_MISSES.reset();
+    obs::POOL_RECYCLES.reset();
+    obs::POOL_DISCARDS.reset();
 }
 
 /// Drop every banked buffer (counters stay). Tests use this to compare a
@@ -228,11 +227,11 @@ fn pop(len: usize) -> Option<Vec<f32>> {
 /// data or zeros). For outputs every element of which is overwritten.
 pub fn take_raw(len: usize) -> Vec<f32> {
     if let Some(v) = pop(len) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        obs::POOL_HITS.incr();
         debug_assert_eq!(v.len(), len);
         v
     } else {
-        MISSES.fetch_add(1, Ordering::Relaxed);
+        obs::POOL_MISSES.incr();
         vec![0.0; len]
     }
 }
@@ -240,12 +239,12 @@ pub fn take_raw(len: usize) -> Vec<f32> {
 /// A zeroed buffer of exactly `len` elements.
 pub fn take(len: usize) -> Vec<f32> {
     if let Some(mut v) = pop(len) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        obs::POOL_HITS.incr();
         debug_assert_eq!(v.len(), len);
         v.fill(0.0);
         v
     } else {
-        MISSES.fetch_add(1, Ordering::Relaxed);
+        obs::POOL_MISSES.incr();
         vec![0.0; len]
     }
 }
@@ -264,12 +263,12 @@ pub fn recycle(mut v: Vec<f32>) {
     let mut map = shard_for(len).lock().unwrap();
     let bucket = map.entry(len).or_default();
     if bucket.len() >= MAX_BUFFERS_PER_SIZE {
-        DISCARDS.fetch_add(1, Ordering::Relaxed);
+        obs::POOL_DISCARDS.incr();
         return;
     }
     bucket.push(v);
     banked_mem().alloc((len * 4) as u64);
-    RECYCLES.fetch_add(1, Ordering::Relaxed);
+    obs::POOL_RECYCLES.incr();
 }
 
 /// A [`BUF_ALIGN`]-byte-aligned buffer of exactly `len` elements with
@@ -284,11 +283,11 @@ pub fn take_aligned(len: usize) -> AlignedVec {
     };
     if let Some(v) = popped {
         banked_mem().free((len * 4) as u64);
-        HITS.fetch_add(1, Ordering::Relaxed);
+        obs::POOL_HITS.incr();
         debug_assert_eq!(v.len(), len);
         v
     } else {
-        MISSES.fetch_add(1, Ordering::Relaxed);
+        obs::POOL_MISSES.incr();
         AlignedVec::new(len)
     }
 }
@@ -303,12 +302,12 @@ pub fn recycle_aligned(v: AlignedVec) {
     let mut map = aligned_shards()[shard_idx(len)].lock().unwrap();
     let bucket = map.entry(len).or_default();
     if bucket.len() >= MAX_BUFFERS_PER_SIZE {
-        DISCARDS.fetch_add(1, Ordering::Relaxed);
+        obs::POOL_DISCARDS.incr();
         return;
     }
     bucket.push(v);
     banked_mem().alloc((len * 4) as u64);
-    RECYCLES.fetch_add(1, Ordering::Relaxed);
+    obs::POOL_RECYCLES.incr();
 }
 
 #[cfg(test)]

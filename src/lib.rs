@@ -7,6 +7,7 @@ pub use slimpipe_cluster as cluster;
 pub use slimpipe_core as core;
 pub use slimpipe_exec as exec;
 pub use slimpipe_model as model;
+pub use slimpipe_obs as obs;
 pub use slimpipe_parallel as parallel;
 pub use slimpipe_planner as planner;
 pub use slimpipe_sched as sched;
